@@ -1,0 +1,126 @@
+// Command gdbbench regenerates the survey's comparison tables from the
+// living engines and runs the performance sweep.
+//
+// Usage:
+//
+//	gdbbench -table all            # print Tables I–VIII
+//	gdbbench -table 7              # print one table
+//	gdbbench -diff                 # cell-by-cell diff vs the paper
+//	gdbbench -perf -nodes 10000    # performance sweep (HPC-SGAB style)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gdbm"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to regenerate: 1..8 or 'all' or 'none'")
+	diff := flag.Bool("diff", false, "print the cell-by-cell diff against the paper's matrices")
+	perf := flag.Bool("perf", false, "run the performance sweep")
+	nodes := flag.Int("nodes", 2000, "perf sweep graph size (nodes)")
+	degree := flag.Int("degree", 4, "perf sweep edges per node")
+	seed := flag.Int64("seed", 42, "workload seed")
+	dir := flag.String("dir", "", "data directory for disk-backed engines (default: temp)")
+	flag.Parse()
+
+	if err := run(*table, *diff, *perf, *nodes, *degree, *seed, *dir); err != nil {
+		fmt.Fprintln(os.Stderr, "gdbbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table string, diff, perf bool, nodes, degree int, seed int64, dir string) error {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "gdbbench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	openAll := func() ([]gdbm.Engine, func(), error) {
+		var engines []gdbm.Engine
+		for _, name := range gdbm.Engines() {
+			opts := gdbm.Options{}
+			if name == "gstore" {
+				opts.Dir = filepath.Join(dir, name)
+				os.MkdirAll(opts.Dir, 0o755)
+			}
+			e, err := gdbm.Open(name, opts)
+			if err != nil {
+				return nil, nil, fmt.Errorf("open %s: %w", name, err)
+			}
+			engines = append(engines, e)
+		}
+		cleanup := func() {
+			for _, e := range engines {
+				e.Close()
+			}
+		}
+		return engines, cleanup, nil
+	}
+
+	if table != "none" {
+		engines, cleanup, err := openAll()
+		if err != nil {
+			return err
+		}
+		tables, err := gdbm.Tables(engines)
+		cleanup()
+		if err != nil {
+			return err
+		}
+		want := map[string]string{
+			"1": "I", "2": "II", "3": "III", "4": "IV",
+			"5": "V", "6": "VI", "7": "VII", "8": "VIII",
+		}
+		for _, t := range tables {
+			if table != "all" && want[table] != t.ID {
+				continue
+			}
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+			if diff {
+				mismatches := gdbm.DiffWithPaper(t)
+				if len(mismatches) == 0 {
+					if t.ID == "VIII" {
+						fmt.Println("  (Table VIII has no machine-checkable reference: the paper's matrix is reconstructed; see EXPERIMENTS.md)")
+					} else {
+						fmt.Printf("  Table %s matches the paper cell for cell.\n", t.ID)
+					}
+				}
+				for _, m := range mismatches {
+					fmt.Println("  MISMATCH:", m)
+				}
+				fmt.Println()
+			}
+		}
+	}
+
+	if perf {
+		fmt.Printf("performance sweep: R-MAT n=%d, degree=%d, seed=%d\n\n", nodes, degree, seed)
+		open := func(name string) (gdbm.Engine, error) {
+			opts := gdbm.Options{}
+			if name == "gstore" || name == "vertexkv" {
+				d := filepath.Join(dir, "perf-"+name)
+				os.RemoveAll(d)
+				os.MkdirAll(d, 0o755)
+				opts.Dir = d
+			}
+			return gdbm.Open(name, opts)
+		}
+		results, err := gdbm.RunPerf(open, gdbm.Engines(), nodes, degree, seed)
+		if err != nil {
+			return err
+		}
+		gdbm.RenderPerf(os.Stdout, results)
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunTablesAndDiff(t *testing.T) {
+	if err := run("all", true, false, 0, 0, 1, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleTable(t *testing.T) {
+	if err := run("7", false, false, 0, 0, 1, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPerfSweepSmall(t *testing.T) {
+	if err := run("none", false, true, 300, 2, 1, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGraphML(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.xml")
+	if err := run("rmat", 50, 3, 1, "graphml", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<graphml>") {
+		t.Errorf("not graphml: %.80s", data)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "g")
+	if err := run("ba", 40, 2, 1, "csv", base); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".nodes.csv", ".edges.csv"} {
+		if _, err := os.Stat(base + suffix); err != nil {
+			t.Errorf("missing %s: %v", suffix, err)
+		}
+	}
+}
+
+func TestRunNTriples(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.nt")
+	if err := run("er", 30, 2, 1, "ntriples", out); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "<link>") {
+		t.Errorf("not ntriples: %.80s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 10, 2, 1, "graphml", filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if err := run("er", 10, 2, 1, "bogus", filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Error("unknown format should fail")
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestShellSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.xml")
+	// Save from one session...
+	out := shellSession(t, "neograph", strings.Join([]string{
+		`CREATE (a:P {name: 'ada'})`,
+		`CREATE (b:P {name: 'bob'})`,
+		`MATCH (a:P {name: 'ada'}), (b:P {name: 'bob'}) CREATE (a)-[:knows]->(b)`,
+		fmt.Sprintf(`\save %s`, path),
+		`\quit`,
+	}, "\n"))
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("save output:\n%s", out)
+	}
+	// ...load into a fresh one.
+	out2 := shellSession(t, "neograph", strings.Join([]string{
+		fmt.Sprintf(`\load %s`, path),
+		`MATCH (a)-[:knows]->(b) RETURN b.name AS n`,
+		`\quit`,
+	}, "\n"))
+	if !strings.Contains(out2, "loaded 2 nodes, 1 edges") {
+		t.Errorf("load output:\n%s", out2)
+	}
+	if !strings.Contains(out2, "bob") {
+		t.Errorf("query after load:\n%s", out2)
+	}
+}
+
+func TestShellReason(t *testing.T) {
+	out := shellSession(t, "triplestore", strings.Join([]string{
+		`INSERT DATA { <cat> <subClassOf> <animal> . <felix> <type> <cat> . }`,
+		`\reason`,
+		`SELECT ?x WHERE { ?x <type> <animal> . }`,
+		`\quit`,
+	}, "\n"))
+	if !strings.Contains(out, "materialized 1 inferred facts") {
+		t.Errorf("reason output:\n%s", out)
+	}
+	if !strings.Contains(out, "felix") {
+		t.Errorf("inferred query:\n%s", out)
+	}
+	// Non-reasoning engine reports the Table V gap.
+	out2 := shellSession(t, "neograph", "\\reason\n\\quit\n")
+	if !strings.Contains(out2, "no reasoning facility") {
+		t.Errorf("non-reasoner output:\n%s", out2)
+	}
+}

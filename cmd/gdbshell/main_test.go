@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gdbm"
+)
+
+func shellSession(t *testing.T, engine string, input string) string {
+	t.Helper()
+	opts := gdbm.Options{}
+	if engine == "gstore" {
+		opts.Dir = t.TempDir()
+	}
+	e, err := gdbm.Open(engine, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var out bytes.Buffer
+	if err := repl(strings.NewReader(input), &out, e); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestShellQueryAndStats(t *testing.T) {
+	out := shellSession(t, "neograph", strings.Join([]string{
+		`CREATE (a:P {name: 'ada'})`,
+		`CREATE (b:P {name: 'bob'})`,
+		`MATCH (a:P {name: 'ada'}), (b:P {name: 'bob'}) CREATE (a)-[:knows]->(b)`,
+		`MATCH (x)-[:knows]->(y) RETURN y.name AS n`,
+		`\stats`,
+		`\nodes 1`,
+		`\quit`,
+	}, "\n"))
+	if !strings.Contains(out, "bob") {
+		t.Errorf("query output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "order=2 size=1") {
+		t.Errorf("stats missing:\n%s", out)
+	}
+	// \nodes 1 prints one node; iteration order is unspecified.
+	if !strings.Contains(out, ":P {name:") {
+		t.Errorf("nodes listing missing:\n%s", out)
+	}
+}
+
+func TestShellDraw(t *testing.T) {
+	out := shellSession(t, "neograph", strings.Join([]string{
+		`CREATE (a:P {name: 'hub'})`,
+		`CREATE (b:Q {name: 'leaf'})`,
+		`MATCH (a:P), (b:Q) CREATE (a)-[:spoke]->(b)`,
+		`\draw 1`,
+		`\quit`,
+	}, "\n"))
+	if !strings.Contains(out, "[1:P]") || !strings.Contains(out, "--spoke--> [2:Q]") {
+		t.Errorf("draw output:\n%s", out)
+	}
+	// Isolated node.
+	out2 := shellSession(t, "neograph", "CREATE (a:P)\n\\draw 1\n\\quit\n")
+	if !strings.Contains(out2, "(isolated)") {
+		t.Errorf("isolated draw:\n%s", out2)
+	}
+}
+
+func TestShellHelpFeaturesLang(t *testing.T) {
+	out := shellSession(t, "neograph", "\\help\n\\features\n\\lang\n\\quit\n")
+	if !strings.Contains(out, "\\stats") || !strings.Contains(out, "Neo4j") || !strings.Contains(out, "gql") {
+		t.Errorf("help/features/lang output:\n%s", out)
+	}
+}
+
+func TestShellAPIOnlyEngine(t *testing.T) {
+	out := shellSession(t, "vertexkv", "MATCH (a) RETURN a\n\\quit\n")
+	if !strings.Contains(out, "no query language") {
+		t.Errorf("API-only message missing:\n%s", out)
+	}
+}
+
+func TestShellErrorsAreReported(t *testing.T) {
+	out := shellSession(t, "neograph", "MATCH (\n\\bogus\n\\draw notanumber\n\\quit\n")
+	if strings.Count(out, "error:") < 2 {
+		t.Errorf("errors not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown command") {
+		t.Errorf("unknown command not reported:\n%s", out)
+	}
+}

@@ -1,0 +1,67 @@
+// Nested graphs — the structure the survey finds *no* current system
+// supports ("hypergraphs and attributed graphs can be modeled by nested
+// graphs. In contrast, the multilevel nesting provided by nested graphs
+// cannot be modeled by any of the other structures"). This example builds a
+// multilevel software-architecture model with hypernodes and demonstrates
+// the subsumption claim by flattening it into a plain graph.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gdbm"
+	"gdbm/internal/memgraph"
+)
+
+func main() {
+	// Top level: services and their calls.
+	system := memgraph.NewNested()
+	api, _ := system.AddNode("Service", gdbm.Props("name", "api"))
+	billing, _ := system.AddNode("Service", gdbm.Props("name", "billing"))
+	system.AddEdge("calls", api, billing, nil)
+
+	// The api service is itself a graph of modules...
+	apiInternals := memgraph.NewNested()
+	authMod, _ := apiInternals.AddNode("Module", gdbm.Props("name", "auth"))
+	routeMod, _ := apiInternals.AddNode("Module", gdbm.Props("name", "router"))
+	apiInternals.AddEdge("imports", routeMod, authMod, nil)
+
+	// ...and the auth module is a graph of functions (level 2 nesting).
+	authInternals := memgraph.NewNested()
+	login, _ := authInternals.AddNode("Fn", gdbm.Props("name", "Login"))
+	verify, _ := authInternals.AddNode("Fn", gdbm.Props("name", "Verify"))
+	authInternals.AddEdge("invokes", login, verify, nil)
+
+	if err := apiInternals.Nest(authMod, authInternals); err != nil {
+		log.Fatal(err)
+	}
+	if err := system.Nest(api, apiInternals); err != nil {
+		log.Fatal(err)
+	}
+
+	depth, _ := system.Depth(api)
+	fmt.Printf("the api hypernode nests %d levels of structure\n", depth)
+
+	child, _ := system.Child(api)
+	fmt.Printf("inside api: %d modules, %d import edges\n", child.Order(), child.Size())
+
+	// The survey's subsumption claim, executed: flatten the multilevel
+	// graph into a plain simple graph with explicit "nests" edges.
+	flat := system.Flatten()
+	fmt.Printf("flattened: %d nodes, %d edges\n", flat.Order(), flat.Size())
+	nests := 0
+	flat.Edges(func(e gdbm.Edge) bool {
+		if e.Label == "nests" {
+			nests++
+		}
+		return true
+	})
+	fmt.Printf("nesting became %d explicit 'nests' edges — expressible, but the\n", nests)
+	fmt.Println("multilevel structure is now a naming convention instead of a model feature,")
+	fmt.Println("which is exactly why the survey calls nesting out as unsupported future work")
+
+	// Queries still work over the flattened view via the shared algorithms.
+	stats, _ := gdbm.Degrees(flat, gdbm.Both)
+	fmt.Printf("flattened degree stats: min=%d max=%d avg=%.2f\n", stats.Min, stats.Max, stats.Avg)
+}

@@ -1,0 +1,3 @@
+module gdbm
+
+go 1.22

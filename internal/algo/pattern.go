@@ -1,0 +1,238 @@
+package algo
+
+import (
+	"fmt"
+
+	"gdbm/internal/model"
+)
+
+// Pattern is a small query graph to be matched against a data graph
+// (subgraph isomorphism, the survey's "pattern matching queries"). Pattern
+// nodes may constrain the data node's label and property values; pattern
+// edges may constrain the edge label and are directed.
+type Pattern struct {
+	nodes []PatternNode
+	edges []PatternEdge
+}
+
+// PatternNode constrains one matched node. Empty Label and nil Props match
+// anything.
+type PatternNode struct {
+	// Var names the node in match results.
+	Var string
+	// Label, if non-empty, must equal the data node's label.
+	Label string
+	// Props, if non-nil, must be a subset of the data node's properties.
+	Props model.Properties
+}
+
+// PatternEdge constrains one matched edge between two pattern nodes
+// (by index into the pattern's node list).
+type PatternEdge struct {
+	From, To int
+	// Label, if non-empty, must equal the data edge's label.
+	Label string
+}
+
+// NewPattern builds a pattern; it validates edge endpoints.
+func NewPattern(nodes []PatternNode, edges []PatternEdge) (*Pattern, error) {
+	for i, e := range edges {
+		if e.From < 0 || e.From >= len(nodes) || e.To < 0 || e.To >= len(nodes) {
+			return nil, fmt.Errorf("pattern edge %d references node out of range", i)
+		}
+	}
+	return &Pattern{nodes: nodes, edges: edges}, nil
+}
+
+// Match is one embedding of the pattern: variable name to data node.
+type Match map[string]model.NodeID
+
+// FindMatches enumerates embeddings of the pattern in g, up to limit
+// (0 = unlimited). The mapping is injective (isomorphism, not homomorphism),
+// matching the survey's definition.
+func FindMatches(g model.Graph, p *Pattern, limit int) ([]Match, error) {
+	if len(p.nodes) == 0 {
+		return nil, nil
+	}
+	// Order pattern nodes so each (after the first) connects to an
+	// already-assigned node where possible; this drives candidate
+	// generation through neighborhoods instead of full scans.
+	order, anchored := matchOrder(p)
+
+	assignment := make([]model.NodeID, len(p.nodes))
+	assigned := make([]bool, len(p.nodes))
+	used := map[model.NodeID]bool{}
+	var out []Match
+
+	// adj[i] lists pattern edges incident to pattern node i.
+	adj := make([][]int, len(p.nodes))
+	for ei, e := range p.edges {
+		adj[e.From] = append(adj[e.From], ei)
+		adj[e.To] = append(adj[e.To], ei)
+	}
+
+	nodeOK := func(pi int, n model.Node) bool {
+		pn := p.nodes[pi]
+		if pn.Label != "" && pn.Label != n.Label {
+			return false
+		}
+		for k, v := range pn.Props {
+			if !n.Props.Get(k).Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// edgesOK verifies every pattern edge whose endpoints are both
+	// assigned and which involves pi.
+	edgesOK := func(pi int) (bool, error) {
+		for _, ei := range adj[pi] {
+			e := p.edges[ei]
+			if !assigned[e.From] || !assigned[e.To] {
+				continue
+			}
+			ok, err := hasEdge(g, assignment[e.From], assignment[e.To], e.Label)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	var rec func(step int) error
+	rec = func(step int) error {
+		if limit > 0 && len(out) >= limit {
+			return nil
+		}
+		if step == len(order) {
+			m := Match{}
+			for i, pn := range p.nodes {
+				name := pn.Var
+				if name == "" {
+					name = fmt.Sprintf("_%d", i)
+				}
+				m[name] = assignment[i]
+			}
+			out = append(out, m)
+			return nil
+		}
+		pi := order[step]
+		try := func(n model.Node) error {
+			if used[n.ID] || !nodeOK(pi, n) {
+				return nil
+			}
+			assignment[pi] = n.ID
+			assigned[pi] = true
+			used[n.ID] = true
+			ok, err := edgesOK(pi)
+			if err == nil && ok {
+				err = rec(step + 1)
+			}
+			assigned[pi] = false
+			delete(used, n.ID)
+			return err
+		}
+		if anchorEdge := anchored[pi]; anchorEdge >= 0 {
+			// Generate candidates from the neighborhood of the
+			// already-assigned endpoint.
+			e := p.edges[anchorEdge]
+			var fromID model.NodeID
+			var dir model.Direction
+			if e.From != pi && assigned[e.From] {
+				fromID, dir = assignment[e.From], model.Out
+			} else {
+				fromID, dir = assignment[e.To], model.In
+			}
+			var cands []model.Node
+			err := g.Neighbors(fromID, dir, func(de model.Edge, n model.Node) bool {
+				if e.Label == "" || de.Label == e.Label {
+					cands = append(cands, n)
+				}
+				return true
+			})
+			if err != nil {
+				return err
+			}
+			for _, n := range cands {
+				if err := try(n); err != nil {
+					return err
+				}
+				if limit > 0 && len(out) >= limit {
+					return nil
+				}
+			}
+			return nil
+		}
+		// Unanchored: scan all nodes.
+		var scanErr error
+		g.Nodes(func(n model.Node) bool {
+			if err := try(n); err != nil {
+				scanErr = err
+				return false
+			}
+			return !(limit > 0 && len(out) >= limit)
+		})
+		return scanErr
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// matchOrder returns a visit order for pattern nodes plus, for each pattern
+// node, the index of a pattern edge connecting it to an earlier node
+// (-1 if none).
+func matchOrder(p *Pattern) (order []int, anchored []int) {
+	n := len(p.nodes)
+	anchored = make([]int, n)
+	for i := range anchored {
+		anchored[i] = -1
+	}
+	placed := make([]bool, n)
+	for len(order) < n {
+		// Prefer a node connected to a placed node.
+		pick := -1
+		for ei, e := range p.edges {
+			if placed[e.From] && !placed[e.To] {
+				pick = e.To
+				anchored[e.To] = ei
+				break
+			}
+			if placed[e.To] && !placed[e.From] {
+				pick = e.From
+				anchored[e.From] = ei
+				break
+			}
+		}
+		if pick == -1 {
+			for i := 0; i < n; i++ {
+				if !placed[i] {
+					pick = i
+					break
+				}
+			}
+		}
+		placed[pick] = true
+		order = append(order, pick)
+	}
+	return order, anchored
+}
+
+// hasEdge reports whether an edge from → to with the label exists (any label
+// if label is empty).
+func hasEdge(g model.Graph, from, to model.NodeID, label string) (bool, error) {
+	found := false
+	err := g.Neighbors(from, model.Out, func(e model.Edge, n model.Node) bool {
+		if n.ID == to && (label == "" || e.Label == label) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, err
+}

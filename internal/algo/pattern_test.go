@@ -1,0 +1,161 @@
+package algo
+
+import (
+	"testing"
+
+	"gdbm/internal/memgraph"
+	"gdbm/internal/model"
+)
+
+func TestPatternValidation(t *testing.T) {
+	_, err := NewPattern(
+		[]PatternNode{{Var: "a"}},
+		[]PatternEdge{{From: 0, To: 5}},
+	)
+	if err == nil {
+		t.Error("out-of-range edge endpoint should fail")
+	}
+}
+
+func TestPatternEmptyMatchesNothing(t *testing.T) {
+	g, _ := socialGraph(t)
+	p, _ := NewPattern(nil, nil)
+	m, err := FindMatches(g, p, 0)
+	if err != nil || len(m) != 0 {
+		t.Errorf("empty pattern: %v %v", m, err)
+	}
+}
+
+func TestPatternSingleNodeByLabel(t *testing.T) {
+	g := memgraph.New()
+	g.AddNode("Person", nil)
+	g.AddNode("Person", nil)
+	g.AddNode("City", nil)
+	p, _ := NewPattern([]PatternNode{{Var: "x", Label: "Person"}}, nil)
+	m, err := FindMatches(g, p, 0)
+	if err != nil || len(m) != 2 {
+		t.Errorf("matches = %v, %v", m, err)
+	}
+}
+
+func TestPatternPropConstraint(t *testing.T) {
+	g, ids := socialGraph(t)
+	p, _ := NewPattern([]PatternNode{{Var: "x", Props: model.Props("name", "bob")}}, nil)
+	m, err := FindMatches(g, p, 0)
+	if err != nil || len(m) != 1 || m[0]["x"] != ids["bob"] {
+		t.Errorf("matches = %v, %v", m, err)
+	}
+}
+
+func TestPatternEdge(t *testing.T) {
+	g, ids := socialGraph(t)
+	p, _ := NewPattern(
+		[]PatternNode{{Var: "a"}, {Var: "b"}},
+		[]PatternEdge{{From: 0, To: 1, Label: "knows"}},
+	)
+	m, err := FindMatches(g, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("knows matches = %d: %v", len(m), m)
+	}
+	want := map[model.NodeID]model.NodeID{ids["ada"]: ids["bob"], ids["bob"]: ids["cam"]}
+	for _, match := range m {
+		if want[match["a"]] != match["b"] {
+			t.Errorf("unexpected match %v", match)
+		}
+	}
+}
+
+func TestPatternTriangleInjective(t *testing.T) {
+	g := memgraph.New()
+	a, _ := g.AddNode("N", nil)
+	b, _ := g.AddNode("N", nil)
+	c, _ := g.AddNode("N", nil)
+	g.AddEdge("e", a, b, nil)
+	g.AddEdge("e", b, c, nil)
+	g.AddEdge("e", c, a, nil)
+	p, _ := NewPattern(
+		[]PatternNode{{Var: "x"}, {Var: "y"}, {Var: "z"}},
+		[]PatternEdge{{From: 0, To: 1, Label: "e"}, {From: 1, To: 2, Label: "e"}, {From: 2, To: 0, Label: "e"}},
+	)
+	m, err := FindMatches(g, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Directed triangle has 3 rotations.
+	if len(m) != 3 {
+		t.Errorf("triangle matches = %d", len(m))
+	}
+	for _, match := range m {
+		if match["x"] == match["y"] || match["y"] == match["z"] || match["x"] == match["z"] {
+			t.Errorf("non-injective match %v", match)
+		}
+	}
+}
+
+func TestPatternNoSelfMatchOnTwoCycle(t *testing.T) {
+	// a <-> b: pattern x->y->x must not map x and y to the same node.
+	g := memgraph.New()
+	a, _ := g.AddNode("N", nil)
+	b, _ := g.AddNode("N", nil)
+	g.AddEdge("e", a, b, nil)
+	g.AddEdge("e", b, a, nil)
+	p, _ := NewPattern(
+		[]PatternNode{{Var: "x"}, {Var: "y"}},
+		[]PatternEdge{{From: 0, To: 1}, {From: 1, To: 0}},
+	)
+	m, err := FindMatches(g, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Errorf("2-cycle matches = %d", len(m))
+	}
+}
+
+func TestPatternLimit(t *testing.T) {
+	g := memgraph.New()
+	hub, _ := g.AddNode("Hub", nil)
+	for i := 0; i < 10; i++ {
+		leaf, _ := g.AddNode("Leaf", nil)
+		g.AddEdge("spoke", hub, leaf, nil)
+	}
+	p, _ := NewPattern(
+		[]PatternNode{{Var: "h", Label: "Hub"}, {Var: "l", Label: "Leaf"}},
+		[]PatternEdge{{From: 0, To: 1, Label: "spoke"}},
+	)
+	m, err := FindMatches(g, p, 3)
+	if err != nil || len(m) != 3 {
+		t.Errorf("limited matches = %d, %v", len(m), err)
+	}
+}
+
+func TestPatternDisconnectedComponents(t *testing.T) {
+	g := memgraph.New()
+	a, _ := g.AddNode("A", nil)
+	b, _ := g.AddNode("B", nil)
+	_ = a
+	_ = b
+	p, _ := NewPattern([]PatternNode{{Var: "x", Label: "A"}, {Var: "y", Label: "B"}}, nil)
+	m, err := FindMatches(g, p, 0)
+	if err != nil || len(m) != 1 {
+		t.Errorf("cross product match = %v, %v", m, err)
+	}
+}
+
+func TestPatternAnonymousVars(t *testing.T) {
+	g, _ := socialGraph(t)
+	p, _ := NewPattern(
+		[]PatternNode{{}, {}},
+		[]PatternEdge{{From: 0, To: 1, Label: "works"}},
+	)
+	m, err := FindMatches(g, p, 0)
+	if err != nil || len(m) != 2 {
+		t.Fatalf("matches = %v %v", m, err)
+	}
+	if _, ok := m[0]["_0"]; !ok {
+		t.Error("anonymous var _0 missing")
+	}
+}

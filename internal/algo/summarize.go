@@ -1,0 +1,197 @@
+package algo
+
+import (
+	"fmt"
+	"math"
+
+	"gdbm/internal/model"
+)
+
+// Summarization queries (Section IV.4): aggregate functions over query
+// results and functions computing properties of the graph and its elements —
+// order, degree statistics, path length, node distance and diameter.
+
+// DegreeStats summarizes the degree distribution in a direction.
+type DegreeStats struct {
+	Min, Max int
+	Avg      float64
+}
+
+// Degrees computes min/max/average degree over all nodes.
+func Degrees(g model.Graph, dir model.Direction) (DegreeStats, error) {
+	stats := DegreeStats{Min: math.MaxInt}
+	n := 0
+	var iterErr error
+	g.Nodes(func(node model.Node) bool {
+		d, err := g.Degree(node.ID, dir)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		if d < stats.Min {
+			stats.Min = d
+		}
+		if d > stats.Max {
+			stats.Max = d
+		}
+		stats.Avg += float64(d)
+		n++
+		return true
+	})
+	if iterErr != nil {
+		return DegreeStats{}, iterErr
+	}
+	if n == 0 {
+		return DegreeStats{}, nil
+	}
+	stats.Avg /= float64(n)
+	return stats, nil
+}
+
+// Distance returns the length of a shortest path between two nodes, or -1
+// and ErrNotFound if disconnected.
+func Distance(g model.Graph, a, b model.NodeID, dir model.Direction) (int, error) {
+	p, err := ShortestPath(g, a, b, dir)
+	if err != nil {
+		return -1, err
+	}
+	return p.Len(), nil
+}
+
+// Eccentricity returns the greatest distance from start to any reachable
+// node.
+func Eccentricity(g model.Graph, start model.NodeID, dir model.Direction) (int, error) {
+	max := 0
+	err := BFS(g, start, dir, func(_ model.NodeID, depth int) bool {
+		if depth > max {
+			max = depth
+		}
+		return true
+	})
+	return max, err
+}
+
+// Diameter returns the greatest distance between any two connected nodes
+// (the survey's definition), computed by BFS from every node. O(V·(V+E)).
+func Diameter(g model.Graph, dir model.Direction) (int, error) {
+	max := 0
+	var iterErr error
+	g.Nodes(func(n model.Node) bool {
+		ecc, err := Eccentricity(g, n.ID, dir)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		if ecc > max {
+			max = ecc
+		}
+		return true
+	})
+	if iterErr != nil {
+		return 0, iterErr
+	}
+	return max, nil
+}
+
+// AggKind selects an aggregate function.
+type AggKind uint8
+
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(k))
+	}
+}
+
+// Aggregator folds values into a single result; it implements the aggregate
+// functions of summarization queries.
+type Aggregator struct {
+	kind    AggKind
+	count   int // all values, including nulls (COUNT semantics)
+	nonNull int // values participating in numeric aggregates
+	sum     float64
+	min     model.Value
+	max     model.Value
+}
+
+// NewAggregator returns an aggregator of the given kind.
+func NewAggregator(kind AggKind) *Aggregator { return &Aggregator{kind: kind} }
+
+// Add folds one value. Null values count for AggCount but are ignored by
+// the numeric aggregates (SQL semantics: AVG skips nulls).
+func (a *Aggregator) Add(v model.Value) {
+	a.count++
+	if v.IsNull() {
+		return
+	}
+	a.nonNull++
+	if f, ok := v.AsFloat(); ok {
+		a.sum += f
+	}
+	if a.min.IsNull() || v.Compare(a.min) < 0 {
+		a.min = v
+	}
+	if a.max.IsNull() || v.Compare(a.max) > 0 {
+		a.max = v
+	}
+}
+
+// Result returns the aggregate value. Avg over zero values is null.
+func (a *Aggregator) Result() model.Value {
+	switch a.kind {
+	case AggCount:
+		return model.Int(int64(a.count))
+	case AggSum:
+		return model.Float(a.sum)
+	case AggAvg:
+		if a.nonNull == 0 {
+			return model.Null()
+		}
+		return model.Float(a.sum / float64(a.nonNull))
+	case AggMin:
+		return a.min
+	case AggMax:
+		return a.max
+	}
+	return model.Null()
+}
+
+// AggregateNodeProp folds the named property over every node with the given
+// label ("" = all nodes).
+func AggregateNodeProp(g model.Graph, label, prop string, kind AggKind) (model.Value, error) {
+	agg := NewAggregator(kind)
+	err := g.Nodes(func(n model.Node) bool {
+		if label != "" && n.Label != label {
+			return true
+		}
+		if kind == AggCount {
+			agg.Add(model.Int(1))
+		} else {
+			agg.Add(n.Props.Get(prop))
+		}
+		return true
+	})
+	if err != nil {
+		return model.Null(), err
+	}
+	return agg.Result(), nil
+}

@@ -1,0 +1,203 @@
+// Package engine defines the common surface of the nine archetype engines
+// and the capability vocabulary the table-regeneration harness probes. Each
+// engine reproduces, at the logical level, the feature profile the survey
+// attributes to one of the nine systems it compares.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gdbm/internal/algo"
+	"gdbm/internal/model"
+	"gdbm/internal/query/plan"
+)
+
+// Support is a table cell: the survey's blank, ◦ and •.
+type Support uint8
+
+const (
+	No Support = iota
+	Partial
+	Yes
+)
+
+// Mark renders the cell the way the paper prints it.
+func (s Support) Mark() string {
+	switch s {
+	case Yes:
+		return "•"
+	case Partial:
+		return "◦"
+	default:
+		return ""
+	}
+}
+
+// Features enumerates every column of Tables I–VII. Engines declare their
+// profile; the probe framework verifies each claim by exercising the engine
+// and reports attested values.
+type Features struct {
+	// Table I — data storing.
+	MainMemory, ExternalMemory, BackendStorage, Indexes Support
+	// Table II — operation and manipulation. QueryLanguageShipped is the
+	// Table II presence column (does the system ship a query language);
+	// QueryLanguage is the Table V quality column, where a shipped but
+	// structure-blind language (SPARQL over RDF) or an in-development one
+	// (Cypher) is Partial.
+	DDL, DML, QueryLanguageShipped, QueryLanguage, API, GUI Support
+	// Table III — graph data structures.
+	SimpleGraphs, Hypergraphs, NestedGraphs, AttributedGraphs Support
+	NodeLabeled, NodeAttributed                               Support
+	Directed, EdgeLabeled, EdgeAttributed                     Support
+	// Table IV — entities and relations.
+	SchemaNodeTypes, SchemaPropertyTypes, SchemaRelationTypes Support
+	ObjectNodes, ValueNodes, ComplexNodes                     Support
+	ObjectRelations, SimpleRelations, ComplexRelations        Support
+	// Table V — query facilities. APIQueryFacility is Table V's API
+	// column: whether the API is the system's query facility (G-Store and
+	// Sones query through their language instead, so the paper leaves
+	// their cells blank despite Table II's API mark).
+	APIQueryFacility, GraphicalQL, Retrieval, Reasoning, Analysis Support
+	// Table VI — integrity constraints.
+	TypesChecking, NodeEdgeIdentity, ReferentialIntegrity           Support
+	CardinalityChecking, FunctionalDependencies, PatternConstraints Support
+}
+
+// Essentials holds the engine's public, composable answers to the essential
+// graph queries of Table VII. A nil field means the archetype's surface
+// cannot answer that query class; the probe executes every non-nil field
+// and only then marks support.
+type Essentials struct {
+	NodeAdjacency      func(a, b model.NodeID) (bool, error)
+	EdgeAdjacency      func(e1, e2 model.EdgeID) (bool, error)
+	KNeighborhood      func(n model.NodeID, k int) ([]model.NodeID, error)
+	FixedLengthPaths   func(from, to model.NodeID, length int) ([]algo.Path, error)
+	RegularSimplePaths func(from model.NodeID, expr string) ([]model.NodeID, error)
+	ShortestPath       func(from, to model.NodeID) (algo.Path, error)
+	PatternMatching    func(p *algo.Pattern) ([]algo.Match, error)
+	Summarization      func(kind algo.AggKind, label, prop string) (model.Value, error)
+}
+
+// Engine is a database instance under one archetype.
+type Engine interface {
+	// Name is the engine's own name (e.g. "neograph").
+	Name() string
+	// SurveyRow is the row of the paper's tables this engine reproduces
+	// (e.g. "Neo4j").
+	SurveyRow() string
+	// Features declares the archetype profile.
+	Features() Features
+	// Essentials exposes the essential-query surface.
+	Essentials() Essentials
+	// Close releases resources.
+	Close() error
+}
+
+// Loader is the common ingest surface the harness uses to seed every engine
+// with the same property-graph dataset, whatever the engine's native model.
+type Loader interface {
+	LoadNode(label string, props model.Properties) (model.NodeID, error)
+	LoadEdge(label string, from, to model.NodeID, props model.Properties) (model.EdgeID, error)
+}
+
+// GraphAPI is implemented by engines whose public API exposes a binary
+// property graph (queried by the planner and the shell).
+type GraphAPI interface {
+	model.MutableGraph
+	plan.Source
+}
+
+// HyperAPI is implemented by hypergraph engines.
+type HyperAPI interface {
+	model.MutableHypergraph
+}
+
+// Querier is implemented by engines with a database query language.
+type Querier interface {
+	// LanguageName names the language ("gql", "sparqlish", "gsql").
+	LanguageName() string
+	// Query parses and runs one statement.
+	Query(stmt string) (*plan.Result, error)
+}
+
+// SchemaHolder is implemented by engines with a data definition surface.
+type SchemaHolder interface {
+	Schema() *model.Schema
+}
+
+// Reasoner is implemented by engines with rule inference (Table V).
+type Reasoner interface {
+	// Materialize runs the engine's rule set to fixpoint and returns the
+	// number of newly derived facts.
+	Materialize() (int, error)
+}
+
+// Transactional is implemented by engines with transaction support.
+type Transactional interface {
+	// Update runs fn atomically: all mutations apply or none do.
+	Update(fn func() error) error
+}
+
+// Persistent is implemented by engines whose data survives reopening.
+type Persistent interface {
+	// Flush forces buffered state to stable storage.
+	Flush() error
+}
+
+// Options configures engine construction.
+type Options struct {
+	// Dir is the data directory for disk-backed engines; empty selects a
+	// pure in-memory configuration where the archetype allows it.
+	Dir string
+	// PoolPages bounds the buffer pool of page-file backed engines.
+	PoolPages int
+	// Partitions sets the shard count of the distributed archetype.
+	Partitions int
+}
+
+// Factory constructs an engine.
+type Factory func(opts Options) (Engine, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+	rows     = map[string]string{} // engine name -> survey row
+)
+
+// Register adds an engine constructor under its name. It panics on
+// duplicates, which indicates a programming error at init time.
+func Register(name, surveyRow string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[name]; ok {
+		panic(fmt.Sprintf("engine: duplicate registration %q", name))
+	}
+	registry[name] = f
+	rows[name] = surveyRow
+}
+
+// Open constructs the named engine.
+func Open(name string, opts Options) (Engine, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine %q: %w", name, model.ErrNotFound)
+	}
+	return f(opts)
+}
+
+// Names lists registered engines sorted by the survey row they reproduce,
+// matching the row order of the paper's tables.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return rows[out[i]] < rows[out[j]] })
+	return out
+}

@@ -1,0 +1,132 @@
+package bitmapdb
+
+import (
+	"errors"
+	"testing"
+
+	"gdbm/internal/engine"
+	"gdbm/internal/model"
+)
+
+func openDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := New(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestLoaderAutoDeclaresTypes(t *testing.T) {
+	db := openDB(t)
+	a, err := db.LoadNode("Person", model.Props("name", "ada"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := db.LoadNode("Person", model.Props("name", "bob"))
+	if _, err := db.LoadEdge("knows", a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Schema().NodeType("Person"); !ok {
+		t.Error("node type not auto-declared")
+	}
+	if _, ok := db.Schema().RelationType("knows"); !ok {
+		t.Error("relation type not auto-declared")
+	}
+	// Direct API inserts are type-checked (DEX profile).
+	if _, err := db.AddNode("Ghost", nil); !errors.Is(err, model.ErrConstraint) {
+		t.Errorf("undeclared type through API: %v", err)
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	db := openDB(t)
+	a, _ := db.LoadNode("N", nil)
+	b, _ := db.LoadNode("N", nil)
+	db.LoadEdge("e", a, b, nil)
+	if err := db.RemoveNode(a); !errors.Is(err, model.ErrConstraint) {
+		t.Errorf("removing connected node: %v", err)
+	}
+	// Remove the edge first, then the node.
+	var eid model.EdgeID
+	db.Edges(func(e model.Edge) bool { eid = e.ID; return false })
+	if err := db.RemoveEdge(eid); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RemoveNode(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityConstraint(t *testing.T) {
+	db := openDB(t)
+	db.AddIdentity("Person", "name")
+	if _, err := db.LoadNode("Person", model.Props("name", "ada")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadNode("Person", model.Props("name", "ada")); !errors.Is(err, model.ErrConstraint) {
+		t.Errorf("duplicate identity: %v", err)
+	}
+}
+
+func TestBitmapLabelAlgebra(t *testing.T) {
+	db := openDB(t)
+	for i := 0; i < 5; i++ {
+		db.LoadNode("A", nil)
+	}
+	for i := 0; i < 3; i++ {
+		db.LoadNode("B", nil)
+	}
+	a := db.LabelSet("A")
+	bset := db.LabelSet("B")
+	if a.Count() != 5 || bset.Count() != 3 {
+		t.Errorf("label sets: A=%d B=%d", a.Count(), bset.Count())
+	}
+	union := a.Clone()
+	union.Or(bset)
+	if union.Count() != 8 {
+		t.Errorf("union = %d", union.Count())
+	}
+	if db.LabelSet("Ghost").Count() != 0 {
+		t.Errorf("missing label set should be empty")
+	}
+}
+
+func TestPropertyBitmapIndex(t *testing.T) {
+	db := openDB(t)
+	for i := 0; i < 10; i++ {
+		db.LoadNode("N", model.Props("color", []string{"red", "blue"}[i%2]))
+	}
+	if err := db.CreateIndex("color"); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	handled, err := db.IndexedNodes("N", "color", model.Str("red"), func(model.Node) bool { n++; return true })
+	if err != nil || !handled || n != 5 {
+		t.Errorf("indexed lookup: handled=%v n=%d err=%v", handled, n, err)
+	}
+}
+
+func TestDiskMode(t *testing.T) {
+	dir := t.TempDir()
+	db, err := New(engine.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.LoadNode("N", model.Props("k", 1))
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := New(engine.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Order() != 1 {
+		t.Errorf("order after reopen = %d", db2.Order())
+	}
+}

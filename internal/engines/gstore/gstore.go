@@ -1,0 +1,167 @@
+// Package gstore implements the G-Store-archetype engine: a basic storage
+// manager for large vertex-labeled graphs that lives *only* in external
+// memory (its Table I row marks external memory alone) and offers an
+// SQL-based query language with special graph instructions. Every
+// operation reads through the page-backed store; there is no resident
+// in-memory copy of the graph.
+package gstore
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"gdbm/internal/algo"
+	"gdbm/internal/engine"
+	"gdbm/internal/kvgraph"
+	"gdbm/internal/model"
+	"gdbm/internal/query/gsql"
+	"gdbm/internal/query/plan"
+	"gdbm/internal/storage/kv"
+)
+
+func init() {
+	engine.Register("gstore", "G-Store", func(opts engine.Options) (engine.Engine, error) {
+		return New(opts)
+	})
+}
+
+// DB is the engine instance.
+type DB struct {
+	g      *kvgraph.Graph
+	disk   *kv.Disk
+	schema *model.Schema
+}
+
+// New opens a gstore. Options.Dir is required: the archetype is external-
+// memory only.
+func New(opts engine.Options) (*DB, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("gstore: the G-Store archetype requires a data directory (external memory only, Table I)")
+	}
+	d, err := kv.OpenDisk(filepath.Join(opts.Dir, "gstore.pg"), opts.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{g: kvgraph.New(d), disk: d, schema: model.NewSchema()}, nil
+}
+
+// Schema implements engine.SchemaHolder (the DDL surface of its language).
+func (db *DB) Schema() *model.Schema { return db.schema }
+
+// Graph returns the disk-backed graph (the API surface).
+func (db *DB) Graph() model.MutableGraph { return db.g }
+
+// LanguageName implements engine.Querier.
+func (db *DB) LanguageName() string { return "gsql" }
+
+// Query implements engine.Querier.
+func (db *DB) Query(stmt string) (*plan.Result, error) {
+	return gsql.Exec(stmt, gsqlSurface{db})
+}
+
+type gsqlSurface struct{ db *DB }
+
+func (s gsqlSurface) Schema() *model.Schema                    { return s.db.schema }
+func (s gsqlSurface) Order() int                               { return s.db.g.Order() }
+func (s gsqlSurface) Size() int                                { return s.db.g.Size() }
+func (s gsqlSurface) Node(id model.NodeID) (model.Node, error) { return s.db.g.Node(id) }
+func (s gsqlSurface) Edge(id model.EdgeID) (model.Edge, error) { return s.db.g.Edge(id) }
+func (s gsqlSurface) Nodes(fn func(model.Node) bool) error     { return s.db.g.Nodes(fn) }
+func (s gsqlSurface) Edges(fn func(model.Edge) bool) error     { return s.db.g.Edges(fn) }
+func (s gsqlSurface) Neighbors(id model.NodeID, d model.Direction, fn func(model.Edge, model.Node) bool) error {
+	return s.db.g.Neighbors(id, d, fn)
+}
+func (s gsqlSurface) Degree(id model.NodeID, d model.Direction) (int, error) {
+	return s.db.g.Degree(id, d)
+}
+func (s gsqlSurface) IndexedNodes(string, string, model.Value, func(model.Node) bool) (bool, error) {
+	return false, nil // G-Store's Table I row has no index column mark
+}
+func (s gsqlSurface) AddNode(label string, props model.Properties) (model.NodeID, error) {
+	return s.db.g.AddNode(label, props)
+}
+func (s gsqlSurface) AddEdge(label string, from, to model.NodeID, props model.Properties) (model.EdgeID, error) {
+	return s.db.g.AddEdge(label, from, to, props)
+}
+func (s gsqlSurface) RemoveNode(id model.NodeID) error { return s.db.g.RemoveNode(id) }
+func (s gsqlSurface) RemoveEdge(id model.EdgeID) error { return s.db.g.RemoveEdge(id) }
+func (s gsqlSurface) SetNodeProp(id model.NodeID, key string, v model.Value) error {
+	return s.db.g.SetNodeProp(id, key, v)
+}
+
+// Name implements engine.Engine.
+func (db *DB) Name() string { return "gstore" }
+
+// SurveyRow implements engine.Engine.
+func (db *DB) SurveyRow() string { return "G-Store" }
+
+// Features implements engine.Engine.
+func (db *DB) Features() engine.Features {
+	return engine.Features{
+		ExternalMemory: engine.Yes,
+		DDL:            engine.Yes, API: engine.Yes,
+		QueryLanguageShipped: engine.Yes, QueryLanguage: engine.Yes,
+		SimpleGraphs: engine.Yes,
+		NodeLabeled:  engine.Yes,
+		Directed:     engine.Yes, EdgeLabeled: engine.Yes,
+		ValueNodes: engine.Yes, SimpleRelations: engine.Yes,
+		Retrieval: engine.Yes,
+	}
+}
+
+// Essentials implements engine.Engine: G-Store's language carries the graph
+// instructions (PATH, NEIGHBORS, REACH), so all five composable classes of
+// its Table VII row route through Query.
+func (db *DB) Essentials() engine.Essentials {
+	return engine.Essentials{
+		NodeAdjacency: func(a, b model.NodeID) (bool, error) {
+			return algo.Adjacent(db.g, a, b, model.Both)
+		},
+		EdgeAdjacency: func(e1, e2 model.EdgeID) (bool, error) {
+			return algo.EdgesAdjacent(db.g, e1, e2)
+		},
+		KNeighborhood: func(n model.NodeID, k int) ([]model.NodeID, error) {
+			res, err := db.Query(fmt.Sprintf("SELECT NEIGHBORS OF %d DEPTH %d", n, k))
+			if err != nil {
+				return nil, err
+			}
+			out := make([]model.NodeID, 0, len(res.Rows))
+			for _, r := range res.Rows {
+				id, _ := r[0].AsInt()
+				out = append(out, model.NodeID(id))
+			}
+			return out, nil
+		},
+		FixedLengthPaths: func(from, to model.NodeID, length int) ([]algo.Path, error) {
+			return algo.FixedLengthPaths(db.g, from, to, length, model.Out, 0)
+		},
+		ShortestPath: func(from, to model.NodeID) (algo.Path, error) {
+			return algo.ShortestPath(db.g, from, to, model.Out)
+		},
+		Summarization: func(kind algo.AggKind, label, prop string) (model.Value, error) {
+			return algo.AggregateNodeProp(db.g, label, prop, kind)
+		},
+	}
+}
+
+// LoadNode implements engine.Loader.
+func (db *DB) LoadNode(label string, props model.Properties) (model.NodeID, error) {
+	return db.g.AddNode(label, props)
+}
+
+// LoadEdge implements engine.Loader.
+func (db *DB) LoadEdge(label string, from, to model.NodeID, props model.Properties) (model.EdgeID, error) {
+	return db.g.AddEdge(label, from, to, props)
+}
+
+// Flush implements engine.Persistent.
+func (db *DB) Flush() error { return db.disk.Flush() }
+
+// Close implements engine.Engine.
+func (db *DB) Close() error { return db.disk.Close() }
+
+var (
+	_ engine.Engine  = (*DB)(nil)
+	_ engine.Querier = (*DB)(nil)
+	_ engine.Loader  = (*DB)(nil)
+)

@@ -1,0 +1,185 @@
+// Package neograph implements the Neo4j-archetype engine: a network-
+// oriented model where relations are first-class objects, an object-
+// oriented API, a native disk-based storage manager and a traversal
+// framework (survey Section II). Its survey profile: main + external
+// memory, indexes, API plus a partial query language (the Cypher-like gql),
+// attributed directed graphs, object/value nodes and object/simple
+// relations, no schema and no integrity constraints.
+package neograph
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"gdbm/internal/algo"
+	"gdbm/internal/engine"
+	"gdbm/internal/engines/propcore"
+	"gdbm/internal/index"
+	"gdbm/internal/kvgraph"
+	"gdbm/internal/memgraph"
+	"gdbm/internal/model"
+	"gdbm/internal/query/gql"
+	"gdbm/internal/query/plan"
+	"gdbm/internal/storage/kv"
+	"gdbm/internal/storage/tx"
+)
+
+func init() {
+	engine.Register("neograph", "Neo4j", func(opts engine.Options) (engine.Engine, error) {
+		return New(opts)
+	})
+}
+
+// DB is the engine instance.
+type DB struct {
+	*propcore.Core
+	disk *kv.Disk
+}
+
+// New opens a neograph instance. With Options.Dir set, data lives in a
+// disk-backed store (the "native disk-based storage manager"); otherwise in
+// main memory.
+func New(opts engine.Options) (*DB, error) {
+	db := &DB{}
+	if opts.Dir != "" {
+		d, err := kv.OpenDisk(filepath.Join(opts.Dir, "neograph.pg"), opts.PoolPages)
+		if err != nil {
+			return nil, err
+		}
+		db.disk = d
+		db.Core = propcore.New(kvgraph.New(d))
+	} else {
+		db.Core = propcore.New(memgraph.New())
+	}
+	// Label index is always on; property indexes are created on demand.
+	lbl, err := db.Core.Idx.Create(index.Nodes, "", index.KindHash)
+	if err != nil {
+		return nil, err
+	}
+	if db.disk != nil {
+		// Rebuild the label index from the persisted store.
+		err := db.Core.Nodes(func(n model.Node) bool {
+			if n.Label != "" {
+				lbl.Add(model.Str(n.Label), uint64(n.ID))
+			}
+			return true
+		})
+		if err != nil {
+			db.disk.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// CreateIndex adds a hash index on a node property.
+func (db *DB) CreateIndex(prop string) error {
+	idx, err := db.Core.Idx.Create(index.Nodes, prop, index.KindHash)
+	if err != nil {
+		return err
+	}
+	// Backfill.
+	return db.Nodes(func(n model.Node) bool {
+		if v, ok := n.Props[prop]; ok {
+			idx.Add(v, uint64(n.ID))
+		}
+		return true
+	})
+}
+
+// Name implements engine.Engine.
+func (db *DB) Name() string { return "neograph" }
+
+// SurveyRow implements engine.Engine.
+func (db *DB) SurveyRow() string { return "Neo4j" }
+
+// Features implements engine.Engine.
+func (db *DB) Features() engine.Features {
+	return engine.Features{
+		MainMemory: engine.Yes, ExternalMemory: engine.Yes, Indexes: engine.Yes,
+		API: engine.Yes, QueryLanguage: engine.Partial,
+		AttributedGraphs: engine.Yes,
+		NodeLabeled:      engine.Yes, NodeAttributed: engine.Yes,
+		Directed: engine.Yes, EdgeLabeled: engine.Yes, EdgeAttributed: engine.Yes,
+		ObjectNodes: engine.Yes, ValueNodes: engine.Yes,
+		ObjectRelations: engine.Yes, SimpleRelations: engine.Yes,
+		APIQueryFacility: engine.Yes, Retrieval: engine.Yes,
+	}
+}
+
+// LanguageName implements engine.Querier.
+func (db *DB) LanguageName() string { return "gql" }
+
+// Query implements engine.Querier with the Cypher-like language.
+func (db *DB) Query(stmt string) (*plan.Result, error) {
+	return gql.Exec(stmt, db.Core)
+}
+
+// Essentials implements engine.Engine: the Neo4j archetype's traversal
+// framework composes adjacency, neighborhoods, fixed-length and shortest
+// paths, and summarization.
+func (db *DB) Essentials() engine.Essentials {
+	return engine.Essentials{
+		NodeAdjacency: func(a, b model.NodeID) (bool, error) {
+			return algo.Adjacent(db.Core, a, b, model.Both)
+		},
+		EdgeAdjacency: func(e1, e2 model.EdgeID) (bool, error) {
+			return algo.EdgesAdjacent(db.Core, e1, e2)
+		},
+		KNeighborhood: func(n model.NodeID, k int) ([]model.NodeID, error) {
+			return algo.Neighborhood(db.Core, n, k, model.Both)
+		},
+		FixedLengthPaths: func(from, to model.NodeID, length int) ([]algo.Path, error) {
+			return algo.FixedLengthPaths(db.Core, from, to, length, model.Out, 0)
+		},
+		ShortestPath: func(from, to model.NodeID) (algo.Path, error) {
+			return algo.ShortestPath(db.Core, from, to, model.Out)
+		},
+		Summarization: func(kind algo.AggKind, label, prop string) (model.Value, error) {
+			return algo.AggregateNodeProp(db.Core, label, prop, kind)
+		},
+	}
+}
+
+// Update implements engine.Transactional for main-memory instances: fn's
+// mutations apply atomically — on error every change is rolled back via a
+// snapshot. All writes must go through Update while a transaction runs
+// (single-writer discipline, enforced by the transaction manager's lock).
+// Disk-backed instances refuse: their durability path has no snapshot.
+func (db *DB) Update(fn func() error) error {
+	mg, ok := db.Core.Graph().(*memgraph.Graph)
+	if !ok {
+		return fmt.Errorf("neograph: transactions require the main-memory configuration")
+	}
+	return db.Core.TM.Update(func(*tx.Tx) error {
+		snap := mg.Snapshot()
+		if err := fn(); err != nil {
+			mg.RestoreFrom(snap)
+			return err
+		}
+		return nil
+	})
+}
+
+// Flush implements engine.Persistent for disk-backed instances.
+func (db *DB) Flush() error {
+	if db.disk != nil {
+		return db.disk.Flush()
+	}
+	return nil
+}
+
+// Close implements engine.Engine.
+func (db *DB) Close() error {
+	if db.disk != nil {
+		return db.disk.Close()
+	}
+	return nil
+}
+
+var (
+	_ engine.Engine   = (*DB)(nil)
+	_ engine.GraphAPI = (*DB)(nil)
+	_ engine.Querier  = (*DB)(nil)
+	_ engine.Loader   = (*DB)(nil)
+)

@@ -1,0 +1,102 @@
+package neograph
+
+import (
+	"fmt"
+	"testing"
+
+	"gdbm/internal/engine"
+	"gdbm/internal/memgraph"
+	"gdbm/internal/model"
+)
+
+func TestTransactionalUpdateCommits(t *testing.T) {
+	db := openDB(t)
+	err := db.Update(func() error {
+		a, err := db.AddNode("P", model.Props("name", "ada"))
+		if err != nil {
+			return err
+		}
+		b, err := db.AddNode("P", model.Props("name", "bob"))
+		if err != nil {
+			return err
+		}
+		_, err = db.AddEdge("knows", a, b, nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Order() != 2 || db.Size() != 1 {
+		t.Errorf("after commit: order=%d size=%d", db.Order(), db.Size())
+	}
+}
+
+func TestTransactionalUpdateRollsBack(t *testing.T) {
+	db := openDB(t)
+	keeper, _ := db.AddNode("P", model.Props("name", "keeper"))
+	err := db.Update(func() error {
+		db.AddNode("P", model.Props("name", "doomed1"))
+		db.AddNode("P", model.Props("name", "doomed2"))
+		db.SetNodeProp(keeper, "name", model.Str("mutated"))
+		return fmt.Errorf("business rule failed")
+	})
+	if err == nil {
+		t.Fatal("Update should surface fn's error")
+	}
+	if db.Order() != 1 {
+		t.Errorf("order after rollback = %d", db.Order())
+	}
+	n, _ := db.Node(keeper)
+	if v, _ := n.Props.Get("name").AsString(); v != "keeper" {
+		t.Errorf("property mutation not rolled back: %v", n.Props)
+	}
+	// The engine stays usable.
+	if _, err := db.AddNode("P", model.Props("name", "after")); err != nil {
+		t.Fatal(err)
+	}
+	if db.Order() != 2 {
+		t.Errorf("order after new insert = %d", db.Order())
+	}
+}
+
+func TestTransactionalRejectsDiskMode(t *testing.T) {
+	db, err := New(engine.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Update(func() error { return nil }); err == nil {
+		t.Error("disk-backed Update should refuse")
+	}
+}
+
+func TestSnapshotIsDeep(t *testing.T) {
+	g := memgraph.New()
+	a, _ := g.AddNode("N", model.Props("k", 1))
+	b, _ := g.AddNode("N", nil)
+	g.AddEdge("e", a, b, nil)
+	snap := g.Snapshot()
+	// Mutate the original; the snapshot must be unaffected.
+	g.SetNodeProp(a, "k", model.Int(99))
+	g.AddNode("N", nil)
+	g.RemoveEdge(1)
+	if snap.Order() != 2 || snap.Size() != 1 {
+		t.Errorf("snapshot drifted: order=%d size=%d", snap.Order(), snap.Size())
+	}
+	n, _ := snap.Node(a)
+	if v, _ := n.Props.Get("k").AsInt(); v != 1 {
+		t.Errorf("snapshot props drifted: %v", n.Props)
+	}
+	// Restore brings the original back.
+	g.RestoreFrom(snap)
+	if g.Order() != 2 || g.Size() != 1 {
+		t.Errorf("restore failed: order=%d size=%d", g.Order(), g.Size())
+	}
+	// ID allocation continues from the snapshot point without collisions.
+	id, _ := g.AddNode("N", nil)
+	if _, err := g.Node(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ engine.Transactional = (*DB)(nil)

@@ -1,0 +1,123 @@
+package suite
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gdbm/internal/algo"
+	"gdbm/internal/engine"
+	"gdbm/internal/model"
+)
+
+// Engines must tolerate concurrent readers alongside a writer — the survey
+// counts a transaction/concurrency story among the qualifying components of
+// a graph *database* (Section II). Run with -race in CI.
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	for name, e := range openAll(t) {
+		t.Run(name, func(t *testing.T) {
+			l, ok := e.(engine.Loader)
+			if !ok {
+				t.Skip("no loader")
+			}
+			seedIDs := make([]model.NodeID, 0, 50)
+			for i := 0; i < 50; i++ {
+				id, err := l.LoadNode("Thing", model.Props("i", i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				seedIDs = append(seedIDs, id)
+			}
+			for i := 0; i+1 < 50; i++ {
+				if _, err := l.LoadEdge("next", seedIDs[i], seedIDs[i+1], nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			es := e.Essentials()
+			var wg sync.WaitGroup
+			// One writer keeps inserting.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					l.LoadNode("Thing", model.Props("i", 1000+i))
+				}
+			}()
+			// Several readers run essential queries concurrently.
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := 0; i < 30; i++ {
+						if es.NodeAdjacency != nil {
+							es.NodeAdjacency(seedIDs[i%50], seedIDs[(i+1)%50])
+						}
+						if es.KNeighborhood != nil {
+							es.KNeighborhood(seedIDs[(i*7)%50], 2)
+						}
+						if es.Summarization != nil {
+							es.Summarization(algo.AggCount, "Thing", "")
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			// The graph is consistent afterwards.
+			if es.Summarization != nil {
+				v, err := es.Summarization(algo.AggCount, "Thing", "")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n, _ := v.AsInt(); n < 150 {
+					t.Errorf("count after concurrent load = %v", v)
+				}
+			}
+		})
+	}
+}
+
+// Querier engines must serve concurrent query streams.
+func TestConcurrentQueries(t *testing.T) {
+	e, err := engine.Open("neograph", engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	q := e.(engine.Querier)
+	if _, err := q.Query(`CREATE (a:P {name: 'ada'})`); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if w%2 == 0 {
+					if _, err := q.Query(fmt.Sprintf(`CREATE (x:P {name: 'w%d-%d'})`, w, i)); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					if _, err := q.Query(`MATCH (p:P) RETURN count(*) AS n`); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	res, err := q.Query(`MATCH (p:P) RETURN count(*) AS n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[0][0].Equal(model.Int(101)) {
+		t.Errorf("final count = %v", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,435 @@
+// Package triplestore implements the AllegroGraph-archetype engine: a graph
+// database oriented to the Semantic Web standards. Data is a set of
+// subject-predicate-object statements; every term (resource or literal) is
+// a value node carrying its lexical form, and each statement is a directed
+// edge labelled with the predicate. Its survey profile: main + external
+// memory with indexes, full database languages plus GUI, a *partial* query
+// language (BGP matching, "not oriented to querying the graph structure"),
+// reasoning, and analysis functions.
+package triplestore
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"gdbm/internal/algo"
+	"gdbm/internal/engine"
+	"gdbm/internal/engines/propcore"
+	"gdbm/internal/index"
+	"gdbm/internal/kvgraph"
+	"gdbm/internal/memgraph"
+	"gdbm/internal/model"
+	"gdbm/internal/query/plan"
+	"gdbm/internal/query/sparqlish"
+	"gdbm/internal/reason"
+	"gdbm/internal/storage/kv"
+)
+
+func init() {
+	engine.Register("triplestore", "AllegroGraph", func(opts engine.Options) (engine.Engine, error) {
+		return New(opts)
+	})
+}
+
+// DB is the engine instance.
+type DB struct {
+	*propcore.Core
+	mu    sync.Mutex
+	terms map[string]model.NodeID // lexical form -> term node
+	rules []reason.Rule
+	disk  *kv.Disk
+}
+
+// New opens a triplestore.
+func New(opts engine.Options) (*DB, error) {
+	db := &DB{terms: make(map[string]model.NodeID), rules: reason.RDFS()}
+	if opts.Dir != "" {
+		d, err := kv.OpenDisk(filepath.Join(opts.Dir, "triples.pg"), opts.PoolPages)
+		if err != nil {
+			return nil, err
+		}
+		db.disk = d
+		db.Core = propcore.New(kvgraph.New(d))
+		// Rebuild the term dictionary from persisted nodes.
+		err = db.Core.Nodes(func(n model.Node) bool {
+			if v, ok := n.Props.Get("value").AsString(); ok {
+				db.terms[v] = n.ID
+			}
+			return true
+		})
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+	} else {
+		db.Core = propcore.New(memgraph.New())
+	}
+	// Term-value index: the SPO/POS access paths of a triple store reduce
+	// to value lookup + directed adjacency here.
+	if _, err := db.Core.Idx.Create(index.Nodes, "value", index.KindHash); err != nil {
+		return nil, err
+	}
+	if db.disk != nil {
+		// Re-index persisted terms.
+		idx, _ := db.Core.Idx.Get(index.Nodes, "value")
+		db.Core.Nodes(func(n model.Node) bool {
+			if v, ok := n.Props["value"]; ok {
+				idx.Add(v, uint64(n.ID))
+			}
+			return true
+		})
+	}
+	return db, nil
+}
+
+// Term interns a lexical form and returns its node.
+func (db *DB) Term(value string) (model.NodeID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if id, ok := db.terms[value]; ok {
+		return id, nil
+	}
+	id, err := db.Core.AddNode("", model.Properties{"value": model.Str(value)})
+	if err != nil {
+		return 0, err
+	}
+	db.terms[value] = id
+	return id, nil
+}
+
+// TermID looks up an existing term.
+func (db *DB) TermID(value string) (model.NodeID, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	id, ok := db.terms[value]
+	return id, ok
+}
+
+// AddTriple asserts one statement.
+func (db *DB) AddTriple(s, p, o string) error {
+	sid, err := db.Term(s)
+	if err != nil {
+		return err
+	}
+	oid, err := db.Term(o)
+	if err != nil {
+		return err
+	}
+	// Deduplicate identical statements.
+	dup := false
+	db.Core.Neighbors(sid, model.Out, func(e model.Edge, n model.Node) bool {
+		if e.Label == p && n.ID == oid {
+			dup = true
+			return false
+		}
+		return true
+	})
+	if dup {
+		return nil
+	}
+	_, err = db.Core.AddEdge(p, sid, oid, nil)
+	return err
+}
+
+// Triples streams every statement.
+func (db *DB) Triples(fn func(s, p, o string) bool) error {
+	var iterErr error
+	err := db.Core.Edges(func(e model.Edge) bool {
+		s, err := db.termValue(e.From)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		o, err := db.termValue(e.To)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		return fn(s, e.Label, o)
+	})
+	if iterErr != nil {
+		return iterErr
+	}
+	return err
+}
+
+func (db *DB) termValue(id model.NodeID) (string, error) {
+	n, err := db.Core.Node(id)
+	if err != nil {
+		return "", err
+	}
+	v, ok := n.Props.Get("value").AsString()
+	if !ok {
+		return "", fmt.Errorf("triplestore: node %d has no value", id)
+	}
+	return v, nil
+}
+
+// Count returns the number of asserted statements.
+func (db *DB) Count() int { return db.Core.Size() }
+
+// AddRule installs an inference rule alongside the RDFS defaults.
+func (db *DB) AddRule(r reason.Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.rules = append(db.rules, r)
+	return nil
+}
+
+// Materialize implements engine.Reasoner: it runs the rules to fixpoint and
+// asserts the derived statements, returning how many were added.
+func (db *DB) Materialize() (int, error) {
+	var base []reason.Triple
+	if err := db.Triples(func(s, p, o string) bool {
+		base = append(base, reason.Triple{S: s, P: p, O: o})
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	rules := append([]reason.Rule(nil), db.rules...)
+	db.mu.Unlock()
+	derived, err := reason.Infer(base, rules)
+	if err != nil {
+		return 0, err
+	}
+	for _, t := range derived {
+		if err := db.AddTriple(t.S, t.P, t.O); err != nil {
+			return 0, err
+		}
+	}
+	return len(derived), nil
+}
+
+// LanguageName implements engine.Querier.
+func (db *DB) LanguageName() string { return "sparqlish" }
+
+// Query implements engine.Querier with the SPARQL-like language. The
+// surface also accepts INSERT DATA { <s> <p> <o> . ... } for DML and the
+// DDL no-ops typical of schema-free triple stores.
+func (db *DB) Query(stmt string) (*plan.Result, error) {
+	trimmed := strings.TrimSpace(stmt)
+	if strings.HasPrefix(strings.ToUpper(trimmed), "INSERT DATA") {
+		return db.insertData(trimmed)
+	}
+	return sparqlish.Run(stmt, db.Core)
+}
+
+// insertData parses INSERT DATA { <s> <p> <o> . ... }.
+func (db *DB) insertData(stmt string) (*plan.Result, error) {
+	open := strings.IndexByte(stmt, '{')
+	close_ := strings.LastIndexByte(stmt, '}')
+	if open < 0 || close_ < open {
+		return nil, fmt.Errorf("triplestore: INSERT DATA requires { ... }")
+	}
+	body := stmt[open+1 : close_]
+	n := 0
+	for _, line := range strings.Split(body, ".") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		terms := splitTerms(line)
+		if len(terms) != 3 {
+			return nil, fmt.Errorf("triplestore: bad triple %q", line)
+		}
+		if err := db.AddTriple(terms[0], terms[1], terms[2]); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &plan.Result{Cols: []string{"inserted"}, Rows: [][]model.Value{{model.Int(int64(n))}}}, nil
+}
+
+// splitTerms splits "<a> <b> "c d"" into terms, stripping <> and quotes.
+func splitTerms(line string) []string {
+	var out []string
+	i := 0
+	for i < len(line) {
+		switch {
+		case line[i] == ' ' || line[i] == '\t' || line[i] == '\n':
+			i++
+		case line[i] == '<':
+			end := strings.IndexByte(line[i:], '>')
+			if end < 0 {
+				out = append(out, line[i+1:])
+				return out
+			}
+			out = append(out, line[i+1:i+end])
+			i += end + 1
+		case line[i] == '"':
+			end := strings.IndexByte(line[i+1:], '"')
+			if end < 0 {
+				out = append(out, line[i+1:])
+				return out
+			}
+			out = append(out, line[i+1:i+1+end])
+			i += end + 2
+		default:
+			end := strings.IndexAny(line[i:], " \t\n")
+			if end < 0 {
+				out = append(out, line[i:])
+				return out
+			}
+			out = append(out, line[i:i+end])
+			i += end
+		}
+	}
+	return out
+}
+
+// Name implements engine.Engine.
+func (db *DB) Name() string { return "triplestore" }
+
+// SurveyRow implements engine.Engine.
+func (db *DB) SurveyRow() string { return "AllegroGraph" }
+
+// Features implements engine.Engine.
+func (db *DB) Features() engine.Features {
+	return engine.Features{
+		MainMemory: engine.Yes, ExternalMemory: engine.Yes, Indexes: engine.Yes,
+		DDL: engine.Yes, DML: engine.Yes,
+		QueryLanguageShipped: engine.Yes, QueryLanguage: engine.Partial,
+		API: engine.Yes, GUI: engine.Yes, GraphicalQL: engine.Yes,
+		SimpleGraphs: engine.Yes,
+		NodeLabeled:  engine.Yes,
+		Directed:     engine.Yes, EdgeLabeled: engine.Yes,
+		ValueNodes: engine.Yes, SimpleRelations: engine.Yes,
+		APIQueryFacility: engine.Yes, Retrieval: engine.Yes, Reasoning: engine.Yes, Analysis: engine.Yes,
+	}
+}
+
+// Essentials implements engine.Engine: the triple surface composes node
+// adjacency, k-neighborhood and aggregate summarization. Path utilities are
+// not part of its query surface (Table VII row).
+func (db *DB) Essentials() engine.Essentials {
+	return engine.Essentials{
+		NodeAdjacency: func(a, b model.NodeID) (bool, error) {
+			return algo.Adjacent(db.Core, a, b, model.Both)
+		},
+		EdgeAdjacency: func(e1, e2 model.EdgeID) (bool, error) {
+			return algo.EdgesAdjacent(db.Core, e1, e2)
+		},
+		KNeighborhood: func(n model.NodeID, k int) ([]model.NodeID, error) {
+			return algo.Neighborhood(db.Core, n, k, model.Both)
+		},
+		Summarization: func(kind algo.AggKind, label, prop string) (model.Value, error) {
+			// In the triple model a "label" is a type statement, not a
+			// node label: filter subjects by an outgoing type edge.
+			if label == "" {
+				return algo.AggregateNodeProp(db.Core, "", prop, kind)
+			}
+			typeTerm, ok := db.TermID(label)
+			if !ok {
+				if kind == algo.AggCount {
+					return model.Int(0), nil
+				}
+				return model.Null(), nil
+			}
+			agg := algo.NewAggregator(kind)
+			err := db.Core.Nodes(func(n model.Node) bool {
+				typed := false
+				db.Core.Neighbors(n.ID, model.Out, func(e model.Edge, far model.Node) bool {
+					if e.Label == "type" && far.ID == typeTerm {
+						typed = true
+						return false
+					}
+					return true
+				})
+				if !typed {
+					return true
+				}
+				if kind == algo.AggCount {
+					agg.Add(model.Int(1))
+				} else {
+					agg.Add(n.Props.Get(prop))
+				}
+				return true
+			})
+			if err != nil {
+				return model.Null(), err
+			}
+			return agg.Result(), nil
+		},
+	}
+}
+
+// LoadNode implements engine.Loader: property-graph nodes become terms; the
+// label and properties become statements about the term.
+func (db *DB) LoadNode(label string, props model.Properties) (model.NodeID, error) {
+	name := fmt.Sprintf("_:n%d", db.Core.Order()+1)
+	if v, ok := props.Get("name").AsString(); ok {
+		name = v
+	}
+	id, err := db.Term(name)
+	if err != nil {
+		return 0, err
+	}
+	if label != "" {
+		if err := db.AddTriple(name, "type", label); err != nil {
+			return 0, err
+		}
+	}
+	for k, v := range props {
+		if k == "name" {
+			continue
+		}
+		if err := db.AddTriple(name, k, v.String()); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// LoadEdge implements engine.Loader: an edge becomes one statement.
+func (db *DB) LoadEdge(label string, from, to model.NodeID, props model.Properties) (model.EdgeID, error) {
+	s, err := db.termValue(from)
+	if err != nil {
+		return 0, err
+	}
+	o, err := db.termValue(to)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.AddTriple(s, label, o); err != nil {
+		return 0, err
+	}
+	// Return the id of the just-added (or pre-existing) statement edge.
+	var eid model.EdgeID
+	db.Core.Neighbors(from, model.Out, func(e model.Edge, n model.Node) bool {
+		if e.Label == label && n.ID == to {
+			eid = e.ID
+			return false
+		}
+		return true
+	})
+	return eid, nil
+}
+
+// Flush implements engine.Persistent.
+func (db *DB) Flush() error {
+	if db.disk != nil {
+		return db.disk.Flush()
+	}
+	return nil
+}
+
+// Close implements engine.Engine.
+func (db *DB) Close() error {
+	if db.disk != nil {
+		return db.disk.Close()
+	}
+	return nil
+}
+
+var (
+	_ engine.Engine   = (*DB)(nil)
+	_ engine.Querier  = (*DB)(nil)
+	_ engine.Reasoner = (*DB)(nil)
+	_ engine.Loader   = (*DB)(nil)
+)

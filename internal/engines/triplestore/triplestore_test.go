@@ -1,0 +1,217 @@
+package triplestore
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gdbm/internal/engine"
+	"gdbm/internal/model"
+	"gdbm/internal/reason"
+)
+
+func openMem(t *testing.T) *DB {
+	t.Helper()
+	db, err := New(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestAddTripleAndDedup(t *testing.T) {
+	db := openMem(t)
+	if err := db.AddTriple("a", "p", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTriple("a", "p", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count() != 1 {
+		t.Errorf("count = %d (dedup failed)", db.Count())
+	}
+	db.AddTriple("a", "q", "b")
+	db.AddTriple("b", "p", "a")
+	if db.Count() != 3 {
+		t.Errorf("count = %d", db.Count())
+	}
+	var got [][3]string
+	db.Triples(func(s, p, o string) bool {
+		got = append(got, [3]string{s, p, o})
+		return true
+	})
+	if len(got) != 3 {
+		t.Errorf("triples = %v", got)
+	}
+}
+
+func TestTermInterning(t *testing.T) {
+	db := openMem(t)
+	a1, _ := db.Term("ada")
+	a2, _ := db.Term("ada")
+	if a1 != a2 {
+		t.Error("terms not interned")
+	}
+	if id, ok := db.TermID("ada"); !ok || id != a1 {
+		t.Errorf("TermID = %v %v", id, ok)
+	}
+	if _, ok := db.TermID("ghost"); ok {
+		t.Error("missing term found")
+	}
+}
+
+func TestSparqlQuery(t *testing.T) {
+	db := openMem(t)
+	db.AddTriple("ada", "type", "person")
+	db.AddTriple("bob", "type", "person")
+	db.AddTriple("ada", "knows", "bob")
+	res, err := db.Query(`SELECT ?x WHERE { ?x <type> "person" . ?x <knows> ?y . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if v, _ := res.Rows[0][0].AsString(); v != "ada" {
+		t.Errorf("x = %q", v)
+	}
+}
+
+func TestInsertData(t *testing.T) {
+	db := openMem(t)
+	res, err := db.Query(`INSERT DATA { <a> <p> <b> . <a> <name> "Ada L" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Rows[0][0].AsInt(); v != 2 {
+		t.Errorf("inserted = %v", res.Rows[0][0])
+	}
+	if db.Count() != 2 {
+		t.Errorf("count = %d", db.Count())
+	}
+	if _, err := db.Query(`INSERT DATA <a> <p> <b>`); err == nil {
+		t.Error("missing braces should fail")
+	}
+	if _, err := db.Query(`INSERT DATA { <a> <p> . }`); err == nil {
+		t.Error("2-term triple should fail")
+	}
+}
+
+func TestMaterializeRDFS(t *testing.T) {
+	db := openMem(t)
+	db.AddTriple("cat", "subClassOf", "animal")
+	db.AddTriple("felix", "type", "cat")
+	n, err := db.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("derived = %d", n)
+	}
+	res, _ := db.Query(`SELECT ?x WHERE { ?x <type> <animal> . }`)
+	if len(res.Rows) != 1 {
+		t.Errorf("inferred type query = %v", res.Rows)
+	}
+	// Idempotent.
+	n2, _ := db.Materialize()
+	if n2 != 0 {
+		t.Errorf("re-materialize derived %d", n2)
+	}
+}
+
+func TestCustomRule(t *testing.T) {
+	db := openMem(t)
+	db.AddTriple("a", "parent", "b")
+	db.AddTriple("b", "parent", "c")
+	err := db.AddRule(reason.Rule{
+		Name: "grandparent",
+		Head: reason.Pattern{S: "?x", P: "grandparent", O: "?z"},
+		Body: []reason.Pattern{{S: "?x", P: "parent", O: "?y"}, {S: "?y", P: "parent", O: "?z"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query(`SELECT ?x WHERE { ?x <grandparent> <c> . }`)
+	if len(res.Rows) != 1 {
+		t.Errorf("grandparent query = %v", res.Rows)
+	}
+	// Unsafe rules rejected.
+	bad := reason.Rule{Head: reason.Pattern{S: "?q", P: "x", O: "y"}}
+	if err := db.AddRule(bad); err == nil {
+		t.Error("unsafe rule accepted")
+	}
+}
+
+func TestPersistenceRebuildsTermsAndIndex(t *testing.T) {
+	dir := t.TempDir()
+	db, err := New(engine.Options{Dir: filepath.Join(dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddTriple("ada", "knows", "bob")
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := New(engine.Options{Dir: filepath.Join(dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Count() != 1 {
+		t.Fatalf("count after reopen = %d", db2.Count())
+	}
+	// Terms dictionary rebuilt: dedup still works.
+	db2.AddTriple("ada", "knows", "bob")
+	if db2.Count() != 1 {
+		t.Errorf("dedup after reopen failed: %d", db2.Count())
+	}
+	// The value index serves queries.
+	res, err := db2.Query(`SELECT ?o WHERE { <ada> <knows> ?o . }`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("query after reopen: %v %v", res, err)
+	}
+}
+
+func TestLoaderMapsPropertyGraph(t *testing.T) {
+	db := openMem(t)
+	a, err := db.LoadNode("Person", model.Props("name", "ada", "age", 36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.LoadNode("Person", model.Props("name", "bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadEdge("knows", a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The property graph became statements: type, age and knows.
+	want := map[[3]string]bool{
+		{"ada", "type", "Person"}: true,
+		{"ada", "age", "36"}:      true,
+		{"ada", "knows", "bob"}:   true,
+		{"bob", "type", "Person"}: true,
+	}
+	found := 0
+	db.Triples(func(s, p, o string) bool {
+		if want[[3]string{s, p, o}] {
+			found++
+		}
+		return true
+	})
+	if found != len(want) {
+		t.Errorf("found %d/%d expected statements", found, len(want))
+	}
+	// LoadEdge is idempotent on duplicate statements and returns the edge.
+	eid, err := db.LoadEdge("knows", a, b, nil)
+	if err != nil || eid == 0 {
+		t.Errorf("re-load edge: %v %v", eid, err)
+	}
+}

@@ -1,0 +1,353 @@
+// Package format implements graph import/export in the interchange formats
+// the survey discusses (Section III notes the lack of a standard): GraphML
+// (XML), N-Triples for RDF data, and CSV edge lists.
+package format
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gdbm/internal/model"
+)
+
+// Writer abstracts an export target; model graphs satisfy the read side.
+type graphReader interface {
+	Nodes(fn func(model.Node) bool) error
+	Edges(fn func(model.Edge) bool) error
+}
+
+// Sink receives imported elements (engine.Loader satisfies it).
+type Sink interface {
+	LoadNode(label string, props model.Properties) (model.NodeID, error)
+	LoadEdge(label string, from, to model.NodeID, props model.Properties) (model.EdgeID, error)
+}
+
+// --- GraphML ---
+
+type graphmlDoc struct {
+	XMLName xml.Name     `xml:"graphml"`
+	Graph   graphmlGraph `xml:"graph"`
+	Keys    []graphmlKey `xml:"key"`
+}
+
+type graphmlKey struct {
+	ID   string `xml:"id,attr"`
+	For  string `xml:"for,attr"`
+	Name string `xml:"attr.name,attr"`
+	Type string `xml:"attr.type,attr"`
+}
+
+type graphmlGraph struct {
+	EdgeDefault string        `xml:"edgedefault,attr"`
+	Nodes       []graphmlNode `xml:"node"`
+	Edges       []graphmlEdge `xml:"edge"`
+}
+
+type graphmlNode struct {
+	ID    string        `xml:"id,attr"`
+	Label string        `xml:"label,attr,omitempty"`
+	Data  []graphmlData `xml:"data"`
+}
+
+type graphmlEdge struct {
+	Source string        `xml:"source,attr"`
+	Target string        `xml:"target,attr"`
+	Label  string        `xml:"label,attr,omitempty"`
+	Data   []graphmlData `xml:"data"`
+}
+
+type graphmlData struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// WriteGraphML exports g as GraphML.
+func WriteGraphML(w io.Writer, g graphReader) error {
+	doc := graphmlDoc{Graph: graphmlGraph{EdgeDefault: "directed"}}
+	err := g.Nodes(func(n model.Node) bool {
+		gn := graphmlNode{ID: fmt.Sprintf("n%d", n.ID), Label: n.Label}
+		for _, k := range n.Props.Keys() {
+			gn.Data = append(gn.Data, graphmlData{Key: k, Value: n.Props[k].String()})
+		}
+		doc.Graph.Nodes = append(doc.Graph.Nodes, gn)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	err = g.Edges(func(e model.Edge) bool {
+		ge := graphmlEdge{
+			Source: fmt.Sprintf("n%d", e.From),
+			Target: fmt.Sprintf("n%d", e.To),
+			Label:  e.Label,
+		}
+		for _, k := range e.Props.Keys() {
+			ge.Data = append(ge.Data, graphmlData{Key: k, Value: e.Props[k].String()})
+		}
+		doc.Graph.Edges = append(doc.Graph.Edges, ge)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	return enc.Encode(doc)
+}
+
+// ReadGraphML imports a GraphML document into sink. Property values are
+// parsed as bool/int/float where possible, else strings.
+func ReadGraphML(r io.Reader, sink Sink) (nodes, edges int, err error) {
+	var doc graphmlDoc
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return 0, 0, fmt.Errorf("format: graphml decode: %w", err)
+	}
+	idmap := map[string]model.NodeID{}
+	for _, n := range doc.Graph.Nodes {
+		props := model.Properties{}
+		for _, d := range n.Data {
+			props[d.Key] = parseValue(d.Value)
+		}
+		if len(props) == 0 {
+			props = nil
+		}
+		id, err := sink.LoadNode(n.Label, props)
+		if err != nil {
+			return nodes, edges, err
+		}
+		idmap[n.ID] = id
+		nodes++
+	}
+	for _, e := range doc.Graph.Edges {
+		from, ok := idmap[e.Source]
+		if !ok {
+			return nodes, edges, fmt.Errorf("format: edge references unknown node %q", e.Source)
+		}
+		to, ok := idmap[e.Target]
+		if !ok {
+			return nodes, edges, fmt.Errorf("format: edge references unknown node %q", e.Target)
+		}
+		props := model.Properties{}
+		for _, d := range e.Data {
+			props[d.Key] = parseValue(d.Value)
+		}
+		if len(props) == 0 {
+			props = nil
+		}
+		if _, err := sink.LoadEdge(e.Label, from, to, props); err != nil {
+			return nodes, edges, err
+		}
+		edges++
+	}
+	return nodes, edges, nil
+}
+
+func parseValue(s string) model.Value {
+	switch s {
+	case "true":
+		return model.Bool(true)
+	case "false":
+		return model.Bool(false)
+	case "null":
+		return model.Str("null") // literal string; null properties are omitted
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return model.Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return model.Float(f)
+	}
+	return model.Str(s)
+}
+
+// --- N-Triples ---
+
+// TripleSource streams statements (the triplestore engine satisfies it).
+type TripleSource interface {
+	Triples(fn func(s, p, o string) bool) error
+}
+
+// TripleSink accepts statements.
+type TripleSink interface {
+	AddTriple(s, p, o string) error
+}
+
+// WriteNTriples exports statements as N-Triples lines. Terms containing
+// spaces are written as quoted literals, others as IRIs.
+func WriteNTriples(w io.Writer, src TripleSource) error {
+	bw := bufio.NewWriter(w)
+	err := src.Triples(func(s, p, o string) bool {
+		fmt.Fprintf(bw, "%s %s %s .\n", term(s), term(p), term(o))
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func term(t string) string {
+	if strings.ContainsAny(t, " \t\"") {
+		return strconv.Quote(t)
+	}
+	return "<" + t + ">"
+}
+
+// ReadNTriples imports N-Triples lines.
+func ReadNTriples(r io.Reader, sink TripleSink) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		line = strings.TrimSuffix(strings.TrimSpace(line), ".")
+		terms, err := parseNTTerms(line)
+		if err != nil {
+			return n, err
+		}
+		if len(terms) != 3 {
+			return n, fmt.Errorf("format: line %q has %d terms", line, len(terms))
+		}
+		if err := sink.AddTriple(terms[0], terms[1], terms[2]); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+func parseNTTerms(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		switch {
+		case line[i] == ' ' || line[i] == '\t':
+			i++
+		case line[i] == '<':
+			end := strings.IndexByte(line[i:], '>')
+			if end < 0 {
+				return nil, fmt.Errorf("format: unterminated IRI in %q", line)
+			}
+			out = append(out, line[i+1:i+end])
+			i += end + 1
+		case line[i] == '"':
+			s, err := strconv.QuotedPrefix(line[i:])
+			if err != nil {
+				return nil, fmt.Errorf("format: bad literal in %q", line)
+			}
+			unq, _ := strconv.Unquote(s)
+			out = append(out, unq)
+			i += len(s)
+		default:
+			end := strings.IndexAny(line[i:], " \t")
+			if end < 0 {
+				out = append(out, line[i:])
+				i = len(line)
+			} else {
+				out = append(out, line[i:i+end])
+				i += end
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- CSV edge lists ---
+
+// WriteCSV exports the graph as two CSV sections via two writers: nodes
+// (id,label) and edges (from,to,label).
+func WriteCSV(nodesW, edgesW io.Writer, g graphReader) error {
+	nw := csv.NewWriter(nodesW)
+	if err := nw.Write([]string{"id", "label"}); err != nil {
+		return err
+	}
+	err := g.Nodes(func(n model.Node) bool {
+		nw.Write([]string{strconv.FormatUint(uint64(n.ID), 10), n.Label})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	nw.Flush()
+	if err := nw.Error(); err != nil {
+		return err
+	}
+	ew := csv.NewWriter(edgesW)
+	if err := ew.Write([]string{"from", "to", "label"}); err != nil {
+		return err
+	}
+	err = g.Edges(func(e model.Edge) bool {
+		ew.Write([]string{
+			strconv.FormatUint(uint64(e.From), 10),
+			strconv.FormatUint(uint64(e.To), 10),
+			e.Label,
+		})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	ew.Flush()
+	return ew.Error()
+}
+
+// ReadCSV imports node and edge CSV sections produced by WriteCSV.
+func ReadCSV(nodesR, edgesR io.Reader, sink Sink) (nodes, edges int, err error) {
+	nr := csv.NewReader(nodesR)
+	rows, err := nr.ReadAll()
+	if err != nil {
+		return 0, 0, fmt.Errorf("format: nodes csv: %w", err)
+	}
+	idmap := map[string]model.NodeID{}
+	for i, row := range rows {
+		if i == 0 {
+			continue // header
+		}
+		if len(row) < 2 {
+			return nodes, edges, fmt.Errorf("format: node row %d too short", i)
+		}
+		id, err := sink.LoadNode(row[1], nil)
+		if err != nil {
+			return nodes, edges, err
+		}
+		idmap[row[0]] = id
+		nodes++
+	}
+	er := csv.NewReader(edgesR)
+	erows, err := er.ReadAll()
+	if err != nil {
+		return nodes, 0, fmt.Errorf("format: edges csv: %w", err)
+	}
+	for i, row := range erows {
+		if i == 0 {
+			continue
+		}
+		if len(row) < 3 {
+			return nodes, edges, fmt.Errorf("format: edge row %d too short", i)
+		}
+		from, ok := idmap[row[0]]
+		if !ok {
+			return nodes, edges, fmt.Errorf("format: edge row %d references unknown node %q", i, row[0])
+		}
+		to, ok := idmap[row[1]]
+		if !ok {
+			return nodes, edges, fmt.Errorf("format: edge row %d references unknown node %q", i, row[1])
+		}
+		if _, err := sink.LoadEdge(row[2], from, to, nil); err != nil {
+			return nodes, edges, err
+		}
+		edges++
+	}
+	return nodes, edges, nil
+}

@@ -1,0 +1,166 @@
+package format
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gdbm/internal/gen"
+	"gdbm/internal/memgraph"
+	"gdbm/internal/model"
+)
+
+func sample(t *testing.T) *memgraph.Graph {
+	t.Helper()
+	g := memgraph.New()
+	a, _ := g.AddNode("Person", model.Props("name", "ada", "age", 36))
+	b, _ := g.AddNode("Person", model.Props("name", "bob"))
+	c, _ := g.AddNode("City", nil)
+	g.AddEdge("knows", a, b, model.Props("since", 2019))
+	g.AddEdge("livesIn", a, c, nil)
+	return g
+}
+
+// memLoader adapts gen.MemSink as a format.Sink via embedding.
+type memLoader struct{ gen.MemSink }
+
+func TestGraphMLRoundTrip(t *testing.T) {
+	g := sample(t)
+	var buf bytes.Buffer
+	if err := WriteGraphML(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "graphml") || !strings.Contains(out, "knows") {
+		t.Fatalf("output missing structure: %s", out[:120])
+	}
+	var sink memLoader
+	nodes, edges, err := ReadGraphML(&buf, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes != 3 || edges != 2 {
+		t.Errorf("imported %d nodes %d edges", nodes, edges)
+	}
+	// Property values survive with kinds.
+	found := false
+	for _, n := range sink.NodesList {
+		if v, ok := n.Props.Get("age").AsInt(); ok && v == 36 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("age property lost in round trip")
+	}
+}
+
+func TestGraphMLBadInput(t *testing.T) {
+	var sink memLoader
+	if _, _, err := ReadGraphML(strings.NewReader("not xml"), &sink); err == nil {
+		t.Error("bad xml should fail")
+	}
+	// Edge to unknown node.
+	doc := `<graphml><graph edgedefault="directed">
+	  <node id="n1"/><edge source="n1" target="n99"/></graph></graphml>`
+	if _, _, err := ReadGraphML(strings.NewReader(doc), &sink); err == nil {
+		t.Error("dangling edge should fail")
+	}
+}
+
+type tripleBuf struct{ triples [][3]string }
+
+func (b *tripleBuf) AddTriple(s, p, o string) error {
+	b.triples = append(b.triples, [3]string{s, p, o})
+	return nil
+}
+func (b *tripleBuf) Triples(fn func(s, p, o string) bool) error {
+	for _, t := range b.triples {
+		if !fn(t[0], t[1], t[2]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	src := &tripleBuf{}
+	src.AddTriple("ada", "knows", "bob")
+	src.AddTriple("ada", "name", "Ada Lovelace") // literal with space
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `<ada> <knows> <bob> .`) {
+		t.Errorf("output = %q", text)
+	}
+	if !strings.Contains(text, `"Ada Lovelace"`) {
+		t.Errorf("literal not quoted: %q", text)
+	}
+	dst := &tripleBuf{}
+	n, err := ReadNTriples(&buf, dst)
+	if err != nil || n != 2 {
+		t.Fatalf("read %d, %v", n, err)
+	}
+	if dst.triples[1][2] != "Ada Lovelace" {
+		t.Errorf("literal = %q", dst.triples[1][2])
+	}
+}
+
+func TestNTriplesCommentsAndErrors(t *testing.T) {
+	dst := &tripleBuf{}
+	n, err := ReadNTriples(strings.NewReader("# comment\n\n<a> <b> <c> .\n"), dst)
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if _, err := ReadNTriples(strings.NewReader("<a> <b> .\n"), dst); err == nil {
+		t.Error("2-term line should fail")
+	}
+	if _, err := ReadNTriples(strings.NewReader("<a <b> <c> .\n"), dst); err == nil {
+		t.Error("unterminated IRI should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := sample(t)
+	var nbuf, ebuf bytes.Buffer
+	if err := WriteCSV(&nbuf, &ebuf, g); err != nil {
+		t.Fatal(err)
+	}
+	var sink memLoader
+	nodes, edges, err := ReadCSV(&nbuf, &ebuf, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes != 3 || edges != 2 {
+		t.Errorf("imported %d nodes, %d edges", nodes, edges)
+	}
+	if sink.EdgesList[0].Label == "" {
+		t.Error("edge label lost")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	var sink memLoader
+	if _, _, err := ReadCSV(strings.NewReader("id,label\n1,A\n"), strings.NewReader("from,to,label\n1,99,e\n"), &sink); err == nil {
+		t.Error("dangling edge should fail")
+	}
+	if _, _, err := ReadCSV(strings.NewReader("id\n1\n"), strings.NewReader("from,to,label\n"), &sink); err == nil {
+		t.Error("short node row should fail")
+	}
+}
+
+func TestParseValueKinds(t *testing.T) {
+	if v := parseValue("true"); !v.Equal(model.Bool(true)) {
+		t.Errorf("true = %v", v)
+	}
+	if v := parseValue("42"); !v.Equal(model.Int(42)) {
+		t.Errorf("42 = %v", v)
+	}
+	if v := parseValue("2.5"); !v.Equal(model.Float(2.5)) {
+		t.Errorf("2.5 = %v", v)
+	}
+	if v := parseValue("hello"); !v.Equal(model.Str("hello")) {
+		t.Errorf("hello = %v", v)
+	}
+}

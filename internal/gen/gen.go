@@ -1,0 +1,203 @@
+// Package gen produces synthetic graph workloads for the benchmark harness:
+// Erdős–Rényi random graphs, Barabási–Albert preferential-attachment graphs
+// (the scale-free shape of the social networks the survey's motivation
+// cites), and R-MAT graphs in the style of the HPC Scalable Graph Analysis
+// Benchmark used by the performance study the survey references
+// (Dominguez-Sal et al. [11]). All generators are deterministic under a
+// seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gdbm/internal/model"
+)
+
+// Spec describes a synthetic graph.
+type Spec struct {
+	Kind  Kind
+	Nodes int
+	// EdgesPerNode controls density: ER uses it as mean degree, BA as the
+	// attachment count m, RMAT as the edge factor.
+	EdgesPerNode int
+	Seed         int64
+	// Labels cycles node labels; nil defaults to ["N"].
+	Labels []string
+	// EdgeLabel labels every edge; empty defaults to "link".
+	EdgeLabel string
+}
+
+// Kind selects the generator family.
+type Kind uint8
+
+const (
+	ER   Kind = iota // Erdős–Rényi G(n, m)
+	BA               // Barabási–Albert preferential attachment
+	RMAT             // Recursive matrix (SSCA2/Graph500 style)
+)
+
+// String names the generator.
+func (k Kind) String() string {
+	switch k {
+	case ER:
+		return "erdos-renyi"
+	case BA:
+		return "barabasi-albert"
+	case RMAT:
+		return "rmat"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Sink receives generated elements; engine.Loader satisfies it.
+type Sink interface {
+	LoadNode(label string, props model.Properties) (model.NodeID, error)
+	LoadEdge(label string, from, to model.NodeID, props model.Properties) (model.EdgeID, error)
+}
+
+// Generate builds the graph described by spec into sink and returns the
+// created node ids in creation order.
+func Generate(spec Spec, sink Sink) ([]model.NodeID, error) {
+	if spec.Nodes <= 0 {
+		return nil, fmt.Errorf("gen: need at least one node")
+	}
+	if spec.EdgesPerNode <= 0 {
+		spec.EdgesPerNode = 2
+	}
+	labels := spec.Labels
+	if len(labels) == 0 {
+		labels = []string{"N"}
+	}
+	elabel := spec.EdgeLabel
+	if elabel == "" {
+		elabel = "link"
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	ids := make([]model.NodeID, spec.Nodes)
+	for i := range ids {
+		id, err := sink.LoadNode(labels[i%len(labels)], model.Props("idx", i, "weight", rng.Float64()))
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+
+	addEdge := func(a, b int) error {
+		_, err := sink.LoadEdge(elabel, ids[a], ids[b], model.Props("w", 1+rng.Float64()))
+		return err
+	}
+
+	switch spec.Kind {
+	case ER:
+		m := spec.Nodes * spec.EdgesPerNode
+		for i := 0; i < m; i++ {
+			a, b := rng.Intn(spec.Nodes), rng.Intn(spec.Nodes)
+			if a == b {
+				continue
+			}
+			if err := addEdge(a, b); err != nil {
+				return nil, err
+			}
+		}
+	case BA:
+		// Start from a small seed clique, then attach each new node to m
+		// targets chosen proportionally to degree (approximated by the
+		// repeated-endpoints trick).
+		m := spec.EdgesPerNode
+		var endpoints []int
+		seedN := m + 1
+		if seedN > spec.Nodes {
+			seedN = spec.Nodes
+		}
+		for i := 0; i < seedN; i++ {
+			for j := i + 1; j < seedN; j++ {
+				if err := addEdge(i, j); err != nil {
+					return nil, err
+				}
+				endpoints = append(endpoints, i, j)
+			}
+		}
+		for i := seedN; i < spec.Nodes; i++ {
+			seen := map[int]bool{}
+			for len(seen) < m && len(seen) < i {
+				var target int
+				if len(endpoints) == 0 {
+					target = rng.Intn(i)
+				} else {
+					target = endpoints[rng.Intn(len(endpoints))]
+				}
+				if target == i || seen[target] {
+					continue
+				}
+				seen[target] = true
+				if err := addEdge(i, target); err != nil {
+					return nil, err
+				}
+				endpoints = append(endpoints, i, target)
+			}
+		}
+	case RMAT:
+		// Classic recursive quadrant selection with (a,b,c,d) =
+		// (0.57, 0.19, 0.19, 0.05), the Graph500/SSCA2 parameters.
+		scale := 0
+		for (1 << scale) < spec.Nodes {
+			scale++
+		}
+		m := spec.Nodes * spec.EdgesPerNode
+		for i := 0; i < m; i++ {
+			a, b := rmatPick(rng, scale, spec.Nodes)
+			if a == b {
+				continue
+			}
+			if err := addEdge(a, b); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("gen: unknown kind %v", spec.Kind)
+	}
+	return ids, nil
+}
+
+func rmatPick(rng *rand.Rand, scale, n int) (int, int) {
+	row, col := 0, 0
+	for bit := 0; bit < scale; bit++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.57:
+			// top-left: nothing to add
+		case r < 0.76:
+			col |= 1 << bit
+		case r < 0.95:
+			row |= 1 << bit
+		default:
+			row |= 1 << bit
+			col |= 1 << bit
+		}
+	}
+	return row % n, col % n
+}
+
+// MemSink collects a generated graph into memory without an engine; it
+// implements Sink for generator tests and format export.
+type MemSink struct {
+	NodesList []model.Node
+	EdgesList []model.Edge
+}
+
+// LoadNode implements Sink.
+func (m *MemSink) LoadNode(label string, props model.Properties) (model.NodeID, error) {
+	id := model.NodeID(len(m.NodesList) + 1)
+	m.NodesList = append(m.NodesList, model.Node{ID: id, Label: label, Props: props})
+	return id, nil
+}
+
+// LoadEdge implements Sink.
+func (m *MemSink) LoadEdge(label string, from, to model.NodeID, props model.Properties) (model.EdgeID, error) {
+	id := model.EdgeID(len(m.EdgesList) + 1)
+	m.EdgesList = append(m.EdgesList, model.Edge{ID: id, Label: label, From: from, To: to, Props: props})
+	return id, nil
+}

@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"testing"
+
+	"gdbm/internal/model"
+)
+
+func TestGenerateValidatesSpec(t *testing.T) {
+	if _, err := Generate(Spec{Nodes: 0}, &MemSink{}); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := Generate(Spec{Kind: Kind(99), Nodes: 5}, &MemSink{}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestGeneratorsProduceExpectedShape(t *testing.T) {
+	for _, kind := range []Kind{ER, BA, RMAT} {
+		t.Run(kind.String(), func(t *testing.T) {
+			sink := &MemSink{}
+			ids, err := Generate(Spec{Kind: kind, Nodes: 200, EdgesPerNode: 3, Seed: 42}, sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) != 200 || len(sink.NodesList) != 200 {
+				t.Fatalf("nodes = %d", len(sink.NodesList))
+			}
+			if len(sink.EdgesList) == 0 {
+				t.Fatal("no edges generated")
+			}
+			// No self loops; endpoints valid.
+			for _, e := range sink.EdgesList {
+				if e.From == e.To {
+					t.Fatalf("self loop %v", e)
+				}
+				if e.From == 0 || e.To == 0 || int(e.From) > 200 || int(e.To) > 200 {
+					t.Fatalf("bad endpoint %v", e)
+				}
+			}
+		})
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	a, b := &MemSink{}, &MemSink{}
+	Generate(Spec{Kind: RMAT, Nodes: 100, EdgesPerNode: 4, Seed: 7}, a)
+	Generate(Spec{Kind: RMAT, Nodes: 100, EdgesPerNode: 4, Seed: 7}, b)
+	if len(a.EdgesList) != len(b.EdgesList) {
+		t.Fatalf("edge counts differ: %d vs %d", len(a.EdgesList), len(b.EdgesList))
+	}
+	for i := range a.EdgesList {
+		if a.EdgesList[i].From != b.EdgesList[i].From || a.EdgesList[i].To != b.EdgesList[i].To {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	c := &MemSink{}
+	Generate(Spec{Kind: RMAT, Nodes: 100, EdgesPerNode: 4, Seed: 8}, c)
+	same := len(c.EdgesList) == len(a.EdgesList)
+	if same {
+		identical := true
+		for i := range a.EdgesList {
+			if a.EdgesList[i].From != c.EdgesList[i].From || a.EdgesList[i].To != c.EdgesList[i].To {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestBAPreferentialAttachmentSkew(t *testing.T) {
+	sink := &MemSink{}
+	Generate(Spec{Kind: BA, Nodes: 500, EdgesPerNode: 2, Seed: 1}, sink)
+	deg := map[model.NodeID]int{}
+	for _, e := range sink.EdgesList {
+		deg[e.From]++
+		deg[e.To]++
+	}
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	avg := float64(2*len(sink.EdgesList)) / 500
+	if float64(max) < 4*avg {
+		t.Errorf("BA max degree %d not skewed vs avg %.1f", max, avg)
+	}
+}
+
+func TestLabelsCycle(t *testing.T) {
+	sink := &MemSink{}
+	Generate(Spec{Kind: ER, Nodes: 4, EdgesPerNode: 1, Seed: 1, Labels: []string{"A", "B"}}, sink)
+	if sink.NodesList[0].Label != "A" || sink.NodesList[1].Label != "B" || sink.NodesList[2].Label != "A" {
+		t.Errorf("labels = %v %v %v", sink.NodesList[0].Label, sink.NodesList[1].Label, sink.NodesList[2].Label)
+	}
+}
+
+func TestEdgeLabelDefaultAndOverride(t *testing.T) {
+	sink := &MemSink{}
+	Generate(Spec{Kind: ER, Nodes: 10, EdgesPerNode: 2, Seed: 3}, sink)
+	if len(sink.EdgesList) > 0 && sink.EdgesList[0].Label != "link" {
+		t.Errorf("default edge label = %q", sink.EdgesList[0].Label)
+	}
+	sink2 := &MemSink{}
+	Generate(Spec{Kind: ER, Nodes: 10, EdgesPerNode: 2, Seed: 3, EdgeLabel: "knows"}, sink2)
+	if len(sink2.EdgesList) > 0 && sink2.EdgesList[0].Label != "knows" {
+		t.Errorf("override edge label = %q", sink2.EdgesList[0].Label)
+	}
+}

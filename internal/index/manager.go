@@ -1,0 +1,180 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"gdbm/internal/model"
+	"gdbm/internal/storage/kv"
+)
+
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Target says whether an index covers nodes or edges.
+type Target uint8
+
+const (
+	Nodes Target = iota
+	Edges
+)
+
+// String returns "nodes" or "edges".
+func (t Target) String() string {
+	if t == Nodes {
+		return "nodes"
+	}
+	return "edges"
+}
+
+// KindName selects an index implementation in Manager.Create.
+type KindName string
+
+const (
+	KindBitmap  KindName = "bitmap"
+	KindHash    KindName = "hash"
+	KindOrdered KindName = "ordered"
+)
+
+// Manager owns the secondary indexes of one engine, keyed by (target,
+// property). The special property "" indexes labels.
+type Manager struct {
+	mu      sync.RWMutex
+	indexes map[string]Index
+}
+
+// NewManager returns an empty index manager.
+func NewManager() *Manager {
+	return &Manager{indexes: make(map[string]Index)}
+}
+
+func (m *Manager) keyFor(t Target, prop string) string {
+	return t.String() + "\x00" + prop
+}
+
+// Create registers an index of the given kind for (target, prop). Ordered
+// indexes are created over an in-memory store; use CreateOrderedOn for a
+// disk-backed one.
+func (m *Manager) Create(t Target, prop string, kind KindName) (Index, error) {
+	var idx Index
+	switch kind {
+	case KindBitmap:
+		idx = NewBitmap()
+	case KindHash:
+		idx = NewHash()
+	case KindOrdered:
+		idx = NewOrdered(kv.NewMemory())
+	default:
+		return nil, fmt.Errorf("index: unknown kind %q", kind)
+	}
+	return idx, m.Register(t, prop, idx)
+}
+
+// CreateOrderedOn registers an ordered index over the supplied store.
+func (m *Manager) CreateOrderedOn(t Target, prop string, store kv.Store) (Index, error) {
+	idx := NewOrdered(store)
+	return idx, m.Register(t, prop, idx)
+}
+
+// Register installs a caller-constructed index for (target, prop).
+func (m *Manager) Register(t Target, prop string, idx Index) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := m.keyFor(t, prop)
+	if _, ok := m.indexes[k]; ok {
+		return fmt.Errorf("index on %s %q: %w", t, prop, model.ErrAlreadyExists)
+	}
+	m.indexes[k] = idx
+	return nil
+}
+
+// Drop removes the index for (target, prop).
+func (m *Manager) Drop(t Target, prop string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := m.keyFor(t, prop)
+	if _, ok := m.indexes[k]; !ok {
+		return fmt.Errorf("index on %s %q: %w", t, prop, model.ErrNotFound)
+	}
+	delete(m.indexes, k)
+	return nil
+}
+
+// Get returns the index for (target, prop) if one exists.
+func (m *Manager) Get(t Target, prop string) (Index, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	idx, ok := m.indexes[m.keyFor(t, prop)]
+	return idx, ok
+}
+
+// List describes the registered indexes as "target:prop:kind" strings,
+// sorted, for introspection and the feature probes.
+func (m *Manager) List() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.indexes))
+	for k, idx := range m.indexes {
+		target, prop, _ := strings.Cut(k, "\x00")
+		out = append(out, target+":"+prop+":"+idx.Kind())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OnNodeWrite updates node indexes for a node insert or property change.
+// oldProps may be nil for inserts.
+func (m *Manager) OnNodeWrite(n model.Node, oldLabel string, oldProps model.Properties) {
+	m.onWrite(Nodes, uint64(n.ID), n.Label, n.Props, oldLabel, oldProps)
+}
+
+// OnNodeDelete removes node index entries.
+func (m *Manager) OnNodeDelete(n model.Node) {
+	m.onDelete(Nodes, uint64(n.ID), n.Label, n.Props)
+}
+
+// OnEdgeWrite updates edge indexes.
+func (m *Manager) OnEdgeWrite(e model.Edge, oldLabel string, oldProps model.Properties) {
+	m.onWrite(Edges, uint64(e.ID), e.Label, e.Props, oldLabel, oldProps)
+}
+
+// OnEdgeDelete removes edge index entries.
+func (m *Manager) OnEdgeDelete(e model.Edge) {
+	m.onDelete(Edges, uint64(e.ID), e.Label, e.Props)
+}
+
+func (m *Manager) onWrite(t Target, id uint64, label string, props model.Properties, oldLabel string, oldProps model.Properties) {
+	if idx, ok := m.Get(t, ""); ok {
+		if oldLabel != "" && oldLabel != label {
+			idx.Remove(model.Str(oldLabel), id)
+		}
+		if label != "" {
+			idx.Add(model.Str(label), id)
+		}
+	}
+	for name, old := range oldProps {
+		if nv, ok := props[name]; !ok || !nv.Equal(old) {
+			if idx, ok := m.Get(t, name); ok {
+				idx.Remove(old, id)
+			}
+		}
+	}
+	for name, v := range props {
+		if idx, ok := m.Get(t, name); ok {
+			idx.Add(v, id)
+		}
+	}
+}
+
+func (m *Manager) onDelete(t Target, id uint64, label string, props model.Properties) {
+	if idx, ok := m.Get(t, ""); ok && label != "" {
+		idx.Remove(model.Str(label), id)
+	}
+	for name, v := range props {
+		if idx, ok := m.Get(t, name); ok {
+			idx.Remove(v, id)
+		}
+	}
+}

@@ -1,0 +1,437 @@
+// Package kvgraph layers a property graph over an ordered key/value store —
+// the construction the survey describes for VertexDB (a graph store on top
+// of TokyoCabinet) and the storage role Filament delegates to SQL/JDBC.
+// Backed by kv.Memory it is a main-memory graph; backed by kv.Disk it is an
+// external-memory/backend-storage graph.
+//
+// Key layout (prefix bytes keep record classes in disjoint ranges):
+//
+//	M!n / M!e          -> next node / edge id (8-byte big endian)
+//	n!<id>             -> node record
+//	e!<id>             -> edge record
+//	o!<node>!<edge>    -> out-adjacency entry (value: far node id)
+//	i!<node>!<edge>    -> in-adjacency entry (value: far node id)
+package kvgraph
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gdbm/internal/model"
+	"gdbm/internal/storage/kv"
+)
+
+// Graph is a property graph stored in a kv.Store. It is safe for concurrent
+// use to the extent the underlying store is; the stores in this repository
+// are internally synchronized.
+type Graph struct {
+	st kv.Store
+}
+
+// New wraps a kv store as a graph.
+func New(st kv.Store) *Graph { return &Graph{st: st} }
+
+// Store exposes the underlying store (for flushing/closing by the owner).
+func (g *Graph) Store() kv.Store { return g.st }
+
+func u64key(prefix string, id uint64) []byte {
+	k := make([]byte, 0, len(prefix)+8)
+	k = append(k, prefix...)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], id)
+	return append(k, b[:]...)
+}
+
+func adjKey(prefix string, node, edge uint64) []byte {
+	k := u64key(prefix, node)
+	k = append(k, '!')
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], edge)
+	return append(k, b[:]...)
+}
+
+func (g *Graph) nextID(key string) (uint64, error) {
+	raw, ok, err := g.st.Get([]byte(key))
+	if err != nil {
+		return 0, err
+	}
+	var n uint64
+	if ok {
+		n = binary.BigEndian.Uint64(raw)
+	}
+	n++
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], n)
+	if err := g.st.Put([]byte(key), b[:]); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func encodeNodeRecord(n model.Node) ([]byte, error) {
+	props, err := n.Props.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 2+len(n.Label)+len(props))
+	buf = binary.AppendUvarint(buf, uint64(len(n.Label)))
+	buf = append(buf, n.Label...)
+	buf = append(buf, props...)
+	return buf, nil
+}
+
+func decodeNodeRecord(id model.NodeID, data []byte) (model.Node, error) {
+	ll, w := binary.Uvarint(data)
+	if w <= 0 || int(ll) > len(data)-w {
+		return model.Node{}, fmt.Errorf("kvgraph: corrupt node record %d", id)
+	}
+	label := string(data[w : w+int(ll)])
+	props, err := model.UnmarshalProperties(data[w+int(ll):])
+	if err != nil {
+		return model.Node{}, err
+	}
+	if len(props) == 0 {
+		props = nil
+	}
+	return model.Node{ID: id, Label: label, Props: props}, nil
+}
+
+func encodeEdgeRecord(e model.Edge) ([]byte, error) {
+	props, err := e.Props.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 18+len(e.Label)+len(props))
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(e.From))
+	buf = append(buf, b[:]...)
+	binary.BigEndian.PutUint64(b[:], uint64(e.To))
+	buf = append(buf, b[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(e.Label)))
+	buf = append(buf, e.Label...)
+	buf = append(buf, props...)
+	return buf, nil
+}
+
+func decodeEdgeRecord(id model.EdgeID, data []byte) (model.Edge, error) {
+	if len(data) < 16 {
+		return model.Edge{}, fmt.Errorf("kvgraph: corrupt edge record %d", id)
+	}
+	from := model.NodeID(binary.BigEndian.Uint64(data[0:8]))
+	to := model.NodeID(binary.BigEndian.Uint64(data[8:16]))
+	rest := data[16:]
+	ll, w := binary.Uvarint(rest)
+	if w <= 0 || int(ll) > len(rest)-w {
+		return model.Edge{}, fmt.Errorf("kvgraph: corrupt edge record %d", id)
+	}
+	label := string(rest[w : w+int(ll)])
+	props, err := model.UnmarshalProperties(rest[w+int(ll):])
+	if err != nil {
+		return model.Edge{}, err
+	}
+	if len(props) == 0 {
+		props = nil
+	}
+	return model.Edge{ID: id, Label: label, From: from, To: to, Props: props}, nil
+}
+
+// AddNode implements model.MutableGraph.
+func (g *Graph) AddNode(label string, props model.Properties) (model.NodeID, error) {
+	id, err := g.nextID("M!n")
+	if err != nil {
+		return 0, err
+	}
+	rec, err := encodeNodeRecord(model.Node{Label: label, Props: props})
+	if err != nil {
+		return 0, err
+	}
+	if err := g.st.Put(u64key("n!", id), rec); err != nil {
+		return 0, err
+	}
+	return model.NodeID(id), nil
+}
+
+// AddEdge implements model.MutableGraph.
+func (g *Graph) AddEdge(label string, from, to model.NodeID, props model.Properties) (model.EdgeID, error) {
+	if _, err := g.Node(from); err != nil {
+		return 0, err
+	}
+	if _, err := g.Node(to); err != nil {
+		return 0, err
+	}
+	id, err := g.nextID("M!e")
+	if err != nil {
+		return 0, err
+	}
+	rec, err := encodeEdgeRecord(model.Edge{From: from, To: to, Label: label, Props: props})
+	if err != nil {
+		return 0, err
+	}
+	if err := g.st.Put(u64key("e!", id), rec); err != nil {
+		return 0, err
+	}
+	var far [8]byte
+	binary.BigEndian.PutUint64(far[:], uint64(to))
+	if err := g.st.Put(adjKey("o!", uint64(from), id), far[:]); err != nil {
+		return 0, err
+	}
+	binary.BigEndian.PutUint64(far[:], uint64(from))
+	if err := g.st.Put(adjKey("i!", uint64(to), id), far[:]); err != nil {
+		return 0, err
+	}
+	return model.EdgeID(id), nil
+}
+
+// Node implements model.Graph.
+func (g *Graph) Node(id model.NodeID) (model.Node, error) {
+	raw, ok, err := g.st.Get(u64key("n!", uint64(id)))
+	if err != nil {
+		return model.Node{}, err
+	}
+	if !ok {
+		return model.Node{}, model.NodeNotFound(id)
+	}
+	return decodeNodeRecord(id, raw)
+}
+
+// Edge implements model.Graph.
+func (g *Graph) Edge(id model.EdgeID) (model.Edge, error) {
+	raw, ok, err := g.st.Get(u64key("e!", uint64(id)))
+	if err != nil {
+		return model.Edge{}, err
+	}
+	if !ok {
+		return model.Edge{}, model.EdgeNotFound(id)
+	}
+	return decodeEdgeRecord(id, raw)
+}
+
+// RemoveNode implements model.MutableGraph; incident edges are removed too.
+func (g *Graph) RemoveNode(id model.NodeID) error {
+	if _, err := g.Node(id); err != nil {
+		return err
+	}
+	seen := map[model.EdgeID]bool{}
+	var eids []model.EdgeID
+	collect := func(prefix string) error {
+		return g.st.Scan(u64key(prefix, uint64(id)), func(k, _ []byte) bool {
+			eid := model.EdgeID(binary.BigEndian.Uint64(k[len(k)-8:]))
+			if !seen[eid] { // self-loops appear in both adjacency lists
+				seen[eid] = true
+				eids = append(eids, eid)
+			}
+			return true
+		})
+	}
+	if err := collect("o!"); err != nil {
+		return err
+	}
+	if err := collect("i!"); err != nil {
+		return err
+	}
+	for _, eid := range eids {
+		if err := g.RemoveEdge(eid); err != nil {
+			return err
+		}
+	}
+	_, err := g.st.Delete(u64key("n!", uint64(id)))
+	return err
+}
+
+// RemoveEdge implements model.MutableGraph.
+func (g *Graph) RemoveEdge(id model.EdgeID) error {
+	e, err := g.Edge(id)
+	if err != nil {
+		return err
+	}
+	if _, err := g.st.Delete(u64key("e!", uint64(id))); err != nil {
+		return err
+	}
+	if _, err := g.st.Delete(adjKey("o!", uint64(e.From), uint64(id))); err != nil {
+		return err
+	}
+	if _, err := g.st.Delete(adjKey("i!", uint64(e.To), uint64(id))); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SetNodeProp implements model.MutableGraph.
+func (g *Graph) SetNodeProp(id model.NodeID, key string, v model.Value) error {
+	n, err := g.Node(id)
+	if err != nil {
+		return err
+	}
+	if n.Props == nil {
+		n.Props = model.Properties{}
+	}
+	n.Props[key] = v
+	rec, err := encodeNodeRecord(n)
+	if err != nil {
+		return err
+	}
+	return g.st.Put(u64key("n!", uint64(id)), rec)
+}
+
+// SetEdgeProp implements model.MutableGraph.
+func (g *Graph) SetEdgeProp(id model.EdgeID, key string, v model.Value) error {
+	e, err := g.Edge(id)
+	if err != nil {
+		return err
+	}
+	if e.Props == nil {
+		e.Props = model.Properties{}
+	}
+	e.Props[key] = v
+	rec, err := encodeEdgeRecord(e)
+	if err != nil {
+		return err
+	}
+	return g.st.Put(u64key("e!", uint64(id)), rec)
+}
+
+// Order implements model.Graph.
+func (g *Graph) Order() int {
+	n := 0
+	g.st.Scan([]byte("n!"), func(_, _ []byte) bool { n++; return true })
+	return n
+}
+
+// Size implements model.Graph.
+func (g *Graph) Size() int {
+	n := 0
+	g.st.Scan([]byte("e!"), func(_, _ []byte) bool { n++; return true })
+	return n
+}
+
+// Nodes implements model.Graph. Records are materialized before fn runs so
+// callbacks may issue further store reads (the scan holds the store lock).
+func (g *Graph) Nodes(fn func(model.Node) bool) error {
+	var decodeErr error
+	var nodes []model.Node
+	err := g.st.Scan([]byte("n!"), func(k, v []byte) bool {
+		id := model.NodeID(binary.BigEndian.Uint64(k[len(k)-8:]))
+		n, err := decodeNodeRecord(id, v)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		nodes = append(nodes, n)
+		return true
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	if err != nil {
+		return err
+	}
+	for _, n := range nodes {
+		if !fn(n) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Edges implements model.Graph; see Nodes for the materialization contract.
+func (g *Graph) Edges(fn func(model.Edge) bool) error {
+	var decodeErr error
+	var edges []model.Edge
+	err := g.st.Scan([]byte("e!"), func(k, v []byte) bool {
+		id := model.EdgeID(binary.BigEndian.Uint64(k[len(k)-8:]))
+		e, err := decodeEdgeRecord(id, v)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		edges = append(edges, e)
+		return true
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	if err != nil {
+		return err
+	}
+	for _, e := range edges {
+		if !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Neighbors implements model.Graph.
+func (g *Graph) Neighbors(id model.NodeID, dir model.Direction, fn func(model.Edge, model.Node) bool) error {
+	if _, err := g.Node(id); err != nil {
+		return err
+	}
+	// Materialize the adjacency entries before fetching records: the
+	// store's scan holds its internal lock, so nested Get calls from the
+	// callback would self-deadlock.
+	emit := func(prefix string) (bool, error) {
+		type entry struct {
+			eid model.EdgeID
+			far model.NodeID
+		}
+		var entries []entry
+		err := g.st.Scan(append(u64key(prefix, uint64(id)), '!'), func(k, v []byte) bool {
+			entries = append(entries, entry{
+				eid: model.EdgeID(binary.BigEndian.Uint64(k[len(k)-8:])),
+				far: model.NodeID(binary.BigEndian.Uint64(v)),
+			})
+			return true
+		})
+		if err != nil {
+			return false, err
+		}
+		for _, it := range entries {
+			e, err := g.Edge(it.eid)
+			if err != nil {
+				return false, err
+			}
+			far, err := g.Node(it.far)
+			if err != nil {
+				return false, err
+			}
+			if !fn(e, far) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	if dir == model.Out || dir == model.Both {
+		stopped, err := emit("o!")
+		if err != nil || stopped {
+			return err
+		}
+	}
+	if dir == model.In || dir == model.Both {
+		if _, err := emit("i!"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Degree implements model.Graph.
+func (g *Graph) Degree(id model.NodeID, dir model.Direction) (int, error) {
+	if _, err := g.Node(id); err != nil {
+		return 0, err
+	}
+	count := func(prefix string) int {
+		n := 0
+		g.st.Scan(append(u64key(prefix, uint64(id)), '!'), func(_, _ []byte) bool { n++; return true })
+		return n
+	}
+	switch dir {
+	case model.Out:
+		return count("o!"), nil
+	case model.In:
+		return count("i!"), nil
+	default:
+		return count("o!") + count("i!"), nil
+	}
+}
+
+var _ model.MutableGraph = (*Graph)(nil)

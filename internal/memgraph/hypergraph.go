@@ -1,0 +1,217 @@
+package memgraph
+
+import (
+	"sync"
+
+	"gdbm/internal/model"
+)
+
+// Hypergraph is an in-memory hypergraph: each hyperedge relates an arbitrary
+// ordered set of nodes. It backs the HyperGraphDB- and Sones-archetype
+// engines.
+type Hypergraph struct {
+	mu       sync.RWMutex
+	nodes    map[model.NodeID]*model.Node
+	edges    map[model.EdgeID]*model.HyperEdge
+	incident map[model.NodeID][]model.EdgeID
+	nextNode model.NodeID
+	nextEdge model.EdgeID
+}
+
+// NewHypergraph returns an empty hypergraph.
+func NewHypergraph() *Hypergraph {
+	return &Hypergraph{
+		nodes:    make(map[model.NodeID]*model.Node),
+		edges:    make(map[model.EdgeID]*model.HyperEdge),
+		incident: make(map[model.NodeID][]model.EdgeID),
+	}
+}
+
+// Order returns the number of nodes.
+func (g *Hypergraph) Order() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// Size returns the number of hyperedges.
+func (g *Hypergraph) Size() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.edges)
+}
+
+// AddNode inserts a node.
+func (g *Hypergraph) AddNode(label string, props model.Properties) (model.NodeID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nextNode++
+	id := g.nextNode
+	g.nodes[id] = &model.Node{ID: id, Label: label, Props: props.Clone()}
+	return id, nil
+}
+
+// AddHyperEdge inserts a hyperedge over members. Every member must exist and
+// at least one member is required.
+func (g *Hypergraph) AddHyperEdge(label string, members []model.NodeID, props model.Properties) (model.EdgeID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(members) == 0 {
+		return 0, model.ErrUnsupported
+	}
+	for _, m := range members {
+		if _, ok := g.nodes[m]; !ok {
+			return 0, model.NodeNotFound(m)
+		}
+	}
+	g.nextEdge++
+	id := g.nextEdge
+	g.edges[id] = &model.HyperEdge{
+		ID:      id,
+		Label:   label,
+		Members: append([]model.NodeID(nil), members...),
+		Props:   props.Clone(),
+	}
+	seen := make(map[model.NodeID]bool, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			g.incident[m] = append(g.incident[m], id)
+			seen[m] = true
+		}
+	}
+	return id, nil
+}
+
+// RemoveHyperEdge deletes a hyperedge.
+func (g *Hypergraph) RemoveHyperEdge(id model.EdgeID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.edges[id]
+	if !ok {
+		return model.EdgeNotFound(id)
+	}
+	for _, m := range e.Members {
+		inc := g.incident[m]
+		for i, v := range inc {
+			if v == id {
+				inc[i] = inc[len(inc)-1]
+				g.incident[m] = inc[:len(inc)-1]
+				break
+			}
+		}
+	}
+	delete(g.edges, id)
+	return nil
+}
+
+// Node returns the node record for id.
+func (g *Hypergraph) Node(id model.NodeID) (model.Node, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return model.Node{}, model.NodeNotFound(id)
+	}
+	return *n, nil
+}
+
+// HyperEdge returns the hyperedge record for id.
+func (g *Hypergraph) HyperEdge(id model.EdgeID) (model.HyperEdge, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.edges[id]
+	if !ok {
+		return model.HyperEdge{}, model.EdgeNotFound(id)
+	}
+	cp := *e
+	cp.Members = append([]model.NodeID(nil), e.Members...)
+	return cp, nil
+}
+
+// Nodes iterates all nodes.
+func (g *Hypergraph) Nodes(fn func(model.Node) bool) error {
+	g.mu.RLock()
+	snapshot := make([]model.Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		snapshot = append(snapshot, *n)
+	}
+	g.mu.RUnlock()
+	for _, n := range snapshot {
+		if !fn(n) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// HyperEdges iterates all hyperedges.
+func (g *Hypergraph) HyperEdges(fn func(model.HyperEdge) bool) error {
+	g.mu.RLock()
+	snapshot := make([]model.HyperEdge, 0, len(g.edges))
+	for _, e := range g.edges {
+		cp := *e
+		cp.Members = append([]model.NodeID(nil), e.Members...)
+		snapshot = append(snapshot, cp)
+	}
+	g.mu.RUnlock()
+	for _, e := range snapshot {
+		if !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Incident iterates the hyperedges containing id.
+func (g *Hypergraph) Incident(id model.NodeID, fn func(model.HyperEdge) bool) error {
+	g.mu.RLock()
+	if _, ok := g.nodes[id]; !ok {
+		g.mu.RUnlock()
+		return model.NodeNotFound(id)
+	}
+	snapshot := make([]model.HyperEdge, 0, len(g.incident[id]))
+	for _, eid := range g.incident[id] {
+		e := g.edges[eid]
+		cp := *e
+		cp.Members = append([]model.NodeID(nil), e.Members...)
+		snapshot = append(snapshot, cp)
+	}
+	g.mu.RUnlock()
+	for _, e := range snapshot {
+		if !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Binary projects the hypergraph to a binary graph view: each 2-member
+// hyperedge becomes a directed edge, and each k>2 hyperedge is expanded into
+// the clique of ordered pairs of its members. The projection lets the shared
+// algorithm layer run over hypergraph engines.
+func (g *Hypergraph) Binary() *Graph {
+	bin := New()
+	idmap := make(map[model.NodeID]model.NodeID)
+	g.Nodes(func(n model.Node) bool {
+		nid, _ := bin.AddNode(n.Label, n.Props)
+		idmap[n.ID] = nid
+		return true
+	})
+	g.HyperEdges(func(e model.HyperEdge) bool {
+		if len(e.Members) == 2 {
+			bin.AddEdge(e.Label, idmap[e.Members[0]], idmap[e.Members[1]], e.Props)
+			return true
+		}
+		for i := range e.Members {
+			for j := range e.Members {
+				if i != j {
+					bin.AddEdge(e.Label, idmap[e.Members[i]], idmap[e.Members[j]], e.Props)
+				}
+			}
+		}
+		return true
+	})
+	return bin
+}
+
+var _ model.MutableHypergraph = (*Hypergraph)(nil)

@@ -1,0 +1,140 @@
+package memgraph
+
+import (
+	"errors"
+	"testing"
+
+	"gdbm/internal/model"
+)
+
+func TestHypergraphBasics(t *testing.T) {
+	g := NewHypergraph()
+	a, _ := g.AddNode("P", model.Props("name", "a"))
+	b, _ := g.AddNode("P", nil)
+	c, _ := g.AddNode("P", nil)
+	he, err := g.AddHyperEdge("complex", []model.NodeID{a, b, c}, model.Props("kind", "trimer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Order() != 3 || g.Size() != 1 {
+		t.Fatalf("order=%d size=%d", g.Order(), g.Size())
+	}
+	e, err := g.HyperEdge(he)
+	if err != nil || len(e.Members) != 3 {
+		t.Fatalf("HyperEdge: %+v %v", e, err)
+	}
+	n, err := g.Node(a)
+	if err != nil || n.Label != "P" {
+		t.Fatalf("Node: %+v %v", n, err)
+	}
+	if _, err := g.Node(99); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("missing node: %v", err)
+	}
+	if _, err := g.HyperEdge(99); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("missing edge: %v", err)
+	}
+}
+
+func TestHyperEdgeValidation(t *testing.T) {
+	g := NewHypergraph()
+	a, _ := g.AddNode("P", nil)
+	if _, err := g.AddHyperEdge("x", nil, nil); err == nil {
+		t.Error("empty member set should fail")
+	}
+	if _, err := g.AddHyperEdge("x", []model.NodeID{a, 77}, nil); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("missing member: %v", err)
+	}
+}
+
+func TestIncident(t *testing.T) {
+	g := NewHypergraph()
+	a, _ := g.AddNode("P", nil)
+	b, _ := g.AddNode("P", nil)
+	c, _ := g.AddNode("P", nil)
+	g.AddHyperEdge("e1", []model.NodeID{a, b}, nil)
+	g.AddHyperEdge("e2", []model.NodeID{a, b, c}, nil)
+	count := func(id model.NodeID) int {
+		n := 0
+		g.Incident(id, func(model.HyperEdge) bool { n++; return true })
+		return n
+	}
+	if count(a) != 2 || count(b) != 2 || count(c) != 1 {
+		t.Errorf("incident counts: a=%d b=%d c=%d", count(a), count(b), count(c))
+	}
+	if err := g.Incident(99, func(model.HyperEdge) bool { return true }); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("missing node: %v", err)
+	}
+	// Repeated members are indexed once.
+	d, _ := g.AddNode("P", nil)
+	g.AddHyperEdge("loop", []model.NodeID{d, d}, nil)
+	if count(d) != 1 {
+		t.Errorf("repeat-member incident count = %d", count(d))
+	}
+}
+
+func TestRemoveHyperEdge(t *testing.T) {
+	g := NewHypergraph()
+	a, _ := g.AddNode("P", nil)
+	b, _ := g.AddNode("P", nil)
+	id, _ := g.AddHyperEdge("e", []model.NodeID{a, b}, nil)
+	if err := g.RemoveHyperEdge(id); err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 0 {
+		t.Errorf("size = %d", g.Size())
+	}
+	n := 0
+	g.Incident(a, func(model.HyperEdge) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("stale incidence after removal: %d", n)
+	}
+	if err := g.RemoveHyperEdge(id); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestHyperEdgeSnapshotIsolation(t *testing.T) {
+	g := NewHypergraph()
+	a, _ := g.AddNode("P", nil)
+	b, _ := g.AddNode("P", nil)
+	id, _ := g.AddHyperEdge("e", []model.NodeID{a, b}, nil)
+	e, _ := g.HyperEdge(id)
+	e.Members[0] = 999
+	e2, _ := g.HyperEdge(id)
+	if e2.Members[0] != a {
+		t.Error("HyperEdge should return an independent copy of Members")
+	}
+}
+
+func TestBinaryProjection(t *testing.T) {
+	g := NewHypergraph()
+	a, _ := g.AddNode("P", nil)
+	b, _ := g.AddNode("P", nil)
+	c, _ := g.AddNode("P", nil)
+	g.AddHyperEdge("pair", []model.NodeID{a, b}, nil)
+	g.AddHyperEdge("trio", []model.NodeID{a, b, c}, nil)
+	bin := g.Binary()
+	if bin.Order() != 3 {
+		t.Errorf("binary order = %d", bin.Order())
+	}
+	// pair -> 1 edge; trio -> 3*2 = 6 ordered pairs.
+	if bin.Size() != 7 {
+		t.Errorf("binary size = %d, want 7", bin.Size())
+	}
+}
+
+func TestHypergraphIterators(t *testing.T) {
+	g := NewHypergraph()
+	a, _ := g.AddNode("P", nil)
+	g.AddHyperEdge("e", []model.NodeID{a}, nil)
+	n := 0
+	g.Nodes(func(model.Node) bool { n++; return true })
+	if n != 1 {
+		t.Errorf("Nodes visited %d", n)
+	}
+	n = 0
+	g.HyperEdges(func(model.HyperEdge) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("HyperEdges early stop visited %d", n)
+	}
+}

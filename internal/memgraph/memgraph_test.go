@@ -1,0 +1,213 @@
+package memgraph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"gdbm/internal/model"
+)
+
+func triangle(t *testing.T) (*Graph, [3]model.NodeID) {
+	t.Helper()
+	g := New()
+	var ids [3]model.NodeID
+	for i, name := range []string{"a", "b", "c"} {
+		id, err := g.AddNode("N", model.Props("name", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	mustEdge(t, g, "e", ids[0], ids[1])
+	mustEdge(t, g, "e", ids[1], ids[2])
+	mustEdge(t, g, "e", ids[2], ids[0])
+	return g, ids
+}
+
+func mustEdge(t *testing.T, g *Graph, label string, from, to model.NodeID) model.EdgeID {
+	t.Helper()
+	id, err := g.AddEdge(label, from, to, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestGraphOrderSize(t *testing.T) {
+	g, _ := triangle(t)
+	if g.Order() != 3 || g.Size() != 3 {
+		t.Fatalf("order=%d size=%d", g.Order(), g.Size())
+	}
+}
+
+func TestGraphNodeEdgeLookup(t *testing.T) {
+	g, ids := triangle(t)
+	n, err := g.Node(ids[0])
+	if err != nil || n.Label != "N" {
+		t.Fatalf("Node: %v %v", n, err)
+	}
+	if _, err := g.Node(999); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("missing node: %v", err)
+	}
+	e, err := g.Edge(1)
+	if err != nil || e.From != ids[0] || e.To != ids[1] {
+		t.Fatalf("Edge: %+v %v", e, err)
+	}
+	if _, err := g.Edge(999); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("missing edge: %v", err)
+	}
+}
+
+func TestAddEdgeRequiresEndpoints(t *testing.T) {
+	g := New()
+	id, _ := g.AddNode("N", nil)
+	if _, err := g.AddEdge("e", id, 42, nil); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("missing target: %v", err)
+	}
+	if _, err := g.AddEdge("e", 42, id, nil); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("missing source: %v", err)
+	}
+}
+
+func TestNeighborsDirections(t *testing.T) {
+	g, ids := triangle(t)
+	count := func(dir model.Direction) int {
+		n := 0
+		g.Neighbors(ids[0], dir, func(model.Edge, model.Node) bool { n++; return true })
+		return n
+	}
+	if count(model.Out) != 1 || count(model.In) != 1 || count(model.Both) != 2 {
+		t.Errorf("neighbor counts out=%d in=%d both=%d", count(model.Out), count(model.In), count(model.Both))
+	}
+	// Out neighbor of a is b.
+	g.Neighbors(ids[0], model.Out, func(e model.Edge, n model.Node) bool {
+		if n.ID != ids[1] {
+			t.Errorf("out neighbor = %d, want %d", n.ID, ids[1])
+		}
+		return true
+	})
+	if err := g.Neighbors(999, model.Out, func(model.Edge, model.Node) bool { return true }); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("missing node: %v", err)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	g, ids := triangle(t)
+	for _, id := range ids {
+		for dir, want := range map[model.Direction]int{model.Out: 1, model.In: 1, model.Both: 2} {
+			d, err := g.Degree(id, dir)
+			if err != nil || d != want {
+				t.Errorf("Degree(%d, %v) = %d, %v; want %d", id, dir, d, err, want)
+			}
+		}
+	}
+	if _, err := g.Degree(999, model.Out); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("missing node degree: %v", err)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g, ids := triangle(t)
+	if err := g.RemoveEdge(1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2 {
+		t.Errorf("size after removal = %d", g.Size())
+	}
+	if d, _ := g.Degree(ids[0], model.Out); d != 0 {
+		t.Errorf("out degree after removal = %d", d)
+	}
+	if err := g.RemoveEdge(1); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestRemoveNodeCascades(t *testing.T) {
+	g, ids := triangle(t)
+	if err := g.RemoveNode(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if g.Order() != 2 || g.Size() != 1 {
+		t.Errorf("order=%d size=%d after cascade", g.Order(), g.Size())
+	}
+	if err := g.RemoveNode(ids[0]); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestSetProps(t *testing.T) {
+	g, ids := triangle(t)
+	if err := g.SetNodeProp(ids[0], "age", model.Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.Node(ids[0])
+	if v, _ := n.Props["age"].AsInt(); v != 3 {
+		t.Errorf("age = %v", n.Props["age"])
+	}
+	if err := g.SetEdgeProp(1, "w", model.Float(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := g.Edge(1)
+	if v, _ := e.Props["w"].AsFloat(); v != 0.5 {
+		t.Errorf("w = %v", e.Props["w"])
+	}
+	if err := g.SetNodeProp(999, "x", model.Int(1)); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("missing node prop: %v", err)
+	}
+	if err := g.SetEdgeProp(999, "x", model.Int(1)); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("missing edge prop: %v", err)
+	}
+}
+
+func TestPropsAreCopiedOnInsert(t *testing.T) {
+	g := New()
+	p := model.Props("k", 1)
+	id, _ := g.AddNode("N", p)
+	p["k"] = model.Int(2)
+	n, _ := g.Node(id)
+	if v, _ := n.Props["k"].AsInt(); v != 1 {
+		t.Error("insert should copy the property map")
+	}
+}
+
+func TestIterationEarlyStop(t *testing.T) {
+	g, _ := triangle(t)
+	n := 0
+	g.Nodes(func(model.Node) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("Nodes early stop visited %d", n)
+	}
+	n = 0
+	g.Edges(func(model.Edge) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("Edges early stop visited %d", n)
+	}
+}
+
+// Property: for any sequence of edge insertions over k nodes, the sum of out
+// degrees equals the number of edges (handshake invariant, directed form).
+func TestDegreeSumInvariantQuick(t *testing.T) {
+	f := func(pairs []struct{ A, B uint8 }) bool {
+		g := New()
+		const k = 16
+		ids := make([]model.NodeID, k)
+		for i := range ids {
+			ids[i], _ = g.AddNode("N", nil)
+		}
+		for _, p := range pairs {
+			g.AddEdge("e", ids[int(p.A)%k], ids[int(p.B)%k], nil)
+		}
+		sumOut, sumIn := 0, 0
+		for _, id := range ids {
+			o, _ := g.Degree(id, model.Out)
+			i, _ := g.Degree(id, model.In)
+			sumOut += o
+			sumIn += i
+		}
+		return sumOut == g.Size() && sumIn == g.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

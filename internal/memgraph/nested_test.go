@@ -1,0 +1,138 @@
+package memgraph
+
+import (
+	"errors"
+	"testing"
+
+	"gdbm/internal/model"
+)
+
+func TestNestedBasics(t *testing.T) {
+	g := NewNested()
+	outer, _ := g.AddNode("Module", nil)
+	inner := NewNested()
+	x, _ := inner.AddNode("Fn", nil)
+	y, _ := inner.AddNode("Fn", nil)
+	inner.AddEdge("calls", x, y, nil)
+
+	if err := g.Nest(outer, inner); err != nil {
+		t.Fatal(err)
+	}
+	child, err := g.Child(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Order() != 2 || child.Size() != 1 {
+		t.Errorf("child order=%d size=%d", child.Order(), child.Size())
+	}
+	if err := g.Nest(outer, NewNested()); !errors.Is(err, model.ErrAlreadyExists) {
+		t.Errorf("double nest: %v", err)
+	}
+	if err := g.Nest(999, NewNested()); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("nest on missing node: %v", err)
+	}
+}
+
+func TestNestedDepth(t *testing.T) {
+	g := NewNested()
+	a, _ := g.AddNode("L0", nil)
+	mid := NewNested()
+	b, _ := mid.AddNode("L1", nil)
+	deep := NewNested()
+	deep.AddNode("L2", nil)
+	if err := mid.Nest(b, deep); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Nest(a, mid); err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.Depth(a)
+	if err != nil || d != 2 {
+		t.Fatalf("Depth = %d, %v; want 2", d, err)
+	}
+	flatNode, _ := g.AddNode("flat", nil)
+	if d, _ := g.Depth(flatNode); d != 0 {
+		t.Errorf("flat node depth = %d", d)
+	}
+	if _, err := g.Depth(999); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("depth of missing node: %v", err)
+	}
+}
+
+func TestUnnest(t *testing.T) {
+	g := NewNested()
+	a, _ := g.AddNode("M", nil)
+	child := NewNested()
+	child.AddNode("inner", nil)
+	g.Nest(a, child)
+	got, err := g.Unnest(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Order() != 1 {
+		t.Errorf("unnested child order = %d", got.Order())
+	}
+	if _, err := g.Child(a); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("child after unnest: %v", err)
+	}
+	if _, err := g.Unnest(a); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("double unnest: %v", err)
+	}
+}
+
+func TestNestPlainGraph(t *testing.T) {
+	g := NewNested()
+	a, _ := g.AddNode("M", nil)
+	plain := New()
+	plain.AddNode("inner", nil)
+	if err := g.Nest(a, plain); err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.Child(a)
+	if err != nil || c.Order() != 1 {
+		t.Fatalf("child: %v %v", c, err)
+	}
+}
+
+func TestNestedRemoveNodeDropsChild(t *testing.T) {
+	g := NewNested()
+	a, _ := g.AddNode("M", nil)
+	g.Nest(a, NewNested())
+	if err := g.RemoveNode(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Child(a); !errors.Is(err, model.ErrNotFound) {
+		t.Errorf("child should be gone: %v", err)
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	g := NewNested()
+	a, _ := g.AddNode("M", nil)
+	b, _ := g.AddNode("M", nil)
+	g.AddEdge("next", a, b, nil)
+	child := NewNested()
+	c1, _ := child.AddNode("inner", nil)
+	c2, _ := child.AddNode("inner", nil)
+	child.AddEdge("in", c1, c2, nil)
+	g.Nest(a, child)
+
+	flat := g.Flatten()
+	// Nodes: a, b, c1, c2 = 4. Edges: next, in, and 2 "nests" edges = 4.
+	if flat.Order() != 4 {
+		t.Errorf("flat order = %d, want 4", flat.Order())
+	}
+	if flat.Size() != 4 {
+		t.Errorf("flat size = %d, want 4", flat.Size())
+	}
+	nests := 0
+	flat.Edges(func(e model.Edge) bool {
+		if e.Label == "nests" {
+			nests++
+		}
+		return true
+	})
+	if nests != 2 {
+		t.Errorf("nests edges = %d, want 2", nests)
+	}
+}

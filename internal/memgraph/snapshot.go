@@ -1,0 +1,47 @@
+package memgraph
+
+import "gdbm/internal/model"
+
+// Snapshot returns a deep copy of the graph's state, and RestoreFrom
+// replaces the state with a previously taken snapshot. Together they give
+// the in-memory engines an all-or-nothing transaction primitive (the
+// "transaction engine" component the survey requires of a graph database):
+// take a snapshot, apply a batch, restore on failure.
+func (g *Graph) Snapshot() *Graph {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s := New()
+	s.nextNode = g.nextNode
+	s.nextEdge = g.nextEdge
+	for id, n := range g.nodes {
+		cp := *n
+		cp.Props = n.Props.Clone()
+		s.nodes[id] = &cp
+	}
+	for id, e := range g.edges {
+		cp := *e
+		cp.Props = e.Props.Clone()
+		s.edges[id] = &cp
+	}
+	for id, a := range g.adj {
+		s.adj[id] = &adjacency{
+			out: append([]model.EdgeID(nil), a.out...),
+			in:  append([]model.EdgeID(nil), a.in...),
+		}
+	}
+	return s
+}
+
+// RestoreFrom replaces the receiver's state with the snapshot's. The
+// snapshot must not be used afterwards.
+func (g *Graph) RestoreFrom(s *Graph) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g.nodes = s.nodes
+	g.edges = s.edges
+	g.adj = s.adj
+	g.nextNode = s.nextNode
+	g.nextEdge = s.nextEdge
+}

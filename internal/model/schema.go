@@ -1,0 +1,322 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PropertyType declares a typed attribute inside a node or relation type.
+// Required properties must be present on every instance; Unique properties
+// identify the instance among all instances of the owning type (the survey's
+// "node/edge identity by attribute values").
+type PropertyType struct {
+	Name     string
+	Kind     Kind
+	Required bool
+	Unique   bool
+}
+
+// Cardinality bounds how many relation instances of a type may leave a single
+// source node. Max == 0 means unbounded.
+type Cardinality struct {
+	Min int
+	Max int
+}
+
+// NodeType declares a class of nodes at the schema level.
+type NodeType struct {
+	Name       string
+	Properties []PropertyType
+}
+
+// Property returns the declared property with the given name.
+func (t *NodeType) Property(name string) (PropertyType, bool) {
+	for _, p := range t.Properties {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PropertyType{}, false
+}
+
+// RelationKind distinguishes plain relations from the "complex relations"
+// of the survey: grouping, derivation and inheritance semantics.
+type RelationKind uint8
+
+const (
+	RelationPlain RelationKind = iota
+	RelationGrouping
+	RelationDerivation
+	RelationInheritance
+)
+
+// String names the relation kind.
+func (k RelationKind) String() string {
+	switch k {
+	case RelationPlain:
+		return "plain"
+	case RelationGrouping:
+		return "grouping"
+	case RelationDerivation:
+		return "derivation"
+	case RelationInheritance:
+		return "inheritance"
+	default:
+		return fmt.Sprintf("relationkind(%d)", uint8(k))
+	}
+}
+
+// RelationType declares a class of edges at the schema level. From/To name
+// node types; empty strings mean "any". Optional relation types may be absent
+// on an instance without violating Min cardinality (the schema-evolution
+// mechanism the paper advocates in Section III-C).
+type RelationType struct {
+	Name        string
+	From, To    string
+	Kind        RelationKind
+	Properties  []PropertyType
+	Cardinality Cardinality
+	Optional    bool
+}
+
+// Property returns the declared property with the given name.
+func (t *RelationType) Property(name string) (PropertyType, bool) {
+	for _, p := range t.Properties {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PropertyType{}, false
+}
+
+// Schema is a mutable catalog of node and relation types. It is safe for
+// concurrent use. Engines that the survey marks without a Data Definition
+// Language simply never expose a schema to their users.
+type Schema struct {
+	mu        sync.RWMutex
+	nodes     map[string]*NodeType
+	relations map[string]*RelationType
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{
+		nodes:     make(map[string]*NodeType),
+		relations: make(map[string]*RelationType),
+	}
+}
+
+// DefineNodeType registers a node type. Redefinition of an existing name
+// fails with ErrAlreadyExists.
+func (s *Schema) DefineNodeType(t NodeType) error {
+	if t.Name == "" {
+		return fmt.Errorf("schema: node type needs a name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.nodes[t.Name]; ok {
+		return fmt.Errorf("node type %q: %w", t.Name, ErrAlreadyExists)
+	}
+	cp := t
+	cp.Properties = append([]PropertyType(nil), t.Properties...)
+	s.nodes[t.Name] = &cp
+	return nil
+}
+
+// DefineRelationType registers a relation type. Referential targets must be
+// declared node types (or empty for "any").
+func (s *Schema) DefineRelationType(t RelationType) error {
+	if t.Name == "" {
+		return fmt.Errorf("schema: relation type needs a name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.relations[t.Name]; ok {
+		return fmt.Errorf("relation type %q: %w", t.Name, ErrAlreadyExists)
+	}
+	for _, end := range []string{t.From, t.To} {
+		if end == "" {
+			continue
+		}
+		if _, ok := s.nodes[end]; !ok {
+			return fmt.Errorf("relation type %q references undeclared node type %q: %w", t.Name, end, ErrNotFound)
+		}
+	}
+	cp := t
+	cp.Properties = append([]PropertyType(nil), t.Properties...)
+	s.relations[t.Name] = &cp
+	return nil
+}
+
+// DropNodeType removes a node type; it fails if any relation type still
+// references it.
+func (s *Schema) DropNodeType(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.nodes[name]; !ok {
+		return fmt.Errorf("node type %q: %w", name, ErrNotFound)
+	}
+	for _, r := range s.relations {
+		if r.From == name || r.To == name {
+			return fmt.Errorf("node type %q still referenced by relation type %q", name, r.Name)
+		}
+	}
+	delete(s.nodes, name)
+	return nil
+}
+
+// DropRelationType removes a relation type.
+func (s *Schema) DropRelationType(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.relations[name]; !ok {
+		return fmt.Errorf("relation type %q: %w", name, ErrNotFound)
+	}
+	delete(s.relations, name)
+	return nil
+}
+
+// NodeType returns the declared node type with the given name.
+func (s *Schema) NodeType(name string) (*NodeType, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.nodes[name]
+	return t, ok
+}
+
+// RelationType returns the declared relation type with the given name.
+func (s *Schema) RelationType(name string) (*RelationType, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.relations[name]
+	return t, ok
+}
+
+// NodeTypes lists declared node types sorted by name.
+func (s *Schema) NodeTypes() []*NodeType {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*NodeType, 0, len(s.nodes))
+	for _, t := range s.nodes {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RelationTypes lists declared relation types sorted by name.
+func (s *Schema) RelationTypes() []*RelationType {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*RelationType, 0, len(s.relations))
+	for _, t := range s.relations {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// EnsureNodeType declares label as an open node type covering the given
+// properties, or widens an existing declaration with unseen properties. It
+// is the loader-side convenience for typed engines ingesting schemaless
+// datasets: the explicit "create type" step is performed implicitly.
+func (s *Schema) EnsureNodeType(label string, props Properties) {
+	if label == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.nodes[label]
+	if !ok {
+		t = &NodeType{Name: label}
+		s.nodes[label] = t
+	}
+	for k, v := range props {
+		if !declared(t.Properties, k) {
+			t.Properties = append(t.Properties, PropertyType{Name: k, Kind: v.Kind()})
+		}
+	}
+}
+
+// EnsureRelationType declares label as an open relation type covering the
+// given properties, or widens an existing declaration.
+func (s *Schema) EnsureRelationType(label string, props Properties) {
+	if label == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.relations[label]
+	if !ok {
+		t = &RelationType{Name: label}
+		s.relations[label] = t
+	}
+	for k, v := range props {
+		if !declared(t.Properties, k) {
+			t.Properties = append(t.Properties, PropertyType{Name: k, Kind: v.Kind()})
+		}
+	}
+}
+
+// CheckNode validates a node record against the schema: declared label,
+// declared property names, kinds, and required presence. Engines without
+// types checking skip this. An empty label always passes (untyped node).
+func (s *Schema) CheckNode(n Node) error {
+	if n.Label == "" {
+		return nil
+	}
+	t, ok := s.NodeType(n.Label)
+	if !ok {
+		return fmt.Errorf("node label %q is not a declared type: %w", n.Label, ErrConstraint)
+	}
+	return checkProps(n.Props, t.Properties, "node type "+t.Name)
+}
+
+// CheckEdge validates an edge record and its endpoint labels.
+func (s *Schema) CheckEdge(e Edge, fromLabel, toLabel string) error {
+	if e.Label == "" {
+		return nil
+	}
+	t, ok := s.RelationType(e.Label)
+	if !ok {
+		return fmt.Errorf("edge label %q is not a declared relation type: %w", e.Label, ErrConstraint)
+	}
+	if t.From != "" && t.From != fromLabel {
+		return fmt.Errorf("relation %q requires source type %q, got %q: %w", t.Name, t.From, fromLabel, ErrConstraint)
+	}
+	if t.To != "" && t.To != toLabel {
+		return fmt.Errorf("relation %q requires target type %q, got %q: %w", t.Name, t.To, toLabel, ErrConstraint)
+	}
+	return checkProps(e.Props, t.Properties, "relation type "+t.Name)
+}
+
+func checkProps(props Properties, decls []PropertyType, owner string) error {
+	for _, d := range decls {
+		v, present := props[d.Name]
+		if !present {
+			if d.Required {
+				return fmt.Errorf("%s: missing required property %q: %w", owner, d.Name, ErrConstraint)
+			}
+			continue
+		}
+		if v.Kind() != d.Kind && !(v.Kind() == KindInt && d.Kind == KindFloat) {
+			return fmt.Errorf("%s: property %q has kind %v, want %v: %w", owner, d.Name, v.Kind(), d.Kind, ErrConstraint)
+		}
+	}
+	for name := range props {
+		if !declared(decls, name) {
+			return fmt.Errorf("%s: property %q is not declared: %w", owner, name, ErrConstraint)
+		}
+	}
+	return nil
+}
+
+func declared(decls []PropertyType, name string) bool {
+	for _, d := range decls {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+package model
+
+import (
+	"errors"
+	"testing"
+)
+
+func personSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	if err := s.DefineNodeType(NodeType{
+		Name: "Person",
+		Properties: []PropertyType{
+			{Name: "name", Kind: KindString, Required: true, Unique: true},
+			{Name: "age", Kind: KindInt},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DefineNodeType(NodeType{Name: "City"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DefineRelationType(RelationType{
+		Name: "livesIn", From: "Person", To: "City",
+		Cardinality: Cardinality{Max: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaDefineAndLookup(t *testing.T) {
+	s := personSchema(t)
+	nt, ok := s.NodeType("Person")
+	if !ok || nt.Name != "Person" {
+		t.Fatalf("NodeType lookup failed: %v %v", nt, ok)
+	}
+	if _, ok := nt.Property("name"); !ok {
+		t.Error("Property(name) not found")
+	}
+	if _, ok := nt.Property("ghost"); ok {
+		t.Error("Property(ghost) should not exist")
+	}
+	rt, ok := s.RelationType("livesIn")
+	if !ok || rt.From != "Person" || rt.To != "City" {
+		t.Fatalf("RelationType lookup failed: %+v %v", rt, ok)
+	}
+	if got := len(s.NodeTypes()); got != 2 {
+		t.Errorf("NodeTypes len = %d", got)
+	}
+	if got := len(s.RelationTypes()); got != 1 {
+		t.Errorf("RelationTypes len = %d", got)
+	}
+}
+
+func TestSchemaDuplicateAndMissing(t *testing.T) {
+	s := personSchema(t)
+	if err := s.DefineNodeType(NodeType{Name: "Person"}); !errors.Is(err, ErrAlreadyExists) {
+		t.Errorf("duplicate node type: %v", err)
+	}
+	if err := s.DefineRelationType(RelationType{Name: "livesIn"}); !errors.Is(err, ErrAlreadyExists) {
+		t.Errorf("duplicate relation type: %v", err)
+	}
+	if err := s.DefineRelationType(RelationType{Name: "x", From: "Nope"}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("undeclared endpoint: %v", err)
+	}
+	if err := s.DefineNodeType(NodeType{}); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestSchemaDrop(t *testing.T) {
+	s := personSchema(t)
+	if err := s.DropNodeType("Person"); err == nil {
+		t.Error("dropping referenced node type should fail")
+	}
+	if err := s.DropRelationType("livesIn"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropNodeType("Person"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropNodeType("Person"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double drop: %v", err)
+	}
+	if err := s.DropRelationType("livesIn"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double drop relation: %v", err)
+	}
+}
+
+func TestSchemaCheckNode(t *testing.T) {
+	s := personSchema(t)
+	ok := Node{Label: "Person", Props: Props("name", "ada", "age", 36)}
+	if err := s.CheckNode(ok); err != nil {
+		t.Errorf("valid node rejected: %v", err)
+	}
+	// Untyped nodes always pass.
+	if err := s.CheckNode(Node{Props: Props("anything", 1)}); err != nil {
+		t.Errorf("untyped node rejected: %v", err)
+	}
+	cases := []Node{
+		{Label: "Ghost"}, // undeclared label
+		{Label: "Person", Props: Props("age", 30)},             // missing required
+		{Label: "Person", Props: Props("name", 5)},             // wrong kind
+		{Label: "Person", Props: Props("name", "x", "pet", 1)}, // undeclared prop
+	}
+	for i, n := range cases {
+		if err := s.CheckNode(n); !errors.Is(err, ErrConstraint) {
+			t.Errorf("case %d: want constraint violation, got %v", i, err)
+		}
+	}
+	// Int accepted where float declared.
+	s2 := NewSchema()
+	s2.DefineNodeType(NodeType{Name: "M", Properties: []PropertyType{{Name: "w", Kind: KindFloat}}})
+	if err := s2.CheckNode(Node{Label: "M", Props: Props("w", 3)}); err != nil {
+		t.Errorf("int-for-float rejected: %v", err)
+	}
+}
+
+func TestSchemaCheckEdge(t *testing.T) {
+	s := personSchema(t)
+	e := Edge{Label: "livesIn"}
+	if err := s.CheckEdge(e, "Person", "City"); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+	if err := s.CheckEdge(e, "City", "City"); !errors.Is(err, ErrConstraint) {
+		t.Errorf("wrong source: %v", err)
+	}
+	if err := s.CheckEdge(e, "Person", "Person"); !errors.Is(err, ErrConstraint) {
+		t.Errorf("wrong target: %v", err)
+	}
+	if err := s.CheckEdge(Edge{Label: "nope"}, "", ""); !errors.Is(err, ErrConstraint) {
+		t.Errorf("undeclared relation: %v", err)
+	}
+	if err := s.CheckEdge(Edge{}, "", ""); err != nil {
+		t.Errorf("unlabeled edge rejected: %v", err)
+	}
+}
+
+func TestRelationKindString(t *testing.T) {
+	want := map[RelationKind]string{
+		RelationPlain:       "plain",
+		RelationGrouping:    "grouping",
+		RelationDerivation:  "derivation",
+		RelationInheritance: "inheritance",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestDirectionHelpers(t *testing.T) {
+	if Out.Reverse() != In || In.Reverse() != Out || Both.Reverse() != Both {
+		t.Error("Reverse is wrong")
+	}
+	if Out.String() != "out" || In.String() != "in" || Both.String() != "both" {
+		t.Error("Direction.String is wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindNull: "null", KindBool: "bool", KindInt: "int", KindFloat: "float", KindString: "string"} {
+		if k.String() != want {
+			t.Errorf("kind %d: %q", k, k.String())
+		}
+	}
+}

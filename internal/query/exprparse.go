@@ -1,0 +1,247 @@
+package query
+
+import (
+	"strconv"
+	"strings"
+
+	"gdbm/internal/model"
+)
+
+// ParseExpr parses an expression from the lexer using precedence climbing.
+// Grammar (lowest to highest precedence):
+//
+//	or   := and (OR and)*
+//	and  := not (AND not)*
+//	not  := NOT not | cmp
+//	cmp  := add (( = | <> | != | < | <= | > | >= ) add)?
+//	add  := mul (( + | - ) mul)*
+//	mul  := unary (( * | / ) unary)*
+//	unary:= - unary | primary
+//	prim := literal | var (. prop)? | fn(args) | ( or )
+//
+// Variables may be plain identifiers or, when the lexer is in IRIMode,
+// ?name tokens.
+func ParseExpr(l *Lexer) (Expr, error) { return parseOr(l) }
+
+func parseOr(l *Lexer) (Expr, error) {
+	left, err := parseAnd(l)
+	if err != nil {
+		return nil, err
+	}
+	for l.AcceptIdent("or") || l.AcceptPunct("||") {
+		right, err := parseAnd(l)
+		if err != nil {
+			return nil, err
+		}
+		left = BinOp{Op: "or", L: left, R: right}
+	}
+	return left, nil
+}
+
+func parseAnd(l *Lexer) (Expr, error) {
+	left, err := parseNot(l)
+	if err != nil {
+		return nil, err
+	}
+	for l.AcceptIdent("and") || l.AcceptPunct("&&") {
+		right, err := parseNot(l)
+		if err != nil {
+			return nil, err
+		}
+		left = BinOp{Op: "and", L: left, R: right}
+	}
+	return left, nil
+}
+
+func parseNot(l *Lexer) (Expr, error) {
+	if l.AcceptIdent("not") || l.AcceptPunct("!") {
+		e, err := parseNot(l)
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	}
+	return parseCmp(l)
+}
+
+func parseCmp(l *Lexer) (Expr, error) {
+	left, err := parseAdd(l)
+	if err != nil {
+		return nil, err
+	}
+	t, err := l.Peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "=", "<>", "!=", "<", "<=", ">", ">=":
+			l.Next()
+			right, err := parseAdd(l)
+			if err != nil {
+				return nil, err
+			}
+			return BinOp{Op: t.Text, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func parseAdd(l *Lexer) (Expr, error) {
+	left, err := parseMul(l)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := l.Peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != TokPunct || (t.Text != "+" && t.Text != "-") {
+			return left, nil
+		}
+		l.Next()
+		right, err := parseMul(l)
+		if err != nil {
+			return nil, err
+		}
+		left = BinOp{Op: t.Text, L: left, R: right}
+	}
+}
+
+func parseMul(l *Lexer) (Expr, error) {
+	left, err := parseUnary(l)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := l.Peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != TokPunct || (t.Text != "*" && t.Text != "/") {
+			return left, nil
+		}
+		l.Next()
+		right, err := parseUnary(l)
+		if err != nil {
+			return nil, err
+		}
+		left = BinOp{Op: t.Text, L: left, R: right}
+	}
+}
+
+func parseUnary(l *Lexer) (Expr, error) {
+	if l.AcceptPunct("-") {
+		e, err := parseUnary(l)
+		if err != nil {
+			return nil, err
+		}
+		return Neg{E: e}, nil
+	}
+	return parsePrimary(l)
+}
+
+func parsePrimary(l *Lexer) (Expr, error) {
+	t, err := l.Next()
+	if err != nil {
+		return nil, err
+	}
+	switch t.Kind {
+	case TokNumber:
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, l.Errorf(t.Pos, "bad number %q", t.Text)
+			}
+			return Lit{model.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, l.Errorf(t.Pos, "bad number %q", t.Text)
+		}
+		return Lit{model.Int(i)}, nil
+	case TokString:
+		return Lit{model.Str(t.Text)}, nil
+	case TokVar: // ?name
+		return Var{Name: t.Text}, nil
+	case TokPunct:
+		if t.Text == "(" {
+			e, err := parseOr(l)
+			if err != nil {
+				return nil, err
+			}
+			if err := l.ExpectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, l.Errorf(t.Pos, "unexpected %q in expression", t.Text)
+	case TokIdent:
+		switch strings.ToLower(t.Text) {
+		case "true":
+			return Lit{model.Bool(true)}, nil
+		case "false":
+			return Lit{model.Bool(false)}, nil
+		case "null":
+			return Lit{model.Null()}, nil
+		}
+		// Function call?
+		if l.AcceptPunct("(") {
+			var args []Expr
+			if !l.AcceptPunct(")") {
+				for {
+					// count(*) support.
+					if p, _ := l.Peek(); p.Kind == TokPunct && p.Text == "*" {
+						l.Next()
+						args = append(args, Lit{model.Str("*")})
+					} else {
+						a, err := parseOr(l)
+						if err != nil {
+							return nil, err
+						}
+						args = append(args, a)
+					}
+					if l.AcceptPunct(",") {
+						continue
+					}
+					if err := l.ExpectPunct(")"); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			return Call{Fn: t.Text, Args: args}, nil
+		}
+		// Property access?
+		if l.AcceptPunct(".") {
+			pt, err := l.Next()
+			if err != nil {
+				return nil, err
+			}
+			if pt.Kind != TokIdent {
+				return nil, l.Errorf(pt.Pos, "expected property name after '.'")
+			}
+			return Var{Name: t.Text, Prop: pt.Text}, nil
+		}
+		return Var{Name: t.Text}, nil
+	}
+	return nil, l.Errorf(t.Pos, "unexpected end of expression")
+}
+
+// ParseExprString parses a complete standalone expression.
+func ParseExprString(s string) (Expr, error) {
+	l := NewLexer(s)
+	e, err := ParseExpr(l)
+	if err != nil {
+		return nil, err
+	}
+	t, err := l.Peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind != TokEOF {
+		return nil, l.Errorf(t.Pos, "trailing input %q", t.Text)
+	}
+	return e, nil
+}

@@ -1,0 +1,178 @@
+package gql
+
+import (
+	"errors"
+	"fmt"
+
+	"gdbm/internal/model"
+	"gdbm/internal/query"
+	"gdbm/internal/query/plan"
+)
+
+// Mutator is the engine surface write statements need.
+type Mutator interface {
+	plan.Source
+	AddNode(label string, props model.Properties) (model.NodeID, error)
+	AddEdge(label string, from, to model.NodeID, props model.Properties) (model.EdgeID, error)
+	RemoveNode(id model.NodeID) error
+	RemoveEdge(id model.EdgeID) error
+	SetNodeProp(id model.NodeID, key string, v model.Value) error
+	SetEdgeProp(id model.EdgeID, key string, v model.Value) error
+}
+
+// Query runs a read-only statement against src and materializes the result.
+func Query(input string, src plan.Source) (*plan.Result, error) {
+	st, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	if !st.ReadOnly() {
+		return nil, fmt.Errorf("gql: statement writes; use Exec")
+	}
+	return runRead(st, src)
+}
+
+func runRead(st *Statement, src plan.Source) (*plan.Result, error) {
+	if st.Match == nil {
+		return &plan.Result{}, nil
+	}
+	op, err := plan.Compile(st.Match)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Collect(op, src, st.Columns())
+}
+
+// Exec runs any statement, applying writes through m. The returned result
+// carries RETURN output when present; write-only statements return counters
+// in the "nodes", "edges", "set", "deleted" columns.
+func Exec(input string, m Mutator) (*plan.Result, error) {
+	st, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	if st.ReadOnly() {
+		return runRead(st, m)
+	}
+
+	// Materialize binding rows first so mutation does not race iteration.
+	rows := []query.Row{{}}
+	if st.Match != nil {
+		spec := *st.Match
+		spec.Return = nil
+		spec.Aggs = nil
+		spec.GroupBy = nil
+		op, err := plan.Compile(&spec)
+		if err != nil {
+			return nil, err
+		}
+		rows = nil
+		if err := op.Run(m, func(r query.Row) error {
+			rows = append(rows, r)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	var nodesCreated, edgesCreated, propsSet, deleted int
+	for _, row := range rows {
+		// Creates: nodes first so edge endpoints resolve.
+		for _, cn := range st.CreateNodes {
+			id, err := m.AddNode(cn.Label, cn.Props)
+			if err != nil {
+				return nil, err
+			}
+			nodesCreated++
+			if cn.Var != "" {
+				n, err := m.Node(id)
+				if err != nil {
+					return nil, err
+				}
+				row[cn.Var] = query.NodeEntry(n)
+			}
+		}
+		for _, ce := range st.CreateEdges {
+			from, ok := row[ce.FromVar]
+			if !ok || from.Kind != query.EntryNode {
+				return nil, fmt.Errorf("gql: CREATE edge source %q is not a bound node", ce.FromVar)
+			}
+			to, ok := row[ce.ToVar]
+			if !ok || to.Kind != query.EntryNode {
+				return nil, fmt.Errorf("gql: CREATE edge target %q is not a bound node", ce.ToVar)
+			}
+			if _, err := m.AddEdge(ce.Label, from.Node.ID, to.Node.ID, ce.Props); err != nil {
+				return nil, err
+			}
+			edgesCreated++
+		}
+		for _, set := range st.Sets {
+			ent, ok := row[set.Var]
+			if !ok {
+				return nil, fmt.Errorf("gql: SET target %q is unbound", set.Var)
+			}
+			v, err := set.Expr.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			switch ent.Kind {
+			case query.EntryNode:
+				if err := m.SetNodeProp(ent.Node.ID, set.Prop, v); err != nil {
+					return nil, err
+				}
+			case query.EntryEdge:
+				if err := m.SetEdgeProp(ent.Edge.ID, set.Prop, v); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("gql: SET target %q is not an entity", set.Var)
+			}
+			propsSet++
+		}
+		for _, dv := range st.Deletes {
+			ent, ok := row[dv]
+			if !ok {
+				return nil, fmt.Errorf("gql: DELETE target %q is unbound", dv)
+			}
+			switch ent.Kind {
+			case query.EntryNode:
+				if st.Detach {
+					// Remove incident edges first.
+					var eids []model.EdgeID
+					if err := m.Neighbors(ent.Node.ID, model.Both, func(e model.Edge, _ model.Node) bool {
+						eids = append(eids, e.ID)
+						return true
+					}); err != nil {
+						return nil, err
+					}
+					for _, eid := range eids {
+						if err := m.RemoveEdge(eid); err != nil && !isNotFound(err) {
+							return nil, err
+						}
+					}
+				}
+				if err := m.RemoveNode(ent.Node.ID); err != nil && !isNotFound(err) {
+					return nil, err
+				}
+			case query.EntryEdge:
+				if err := m.RemoveEdge(ent.Edge.ID); err != nil && !isNotFound(err) {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("gql: DELETE target %q is not an entity", dv)
+			}
+			deleted++
+		}
+	}
+	return &plan.Result{
+		Cols: []string{"nodes", "edges", "set", "deleted"},
+		Rows: [][]model.Value{{
+			model.Int(int64(nodesCreated)),
+			model.Int(int64(edgesCreated)),
+			model.Int(int64(propsSet)),
+			model.Int(int64(deleted)),
+		}},
+	}, nil
+}
+
+func isNotFound(err error) bool { return errors.Is(err, model.ErrNotFound) }

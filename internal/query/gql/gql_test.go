@@ -1,0 +1,278 @@
+package gql
+
+import (
+	"testing"
+
+	"gdbm/internal/memgraph"
+	"gdbm/internal/model"
+	"gdbm/internal/query/plan"
+)
+
+// testDB wraps memgraph as a Mutator with no indexes.
+type testDB struct{ *memgraph.Graph }
+
+func (testDB) IndexedNodes(string, string, model.Value, func(model.Node) bool) (bool, error) {
+	return false, nil
+}
+
+func newDB(t *testing.T) testDB {
+	t.Helper()
+	return testDB{memgraph.New()}
+}
+
+func seed(t *testing.T, db testDB) {
+	t.Helper()
+	stmts := []string{
+		`CREATE (a:Person {name: 'ada', age: 36})`,
+		`CREATE (b:Person {name: 'bob', age: 40})`,
+		`CREATE (c:Person {name: 'cam', age: 25})`,
+		`CREATE (z:City {name: 'zurich'})`,
+	}
+	for _, s := range stmts {
+		if _, err := Exec(s, db); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	edges := []string{
+		`MATCH (a:Person {name: 'ada'}), (b:Person {name: 'bob'}) CREATE (a)-[:knows {since: 2019}]->(b)`,
+		`MATCH (b:Person {name: 'bob'}), (c:Person {name: 'cam'}) CREATE (b)-[:knows]->(c)`,
+		`MATCH (a:Person {name: 'ada'}), (z:City) CREATE (a)-[:livesIn]->(z)`,
+		`MATCH (c:Person {name: 'cam'}), (z:City) CREATE (c)-[:livesIn]->(z)`,
+	}
+	for _, s := range edges {
+		if _, err := Exec(s, db); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+}
+
+func TestCreateAndCount(t *testing.T) {
+	db := newDB(t)
+	res, err := Exec(`CREATE (a:Person {name: 'ada'})`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[0][0].Equal(model.Int(1)) {
+		t.Errorf("nodes created = %v", res.Rows[0][0])
+	}
+	if db.Order() != 1 {
+		t.Errorf("order = %d", db.Order())
+	}
+}
+
+func TestMatchReturn(t *testing.T) {
+	db := newDB(t)
+	seed(t, db)
+	res, err := Query(`MATCH (p:Person) WHERE p.age > 30 RETURN p.name AS name ORDER BY name`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if n, _ := res.Rows[0][0].AsString(); n != "ada" {
+		t.Errorf("row0 = %v", res.Rows[0])
+	}
+	if n, _ := res.Rows[1][0].AsString(); n != "bob" {
+		t.Errorf("row1 = %v", res.Rows[1])
+	}
+}
+
+func TestMatchEdgePattern(t *testing.T) {
+	db := newDB(t)
+	seed(t, db)
+	res, err := Query(`MATCH (a:Person)-[r:knows]->(b:Person) RETURN a.name AS a, b.name AS b, r.since AS since`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d: %v", len(res.Rows), res.Rows)
+	}
+}
+
+func TestMatchChainAndReversedArrow(t *testing.T) {
+	db := newDB(t)
+	seed(t, db)
+	// Chain: who lives where ada's friends-of-friends live? cam lives in zurich.
+	res, err := Query(`MATCH (a:Person {name: 'ada'})-[:knows]->(b)-[:knows]->(c)-[:livesIn]->(z) RETURN c.name AS c, z.name AS z`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Reversed arrow.
+	res2, err := Query(`MATCH (b)<-[:knows]-(a:Person {name: 'ada'}) RETURN b.name AS b`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != 1 {
+		t.Fatalf("reversed rows = %v", res2.Rows)
+	}
+	if n, _ := res2.Rows[0][0].AsString(); n != "bob" {
+		t.Errorf("b = %q", n)
+	}
+}
+
+func TestUndirectedEdge(t *testing.T) {
+	db := newDB(t)
+	seed(t, db)
+	res, err := Query(`MATCH (a:Person {name: 'bob'})-[:knows]-(x) RETURN x.name AS x ORDER BY x`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("undirected rows = %v", res.Rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := newDB(t)
+	seed(t, db)
+	res, err := Query(`MATCH (p:Person) RETURN count(*) AS n, avg(p.age) AS avgAge, max(p.age) AS maxAge`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if !res.Rows[0][0].Equal(model.Int(3)) {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+	if !res.Rows[0][2].Equal(model.Int(40)) {
+		t.Errorf("max = %v", res.Rows[0][2])
+	}
+}
+
+func TestGroupedAggregate(t *testing.T) {
+	db := newDB(t)
+	seed(t, db)
+	// Group persons by whether they live somewhere: count livesIn per city.
+	res, err := Query(`MATCH (p:Person)-[:livesIn]->(c) RETURN c.name AS city, count(*) AS n`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if !res.Rows[0][1].Equal(model.Int(2)) {
+		t.Errorf("n = %v", res.Rows[0][1])
+	}
+}
+
+func TestDistinctSkipLimit(t *testing.T) {
+	db := newDB(t)
+	seed(t, db)
+	res, err := Query(`MATCH (p:Person)-[:livesIn]->(c) RETURN DISTINCT c.name AS city`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("distinct rows = %v", res.Rows)
+	}
+	res2, err := Query(`MATCH (p:Person) RETURN p.name AS n ORDER BY n SKIP 1 LIMIT 1`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != 1 {
+		t.Fatalf("rows = %v", res2.Rows)
+	}
+	if n, _ := res2.Rows[0][0].AsString(); n != "bob" {
+		t.Errorf("skipped row = %q", n)
+	}
+}
+
+func TestSet(t *testing.T) {
+	db := newDB(t)
+	seed(t, db)
+	if _, err := Exec(`MATCH (p:Person {name: 'ada'}) SET p.age = p.age + 1`, db); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := Query(`MATCH (p:Person {name: 'ada'}) RETURN p.age AS age`, db)
+	if !res.Rows[0][0].Equal(model.Int(37)) {
+		t.Errorf("age = %v", res.Rows[0][0])
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := newDB(t)
+	seed(t, db)
+	// Plain DELETE on a connected node cascades in memgraph (engines with
+	// referential constraints veto it; that is tested in the engine suites).
+	if _, err := Exec(`MATCH (p:Person {name: 'cam'}) DETACH DELETE p`, db); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := Query(`MATCH (p:Person) RETURN count(*) AS n`, db)
+	if !res.Rows[0][0].Equal(model.Int(2)) {
+		t.Errorf("count after delete = %v", res.Rows[0][0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		``,
+		`MATCH`,
+		`MATCH (a RETURN a`,
+		`MATCH (a) RETURN`,
+		`FOO (a)`,
+		`MATCH (a)-[>(b) RETURN a`,
+		`CREATE (a)-[]->(b)`, // edge without label
+		`MATCH (a) LIMIT x`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("parse %q should fail", bad)
+		}
+	}
+}
+
+func TestQueryRejectsWrites(t *testing.T) {
+	db := newDB(t)
+	if _, err := Query(`CREATE (a:X)`, db); err == nil {
+		t.Error("Query should reject writes")
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	db := newDB(t)
+	// CREATE edge with unbound endpoint.
+	if _, err := Exec(`CREATE (a)-[:r]->(b)`, db); err == nil {
+		t.Error("unbound endpoints should fail")
+	}
+	// SET on unbound var.
+	seed(t, db)
+	if _, err := Exec(`MATCH (p:Person {name:'ada'}) SET q.x = 1`, db); err == nil {
+		t.Error("unbound SET target should fail")
+	}
+}
+
+func TestEdgePropertyFilterInPattern(t *testing.T) {
+	db := newDB(t)
+	seed(t, db)
+	res, err := Query(`MATCH (a)-[r:knows {since: 2019}]->(b) RETURN b.name AS b`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if n, _ := res.Rows[0][0].AsString(); n != "bob" {
+		t.Errorf("b = %q", n)
+	}
+}
+
+func TestRepeatedVariableUnifies(t *testing.T) {
+	db := newDB(t)
+	seed(t, db)
+	// (a)-[:livesIn]->(z), (c)-[:livesIn]->(z) with shared z: pairs living
+	// in the same city: (ada,cam) and (cam,ada) and self-pairs.
+	res, err := Query(`MATCH (a:Person)-[:livesIn]->(z), (c:Person)-[:livesIn]->(z) WHERE a.name <> c.name RETURN a.name AS a, c.name AS c`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("shared-city pairs = %v", res.Rows)
+	}
+}
+
+var _ plan.Source = testDB{}
+var _ Mutator = testDB{}

@@ -1,0 +1,94 @@
+package plan
+
+import (
+	"fmt"
+
+	"gdbm/internal/model"
+	"gdbm/internal/query"
+)
+
+// ExpandVar is the variable-length counterpart of Expand: it walks between
+// Min and Max edges with the given label from FromVar and binds ToVar to
+// each distinct reachable node (BFS semantics: one binding per node, at its
+// minimum distance). It implements the reachability-inside-the-language
+// capability the survey's conclusion asks of a standard graph query
+// language; the gql syntax is (a)-[:knows*1..3]->(b).
+type ExpandVar struct {
+	Child   Op
+	FromVar string
+	ToVar   string
+	Label   string
+	Dir     model.Direction
+	Min     int
+	Max     int // 0 = unbounded
+}
+
+// Run implements Op.
+func (x *ExpandVar) Run(src Source, emit func(query.Row) error) error {
+	if x.Min < 0 {
+		return fmt.Errorf("expandvar: negative minimum length")
+	}
+	return x.Child.Run(src, func(row query.Row) error {
+		from, ok := row[x.FromVar]
+		if !ok || from.Kind != query.EntryNode {
+			return fmt.Errorf("expandvar: %q is not a bound node", x.FromVar)
+		}
+		bound, toBound := row[x.ToVar]
+
+		send := func(n model.Node) error {
+			if toBound {
+				if bound.Kind != query.EntryNode || bound.Node.ID != n.ID {
+					return nil
+				}
+			}
+			out := row.Clone()
+			if !toBound {
+				out[x.ToVar] = query.NodeEntry(n)
+			}
+			return emit(out)
+		}
+
+		// BFS by level over edges with the label.
+		visited := map[model.NodeID]bool{from.Node.ID: true}
+		frontier := []model.Node{from.Node}
+		if x.Min == 0 {
+			if err := send(from.Node); err != nil {
+				return err
+			}
+		}
+		for depth := 1; len(frontier) > 0 && (x.Max == 0 || depth <= x.Max); depth++ {
+			var next []model.Node
+			for _, cur := range frontier {
+				err := src.Neighbors(cur.ID, x.Dir, func(e model.Edge, n model.Node) bool {
+					if x.Label != "" && e.Label != x.Label {
+						return true
+					}
+					if visited[n.ID] {
+						return true
+					}
+					visited[n.ID] = true
+					next = append(next, n)
+					return true
+				})
+				if err != nil {
+					return err
+				}
+			}
+			if depth >= x.Min {
+				for _, n := range next {
+					if err := send(n); err != nil {
+						return err
+					}
+				}
+			}
+			frontier = next
+		}
+		return nil
+	})
+}
+
+// String implements Op.
+func (x *ExpandVar) String() string {
+	return fmt.Sprintf("%s -> ExpandVar(%s-[:%s*%d..%d]-%s %s)",
+		x.Child, x.FromVar, x.Label, x.Min, x.Max, x.ToVar, x.Dir)
+}

@@ -1,0 +1,518 @@
+// Package plan contains the logical query representation, the planner and
+// the physical operators shared by the three query-language front-ends. A
+// parsed query becomes a MatchSpec (graph pattern + predicate + projection);
+// the planner compiles it into a tree of push-based operators that run
+// against any engine exposing the Source interface.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gdbm/internal/model"
+	"gdbm/internal/query"
+)
+
+// Source is the engine surface the executor needs: structural reads plus an
+// optional index-accelerated node lookup.
+type Source interface {
+	model.Graph
+	// IndexedNodes streams nodes with the given label ("" = any) and, if
+	// prop is non-empty, with prop equal to v, using a secondary index.
+	// handled reports whether an index served the request; when false the
+	// executor falls back to a full scan.
+	IndexedNodes(label, prop string, v model.Value, fn func(model.Node) bool) (handled bool, err error)
+}
+
+// UnindexedSource adapts a bare model.Graph into a Source with no indexes.
+type UnindexedSource struct{ model.Graph }
+
+// IndexedNodes implements Source; it never handles the request.
+func (UnindexedSource) IndexedNodes(string, string, model.Value, func(model.Node) bool) (bool, error) {
+	return false, nil
+}
+
+// Op is a push-based physical operator: it streams rows to emit. Returning
+// a non-nil error from emit aborts execution with that error.
+type Op interface {
+	Run(src Source, emit func(query.Row) error) error
+	String() string
+}
+
+// errStop signals deliberate early termination (e.g. Limit reached).
+var errStop = fmt.Errorf("plan: stop")
+
+// --- NodeScan ---
+
+// NodeScan binds Var to every node matching Label and PropEq. With a Child,
+// it expands each input row (cartesian semantics); without, it is a leaf.
+type NodeScan struct {
+	Child  Op // may be nil
+	Var    string
+	Label  string
+	PropEq model.Properties // all must match
+}
+
+// Run implements Op.
+func (s *NodeScan) Run(src Source, emit func(query.Row) error) error {
+	scanInto := func(base query.Row) error {
+		send := func(n model.Node) error {
+			if s.Label != "" && n.Label != s.Label {
+				return nil
+			}
+			for k, v := range s.PropEq {
+				if !n.Props.Get(k).Equal(v) {
+					return nil
+				}
+			}
+			row := base.Clone()
+			row[s.Var] = query.NodeEntry(n)
+			return emit(row)
+		}
+		// Try one indexed property first.
+		for k, v := range s.PropEq {
+			var innerErr error
+			handled, err := src.IndexedNodes(s.Label, k, v, func(n model.Node) bool {
+				if e := send(n); e != nil {
+					innerErr = e
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				return err
+			}
+			if handled {
+				return innerErr
+			}
+			break
+		}
+		// Label-only index.
+		if s.Label != "" {
+			var innerErr error
+			handled, err := src.IndexedNodes(s.Label, "", model.Null(), func(n model.Node) bool {
+				if e := send(n); e != nil {
+					innerErr = e
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				return err
+			}
+			if handled {
+				return innerErr
+			}
+		}
+		var innerErr error
+		err := src.Nodes(func(n model.Node) bool {
+			if e := send(n); e != nil {
+				innerErr = e
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		return innerErr
+	}
+	if s.Child == nil {
+		return scanInto(query.Row{})
+	}
+	return s.Child.Run(src, scanInto)
+}
+
+// String implements Op.
+func (s *NodeScan) String() string {
+	out := fmt.Sprintf("NodeScan(%s:%s %v)", s.Var, s.Label, s.PropEq)
+	if s.Child != nil {
+		out = s.Child.String() + " -> " + out
+	}
+	return out
+}
+
+// --- Expand ---
+
+// Expand walks edges from the node bound to FromVar. If ToVar is unbound it
+// binds the far node; if bound, it checks connectivity (join). EdgeVar may
+// be empty.
+type Expand struct {
+	Child   Op
+	FromVar string
+	EdgeVar string
+	ToVar   string
+	Label   string
+	Dir     model.Direction
+}
+
+// Run implements Op.
+func (x *Expand) Run(src Source, emit func(query.Row) error) error {
+	return x.Child.Run(src, func(row query.Row) error {
+		from, ok := row[x.FromVar]
+		if !ok || from.Kind != query.EntryNode {
+			return fmt.Errorf("expand: %q is not a bound node", x.FromVar)
+		}
+		bound, toBound := row[x.ToVar]
+		var innerErr error
+		err := src.Neighbors(from.Node.ID, x.Dir, func(e model.Edge, n model.Node) bool {
+			if x.Label != "" && e.Label != x.Label {
+				return true
+			}
+			if toBound {
+				if bound.Kind != query.EntryNode || bound.Node.ID != n.ID {
+					return true
+				}
+			}
+			out := row.Clone()
+			if !toBound {
+				out[x.ToVar] = query.NodeEntry(n)
+			}
+			if x.EdgeVar != "" {
+				out[x.EdgeVar] = query.EdgeEntry(e)
+			}
+			if err := emit(out); err != nil {
+				innerErr = err
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		return innerErr
+	})
+}
+
+// String implements Op.
+func (x *Expand) String() string {
+	return fmt.Sprintf("%s -> Expand(%s-[%s:%s]-%s %s)", x.Child, x.FromVar, x.EdgeVar, x.Label, x.ToVar, x.Dir)
+}
+
+// --- Filter ---
+
+// Filter keeps rows whose condition evaluates to true.
+type Filter struct {
+	Child Op
+	Cond  query.Expr
+}
+
+// Run implements Op.
+func (f *Filter) Run(src Source, emit func(query.Row) error) error {
+	return f.Child.Run(src, func(row query.Row) error {
+		v, err := f.Cond.Eval(row)
+		if err != nil {
+			return err
+		}
+		if b, ok := v.AsBool(); ok && b {
+			return emit(row)
+		}
+		return nil
+	})
+}
+
+// String implements Op.
+func (f *Filter) String() string { return fmt.Sprintf("%s -> Filter(%s)", f.Child, f.Cond) }
+
+// --- Project ---
+
+// Item is one output column.
+type Item struct {
+	Name string
+	Expr query.Expr
+}
+
+// Project reduces rows to named value columns.
+type Project struct {
+	Child Op
+	Items []Item
+}
+
+// Run implements Op.
+func (p *Project) Run(src Source, emit func(query.Row) error) error {
+	return p.Child.Run(src, func(row query.Row) error {
+		out := make(query.Row, len(p.Items))
+		for _, it := range p.Items {
+			v, err := it.Expr.Eval(row)
+			if err != nil {
+				return err
+			}
+			out[it.Name] = query.ValueEntry(v)
+		}
+		return emit(out)
+	})
+}
+
+// String implements Op.
+func (p *Project) String() string {
+	parts := make([]string, len(p.Items))
+	for i, it := range p.Items {
+		parts[i] = it.Name
+	}
+	return fmt.Sprintf("%s -> Project(%s)", p.Child, strings.Join(parts, ", "))
+}
+
+// --- Aggregate ---
+
+// AggItem is one aggregate output column.
+type AggItem struct {
+	Name string
+	Fn   string // count sum avg min max
+	Arg  query.Expr
+}
+
+// Aggregate groups rows by the GroupBy items and folds the aggregates.
+type Aggregate struct {
+	Child   Op
+	GroupBy []Item
+	Aggs    []AggItem
+}
+
+type aggState struct {
+	keyVals []model.Value
+	count   int
+	sums    []float64
+	mins    []model.Value
+	maxs    []model.Value
+	counts  []int
+}
+
+// Run implements Op.
+func (a *Aggregate) Run(src Source, emit func(query.Row) error) error {
+	groups := map[string]*aggState{}
+	var order []string
+	err := a.Child.Run(src, func(row query.Row) error {
+		keyVals := make([]model.Value, len(a.GroupBy))
+		var kb []byte
+		for i, g := range a.GroupBy {
+			v, err := g.Expr.Eval(row)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+			kb = v.EncodeKey(kb)
+			kb = append(kb, 0xFF)
+		}
+		key := string(kb)
+		st, ok := groups[key]
+		if !ok {
+			st = &aggState{
+				keyVals: keyVals,
+				sums:    make([]float64, len(a.Aggs)),
+				mins:    make([]model.Value, len(a.Aggs)),
+				maxs:    make([]model.Value, len(a.Aggs)),
+				counts:  make([]int, len(a.Aggs)),
+			}
+			groups[key] = st
+			order = append(order, key)
+		}
+		st.count++
+		for i, ag := range a.Aggs {
+			var v model.Value
+			if ag.Arg != nil {
+				var err error
+				v, err = ag.Arg.Eval(row)
+				if err != nil {
+					return err
+				}
+			}
+			if v.IsNull() && strings.ToLower(ag.Fn) != "count" {
+				continue
+			}
+			st.counts[i]++
+			if f, ok := v.AsFloat(); ok {
+				st.sums[i] += f
+			}
+			if st.mins[i].IsNull() || v.Compare(st.mins[i]) < 0 {
+				st.mins[i] = v
+			}
+			if st.maxs[i].IsNull() || v.Compare(st.maxs[i]) > 0 {
+				st.maxs[i] = v
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// A global aggregate over zero rows still yields one output row.
+	if len(order) == 0 && len(a.GroupBy) == 0 {
+		st := &aggState{
+			sums:   make([]float64, len(a.Aggs)),
+			mins:   make([]model.Value, len(a.Aggs)),
+			maxs:   make([]model.Value, len(a.Aggs)),
+			counts: make([]int, len(a.Aggs)),
+		}
+		groups[""] = st
+		order = append(order, "")
+	}
+	for _, key := range order {
+		st := groups[key]
+		out := query.Row{}
+		for i, g := range a.GroupBy {
+			out[g.Name] = query.ValueEntry(st.keyVals[i])
+		}
+		for i, ag := range a.Aggs {
+			var v model.Value
+			switch strings.ToLower(ag.Fn) {
+			case "count":
+				v = model.Int(int64(st.count))
+			case "sum":
+				v = model.Float(st.sums[i])
+			case "avg":
+				if st.counts[i] == 0 {
+					v = model.Null()
+				} else {
+					v = model.Float(st.sums[i] / float64(st.counts[i]))
+				}
+			case "min":
+				v = st.mins[i]
+			case "max":
+				v = st.maxs[i]
+			default:
+				return fmt.Errorf("unknown aggregate %q", ag.Fn)
+			}
+			out[ag.Name] = query.ValueEntry(v)
+		}
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String implements Op.
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("%s -> Aggregate(%d aggs)", a.Child, len(a.Aggs))
+}
+
+// --- OrderBy / Limit / Distinct ---
+
+// OrderKey is one sort key.
+type OrderKey struct {
+	Expr query.Expr
+	Desc bool
+}
+
+// OrderBy materializes and sorts rows.
+type OrderBy struct {
+	Child Op
+	Keys  []OrderKey
+}
+
+// Run implements Op.
+func (o *OrderBy) Run(src Source, emit func(query.Row) error) error {
+	type sortable struct {
+		row  query.Row
+		keys []model.Value
+	}
+	var rows []sortable
+	err := o.Child.Run(src, func(row query.Row) error {
+		s := sortable{row: row, keys: make([]model.Value, len(o.Keys))}
+		for i, k := range o.Keys {
+			v, err := k.Expr.Eval(row)
+			if err != nil {
+				return err
+			}
+			s.keys[i] = v
+		}
+		rows = append(rows, s)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k := range o.Keys {
+			c := rows[i].keys[k].Compare(rows[j].keys[k])
+			if c == 0 {
+				continue
+			}
+			if o.Keys[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for _, s := range rows {
+		if err := emit(s.row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String implements Op.
+func (o *OrderBy) String() string { return fmt.Sprintf("%s -> OrderBy(%d keys)", o.Child, len(o.Keys)) }
+
+// Limit passes through at most N rows after skipping Offset.
+type Limit struct {
+	Child  Op
+	N      int
+	Offset int
+}
+
+// Run implements Op.
+func (l *Limit) Run(src Source, emit func(query.Row) error) error {
+	seen, sent := 0, 0
+	err := l.Child.Run(src, func(row query.Row) error {
+		seen++
+		if seen <= l.Offset {
+			return nil
+		}
+		if l.N >= 0 && sent >= l.N {
+			return errStop
+		}
+		sent++
+		if err := emit(row); err != nil {
+			return err
+		}
+		if l.N >= 0 && sent >= l.N {
+			return errStop
+		}
+		return nil
+	})
+	if err == errStop {
+		return nil
+	}
+	return err
+}
+
+// String implements Op.
+func (l *Limit) String() string { return fmt.Sprintf("%s -> Limit(%d, %d)", l.Child, l.Offset, l.N) }
+
+// Distinct suppresses duplicate rows (by scalar encoding of all bindings).
+type Distinct struct {
+	Child Op
+	Cols  []string // columns defining identity; empty = all, sorted
+}
+
+// Run implements Op.
+func (d *Distinct) Run(src Source, emit func(query.Row) error) error {
+	seen := map[string]bool{}
+	return d.Child.Run(src, func(row query.Row) error {
+		cols := d.Cols
+		if len(cols) == 0 {
+			for k := range row {
+				cols = append(cols, k)
+			}
+			sort.Strings(cols)
+		}
+		var kb []byte
+		for _, c := range cols {
+			kb = row[c].Scalar().EncodeKey(kb)
+			kb = append(kb, 0xFF)
+		}
+		key := string(kb)
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		return emit(row)
+	})
+}
+
+// String implements Op.
+func (d *Distinct) String() string { return d.Child.String() + " -> Distinct" }

@@ -1,0 +1,263 @@
+package plan
+
+import (
+	"fmt"
+
+	"gdbm/internal/model"
+	"gdbm/internal/query"
+)
+
+// NodePat is one node in a match pattern.
+type NodePat struct {
+	Var   string
+	Label string
+	Props model.Properties
+}
+
+// EdgePat is one edge in a match pattern, joining pattern nodes by index.
+// VarLength edges match paths of Min..Max edges instead of a single edge
+// (Max 0 = unbounded); they cannot bind an edge variable.
+type EdgePat struct {
+	Var       string
+	Label     string
+	From, To  int
+	Dir       model.Direction // Out means From->To; Both matches either way
+	VarLength bool
+	Min, Max  int
+}
+
+// MatchSpec is the logical form every front-end parses into: a graph
+// pattern, an optional predicate, a projection, and result modifiers.
+type MatchSpec struct {
+	Nodes    []NodePat
+	Edges    []EdgePat
+	Where    query.Expr
+	Return   []Item
+	Aggs     []AggItem
+	GroupBy  []Item // derived: Return items when Aggs non-empty
+	OrderBy  []OrderKey
+	Distinct bool
+	Limit    int // -1 = none
+	Offset   int
+}
+
+// Compile turns a MatchSpec into an operator tree. The strategy is greedy
+// left-deep: start from the most selective node pattern (one with property
+// equalities, then one with a label), expand connected edges, and cross-scan
+// disconnected pattern components; Where becomes a Filter, then projection
+// and modifiers.
+func Compile(spec *MatchSpec) (Op, error) {
+	if len(spec.Nodes) == 0 {
+		return nil, fmt.Errorf("plan: empty match pattern")
+	}
+	for i, n := range spec.Nodes {
+		if n.Var == "" {
+			spec.Nodes[i].Var = fmt.Sprintf("_n%d", i)
+		}
+	}
+	bound := make([]bool, len(spec.Nodes))
+	edgeDone := make([]bool, len(spec.Edges))
+
+	start := pickStart(spec.Nodes)
+	var root Op = &NodeScan{
+		Var:    spec.Nodes[start].Var,
+		Label:  spec.Nodes[start].Label,
+		PropEq: spec.Nodes[start].Props,
+	}
+	bound[start] = true
+
+	for {
+		progressed := false
+		for ei, e := range spec.Edges {
+			if edgeDone[ei] {
+				continue
+			}
+			mkExpand := func(fromIdx, toIdx int, dir model.Direction) Op {
+				if e.VarLength {
+					return &ExpandVar{
+						Child:   root,
+						FromVar: spec.Nodes[fromIdx].Var,
+						ToVar:   spec.Nodes[toIdx].Var,
+						Label:   e.Label,
+						Dir:     dir,
+						Min:     e.Min,
+						Max:     e.Max,
+					}
+				}
+				return &Expand{
+					Child:   root,
+					FromVar: spec.Nodes[fromIdx].Var,
+					EdgeVar: e.Var,
+					ToVar:   spec.Nodes[toIdx].Var,
+					Label:   e.Label,
+					Dir:     dir,
+				}
+			}
+			switch {
+			case bound[e.From] && bound[e.To]:
+				// Connectivity check between two bound nodes.
+				root = mkExpand(e.From, e.To, e.Dir)
+			case bound[e.From]:
+				root = mkExpand(e.From, e.To, e.Dir)
+				root = constrainNode(root, spec.Nodes[e.To])
+				bound[e.To] = true
+			case bound[e.To]:
+				root = mkExpand(e.To, e.From, e.Dir.Reverse())
+				root = constrainNode(root, spec.Nodes[e.From])
+				bound[e.From] = true
+			default:
+				continue
+			}
+			edgeDone[ei] = true
+			progressed = true
+		}
+		if allTrue(edgeDone) && allTrue(bound) {
+			break
+		}
+		if !progressed {
+			// Disconnected component: cross-scan the next selective
+			// unbound node.
+			next := -1
+			for i := range spec.Nodes {
+				if !bound[i] {
+					if next == -1 || selectivity(spec.Nodes[i]) > selectivity(spec.Nodes[next]) {
+						next = i
+					}
+				}
+			}
+			if next == -1 {
+				break
+			}
+			root = &NodeScan{
+				Child:  root,
+				Var:    spec.Nodes[next].Var,
+				Label:  spec.Nodes[next].Label,
+				PropEq: spec.Nodes[next].Props,
+			}
+			bound[next] = true
+		}
+	}
+
+	if spec.Where != nil {
+		root = &Filter{Child: root, Cond: spec.Where}
+	}
+	if len(spec.Aggs) > 0 {
+		root = &Aggregate{Child: root, GroupBy: spec.GroupBy, Aggs: spec.Aggs}
+	} else if len(spec.Return) > 0 {
+		root = &Project{Child: root, Items: spec.Return}
+	}
+	if spec.Distinct {
+		root = &Distinct{Child: root}
+	}
+	if len(spec.OrderBy) > 0 {
+		root = &OrderBy{Child: root, Keys: spec.OrderBy}
+	}
+	if spec.Limit >= 0 || spec.Offset > 0 {
+		n := spec.Limit
+		if n < 0 {
+			n = -1
+		}
+		root = &Limit{Child: root, N: n, Offset: spec.Offset}
+	}
+	return root, nil
+}
+
+func constrainNode(child Op, n NodePat) Op {
+	if n.Label == "" && len(n.Props) == 0 {
+		return child
+	}
+	var cond query.Expr
+	add := func(e query.Expr) {
+		if cond == nil {
+			cond = e
+		} else {
+			cond = query.BinOp{Op: "and", L: cond, R: e}
+		}
+	}
+	for k, v := range n.Props {
+		add(query.BinOp{Op: "=", L: query.Var{Name: n.Var, Prop: k}, R: query.Lit{V: v}})
+	}
+	if n.Label != "" {
+		add(labelIs{v: n.Var, label: n.Label})
+	}
+	return &Filter{Child: child, Cond: cond}
+}
+
+// labelIs tests a bound node's label; labels are not properties, so this is
+// a dedicated expression.
+type labelIs struct {
+	v     string
+	label string
+}
+
+// Eval implements query.Expr.
+func (l labelIs) Eval(r query.Row) (model.Value, error) {
+	e, ok := r[l.v]
+	if !ok {
+		return model.Null(), fmt.Errorf("unbound variable %q", l.v)
+	}
+	switch e.Kind {
+	case query.EntryNode:
+		return model.Bool(e.Node.Label == l.label), nil
+	case query.EntryEdge:
+		return model.Bool(e.Edge.Label == l.label), nil
+	}
+	return model.Bool(false), nil
+}
+
+// String implements query.Expr.
+func (l labelIs) String() string { return fmt.Sprintf("label(%s)=%s", l.v, l.label) }
+
+func pickStart(nodes []NodePat) int {
+	best, bestScore := 0, -1
+	for i, n := range nodes {
+		if s := selectivity(n); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+func selectivity(n NodePat) int {
+	s := 0
+	if len(n.Props) > 0 {
+		s += 2 + len(n.Props)
+	}
+	if n.Label != "" {
+		s++
+	}
+	return s
+}
+
+func allTrue(b []bool) bool {
+	for _, v := range b {
+		if !v {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is a materialized query result table.
+type Result struct {
+	Cols []string
+	Rows [][]model.Value
+}
+
+// Collect runs an operator tree and materializes the output rows under the
+// given column order.
+func Collect(op Op, src Source, cols []string) (*Result, error) {
+	res := &Result{Cols: cols}
+	err := op.Run(src, func(row query.Row) error {
+		out := make([]model.Value, len(cols))
+		for i, c := range cols {
+			out[i] = row[c].Scalar()
+		}
+		res.Rows = append(res.Rows, out)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,136 @@
+package sparqlish
+
+import (
+	"testing"
+
+	"gdbm/internal/memgraph"
+	"gdbm/internal/model"
+	"gdbm/internal/query/plan"
+)
+
+// tripleGraph emulates a triple store: nodes carry a "value" property and
+// predicates are edge labels — exactly the layout the triple engine uses.
+func tripleGraph(t *testing.T) plan.Source {
+	t.Helper()
+	g := memgraph.New()
+	terms := map[string]model.NodeID{}
+	term := func(v string) model.NodeID {
+		if id, ok := terms[v]; ok {
+			return id
+		}
+		id, _ := g.AddNode("", model.Props("value", v))
+		terms[v] = id
+		return id
+	}
+	triples := [][3]string{
+		{"ada", "type", "person"},
+		{"bob", "type", "person"},
+		{"zurich", "type", "city"},
+		{"ada", "name", "Ada Lovelace"},
+		{"bob", "name", "Bob"},
+		{"ada", "knows", "bob"},
+		{"ada", "livesIn", "zurich"},
+	}
+	for _, tr := range triples {
+		g.AddEdge(tr[1], term(tr[0]), term(tr[2]), nil)
+	}
+	return plan.UnindexedSource{Graph: g}
+}
+
+func TestBasicBGP(t *testing.T) {
+	src := tripleGraph(t)
+	res, err := Run(`SELECT ?x WHERE { ?x <type> "person" . }`, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestJoinAcrossTriples(t *testing.T) {
+	src := tripleGraph(t)
+	res, err := Run(`SELECT ?name WHERE { ?x <type> "person" . ?x <name> ?name . ?x <livesIn> "zurich" . }`, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if n, _ := res.Rows[0][0].AsString(); n != "Ada Lovelace" {
+		t.Errorf("name = %q", n)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	src := tripleGraph(t)
+	res, err := Run(`SELECT ?n WHERE { ?x <type> "person" . ?x <name> ?n . FILTER (?n != "Bob") }`, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestOrderLimitDistinct(t *testing.T) {
+	src := tripleGraph(t)
+	res, err := Run(`SELECT DISTINCT ?n WHERE { ?x <name> ?n . } ORDER BY ?n LIMIT 1`, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if n, _ := res.Rows[0][0].AsString(); n != "Ada Lovelace" {
+		t.Errorf("first = %q", n)
+	}
+}
+
+func TestIRISubject(t *testing.T) {
+	src := tripleGraph(t)
+	res, err := Run(`SELECT ?o WHERE { <ada> <knows> ?o . }`, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if o, _ := res.Rows[0][0].AsString(); o != "bob" {
+		t.Errorf("o = %q", o)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	src := tripleGraph(t)
+	res, err := Run(`SELECT * WHERE { ?s <knows> ?o . }`, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || len(res.Cols) != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		``,
+		`SELECT WHERE { ?x <p> ?y . }`,           // no projection
+		`SELECT ?x { ?x <p> ?y . }`,              // missing WHERE
+		`SELECT ?x WHERE { ?x ?p ?y . }`,         // predicate variable
+		`SELECT ?z WHERE { ?x <p> ?y . }`,        // unbound projection
+		`SELECT ?x WHERE { }`,                    // empty BGP
+		`SELECT ?x WHERE { ?x <p> ?y BAD ?z . }`, // junk
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("parse %q should fail", bad)
+		}
+	}
+}
+
+func TestTrailingDotOptional(t *testing.T) {
+	src := tripleGraph(t)
+	if _, err := Run(`SELECT ?x WHERE { ?x <type> "person" }`, src); err != nil {
+		t.Errorf("trailing dot should be optional: %v", err)
+	}
+}

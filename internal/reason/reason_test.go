@@ -1,0 +1,144 @@
+package reason
+
+import (
+	"testing"
+)
+
+func TestSubclassTransitivity(t *testing.T) {
+	base := []Triple{
+		{"cat", "subClassOf", "mammal"},
+		{"mammal", "subClassOf", "animal"},
+		{"felix", "type", "cat"},
+	}
+	derived, err := Infer(base, RDFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Triple]bool{
+		{"cat", "subClassOf", "animal"}: true,
+		{"felix", "type", "mammal"}:     true,
+		{"felix", "type", "animal"}:     true,
+	}
+	got := map[Triple]bool{}
+	for _, d := range derived {
+		got[d] = true
+	}
+	for w := range want {
+		if !got[w] {
+			t.Errorf("missing derived %v", w)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("derived %v, want exactly %v", derived, want)
+	}
+}
+
+func TestDeepChainFixpoint(t *testing.T) {
+	// c0 ⊂ c1 ⊂ ... ⊂ c9: transitive closure has 9*8/2 = 36 new pairs.
+	var base []Triple
+	for i := 0; i < 9; i++ {
+		base = append(base, Triple{cls(i), "subClassOf", cls(i + 1)})
+	}
+	derived, err := Infer(base, RDFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(derived) != 36 {
+		t.Errorf("derived %d, want 36", len(derived))
+	}
+}
+
+func cls(i int) string { return string(rune('a' + i)) }
+
+func TestCustomRule(t *testing.T) {
+	// ancestor via parent.
+	rules := []Rule{
+		{
+			Name: "ancestor-base",
+			Head: Pattern{"?x", "ancestor", "?y"},
+			Body: []Pattern{{"?x", "parent", "?y"}},
+		},
+		{
+			Name: "ancestor-step",
+			Head: Pattern{"?x", "ancestor", "?z"},
+			Body: []Pattern{{"?x", "parent", "?y"}, {"?y", "ancestor", "?z"}},
+		},
+	}
+	base := []Triple{
+		{"a", "parent", "b"},
+		{"b", "parent", "c"},
+		{"c", "parent", "d"},
+	}
+	derived, err := Infer(base, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[Triple]bool{}
+	for _, d := range derived {
+		got[d] = true
+	}
+	for _, w := range []Triple{
+		{"a", "ancestor", "b"}, {"a", "ancestor", "c"}, {"a", "ancestor", "d"},
+		{"b", "ancestor", "c"}, {"b", "ancestor", "d"}, {"c", "ancestor", "d"},
+	} {
+		if !got[w] {
+			t.Errorf("missing %v", w)
+		}
+	}
+	if len(got) != 6 {
+		t.Errorf("derived = %v", derived)
+	}
+}
+
+func TestUnsafeRuleRejected(t *testing.T) {
+	bad := Rule{
+		Name: "unsafe",
+		Head: Pattern{"?x", "p", "?unbound"},
+		Body: []Pattern{{"?x", "q", "?y"}},
+	}
+	if _, err := Infer(nil, []Rule{bad}); err == nil {
+		t.Error("unsafe rule should be rejected")
+	}
+	empty := Rule{Name: "emptybody", Head: Pattern{"a", "b", "c"}}
+	if _, err := Infer(nil, []Rule{empty}); err == nil {
+		t.Error("empty body should be rejected")
+	}
+}
+
+func TestNoRulesNoDerivation(t *testing.T) {
+	derived, err := Infer([]Triple{{"a", "b", "c"}}, nil)
+	if err != nil || len(derived) != 0 {
+		t.Errorf("derived = %v, %v", derived, err)
+	}
+}
+
+func TestConstantPatternRule(t *testing.T) {
+	rules := []Rule{{
+		Name: "mark-root",
+		Head: Pattern{"?x", "isRoot", "true"},
+		Body: []Pattern{{"?x", "type", "root"}},
+	}}
+	derived, err := Infer([]Triple{{"r", "type", "root"}, {"s", "type", "leaf"}}, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(derived) != 1 || derived[0] != (Triple{"r", "isRoot", "true"}) {
+		t.Errorf("derived = %v", derived)
+	}
+}
+
+func TestDerivedOnlyNew(t *testing.T) {
+	// A derivable fact already in the base must not be re-derived.
+	base := []Triple{
+		{"a", "subClassOf", "b"},
+		{"b", "subClassOf", "c"},
+		{"a", "subClassOf", "c"}, // already present
+	}
+	derived, err := Infer(base, RDFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(derived) != 0 {
+		t.Errorf("derived = %v, want none", derived)
+	}
+}

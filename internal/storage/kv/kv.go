@@ -1,0 +1,192 @@
+// Package kv defines the ordered key/value store interface shared by the
+// backend-storage engines (Table I's "Backend Storage" column) and provides
+// two implementations: an in-memory sorted store and a disk store backed by
+// the on-disk B+tree.
+package kv
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+
+	"gdbm/internal/storage/btree"
+	"gdbm/internal/storage/pager"
+)
+
+// Store is an ordered byte-key/byte-value map.
+type Store interface {
+	// Get returns the value for key; ok is false if absent.
+	Get(key []byte) (val []byte, ok bool, err error)
+	// Put inserts or replaces key.
+	Put(key, val []byte) error
+	// Delete removes key, reporting whether it existed.
+	Delete(key []byte) (bool, error)
+	// Scan calls fn for each key with the given prefix in ascending order
+	// until fn returns false.
+	Scan(prefix []byte, fn func(key, val []byte) bool) error
+	// Len returns the number of stored keys.
+	Len() int
+	// Close releases resources.
+	Close() error
+}
+
+// Memory is an in-memory Store kept in sorted order. It is safe for
+// concurrent use.
+type Memory struct {
+	mu   sync.RWMutex
+	keys [][]byte
+	vals [][]byte
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory { return &Memory{} }
+
+func (m *Memory) find(key []byte) (int, bool) {
+	i := sort.Search(len(m.keys), func(i int) bool { return bytes.Compare(m.keys[i], key) >= 0 })
+	if i < len(m.keys) && bytes.Equal(m.keys[i], key) {
+		return i, true
+	}
+	return i, false
+}
+
+// Get implements Store.
+func (m *Memory) Get(key []byte) ([]byte, bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if i, ok := m.find(key); ok {
+		return append([]byte(nil), m.vals[i]...), true, nil
+	}
+	return nil, false, nil
+}
+
+// Put implements Store.
+func (m *Memory) Put(key, val []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i, ok := m.find(key)
+	v := append([]byte(nil), val...)
+	if ok {
+		m.vals[i] = v
+		return nil
+	}
+	k := append([]byte(nil), key...)
+	m.keys = append(m.keys, nil)
+	copy(m.keys[i+1:], m.keys[i:])
+	m.keys[i] = k
+	m.vals = append(m.vals, nil)
+	copy(m.vals[i+1:], m.vals[i:])
+	m.vals[i] = v
+	return nil
+}
+
+// Delete implements Store.
+func (m *Memory) Delete(key []byte) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i, ok := m.find(key)
+	if !ok {
+		return false, nil
+	}
+	m.keys = append(m.keys[:i], m.keys[i+1:]...)
+	m.vals = append(m.vals[:i], m.vals[i+1:]...)
+	return true, nil
+}
+
+// Scan implements Store.
+func (m *Memory) Scan(prefix []byte, fn func(key, val []byte) bool) error {
+	m.mu.RLock()
+	type kv struct{ k, v []byte }
+	var snap []kv
+	i := sort.Search(len(m.keys), func(i int) bool { return bytes.Compare(m.keys[i], prefix) >= 0 })
+	for ; i < len(m.keys) && bytes.HasPrefix(m.keys[i], prefix); i++ {
+		snap = append(snap, kv{append([]byte(nil), m.keys[i]...), append([]byte(nil), m.vals[i]...)})
+	}
+	m.mu.RUnlock()
+	for _, e := range snap {
+		if !fn(e.k, e.v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len implements Store.
+func (m *Memory) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.keys)
+}
+
+// Close implements Store.
+func (m *Memory) Close() error { return nil }
+
+// Disk is a Store backed by the on-disk B+tree.
+type Disk struct {
+	pg   *pager.Pager
+	tree *btree.Tree
+	// Header is the B+tree header page; persist it to reopen the store.
+	Header pager.PageID
+	owns   bool
+}
+
+// OpenDisk opens (or creates) a disk store in its own page file at path.
+func OpenDisk(path string, poolPages int) (*Disk, error) {
+	pg, err := pager.Open(path, pager.Options{PoolPages: poolPages})
+	if err != nil {
+		return nil, err
+	}
+	var t *btree.Tree
+	var header pager.PageID
+	if pg.Pages() <= 1 {
+		t, header, err = btree.Create(pg)
+	} else {
+		// By construction the first tree created in a fresh file has
+		// header page 1.
+		header = 1
+		t, err = btree.Load(pg, header)
+	}
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	return &Disk{pg: pg, tree: t, Header: header, owns: true}, nil
+}
+
+// NewDisk wraps an existing tree in a shared pager. Close does not close the
+// pager.
+func NewDisk(pg *pager.Pager, tree *btree.Tree, header pager.PageID) *Disk {
+	return &Disk{pg: pg, tree: tree, Header: header}
+}
+
+// Get implements Store.
+func (d *Disk) Get(key []byte) ([]byte, bool, error) { return d.tree.Get(key) }
+
+// Put implements Store.
+func (d *Disk) Put(key, val []byte) error { return d.tree.Put(key, val) }
+
+// Delete implements Store.
+func (d *Disk) Delete(key []byte) (bool, error) { return d.tree.Delete(key) }
+
+// Scan implements Store.
+func (d *Disk) Scan(prefix []byte, fn func(key, val []byte) bool) error {
+	return d.tree.AscendPrefix(prefix, fn)
+}
+
+// Len implements Store.
+func (d *Disk) Len() int { return d.tree.Len() }
+
+// Flush persists buffered pages.
+func (d *Disk) Flush() error { return d.pg.Flush() }
+
+// Close implements Store.
+func (d *Disk) Close() error {
+	if d.owns {
+		return d.pg.Close()
+	}
+	return d.pg.Flush()
+}
+
+var (
+	_ Store = (*Memory)(nil)
+	_ Store = (*Disk)(nil)
+)

@@ -1,0 +1,167 @@
+package kv
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := OpenDisk(filepath.Join(t.TempDir(), "kv.pg"), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { disk.Close() })
+	return map[string]Store{
+		"memory": NewMemory(),
+		"disk":   disk,
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put([]byte("a"), []byte("1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put([]byte("b"), []byte("2")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := s.Get([]byte("a"))
+			if err != nil || !ok || string(v) != "1" {
+				t.Fatalf("Get a = %q %v %v", v, ok, err)
+			}
+			if _, ok, _ := s.Get([]byte("zzz")); ok {
+				t.Error("missing key found")
+			}
+			if s.Len() != 2 {
+				t.Errorf("len = %d", s.Len())
+			}
+			// Replace.
+			s.Put([]byte("a"), []byte("9"))
+			v, _, _ = s.Get([]byte("a"))
+			if string(v) != "9" {
+				t.Errorf("after replace: %q", v)
+			}
+			if s.Len() != 2 {
+				t.Errorf("len after replace = %d", s.Len())
+			}
+			// Delete.
+			ok, err = s.Delete([]byte("a"))
+			if err != nil || !ok {
+				t.Fatalf("Delete = %v %v", ok, err)
+			}
+			if ok, _ := s.Delete([]byte("a")); ok {
+				t.Error("double delete reported true")
+			}
+			if s.Len() != 1 {
+				t.Errorf("len after delete = %d", s.Len())
+			}
+		})
+	}
+}
+
+func TestStoreScan(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 20; i++ {
+				s.Put([]byte(fmt.Sprintf("p/%02d", i)), []byte{byte(i)})
+				s.Put([]byte(fmt.Sprintf("q/%02d", i)), []byte{byte(i)})
+			}
+			var keys []string
+			s.Scan([]byte("p/"), func(k, v []byte) bool {
+				keys = append(keys, string(k))
+				return true
+			})
+			if len(keys) != 20 {
+				t.Fatalf("scan found %d keys", len(keys))
+			}
+			for i, k := range keys {
+				if k != fmt.Sprintf("p/%02d", i) {
+					t.Errorf("keys[%d] = %s", i, k)
+				}
+			}
+			// Early stop.
+			n := 0
+			s.Scan([]byte("p/"), func(k, v []byte) bool { n++; return n < 3 })
+			if n != 3 {
+				t.Errorf("early stop visited %d", n)
+			}
+			// Empty prefix scans everything.
+			n = 0
+			s.Scan(nil, func(k, v []byte) bool { n++; return true })
+			if n != 40 {
+				t.Errorf("full scan visited %d", n)
+			}
+		})
+	}
+}
+
+func TestDiskPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.pg")
+	d, err := OpenDisk(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put([]byte("key"), []byte("value"))
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDisk(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	v, ok, err := d2.Get([]byte("key"))
+	if err != nil || !ok || string(v) != "value" {
+		t.Fatalf("after reopen: %q %v %v", v, ok, err)
+	}
+}
+
+// Property: memory and disk stores agree on any operation sequence.
+func TestMemoryDiskEquivalenceQuick(t *testing.T) {
+	type op struct {
+		Key byte
+		Val byte
+		Del bool
+	}
+	f := func(ops []op) bool {
+		mem := NewMemory()
+		disk, err := OpenDisk(filepath.Join(t.TempDir(), "eq.pg"), 16)
+		if err != nil {
+			return false
+		}
+		defer disk.Close()
+		for _, o := range ops {
+			k := []byte{o.Key}
+			if o.Del {
+				mok, _ := mem.Delete(k)
+				dok, _ := disk.Delete(k)
+				if mok != dok {
+					return false
+				}
+			} else {
+				mem.Put(k, []byte{o.Val})
+				disk.Put(k, []byte{o.Val})
+			}
+		}
+		if mem.Len() != disk.Len() {
+			return false
+		}
+		equal := true
+		mem.Scan(nil, func(k, v []byte) bool {
+			dv, ok, _ := disk.Get(k)
+			if !ok || string(dv) != string(v) {
+				equal = false
+				return false
+			}
+			return true
+		})
+		return equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

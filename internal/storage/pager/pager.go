@@ -1,0 +1,369 @@
+// Package pager implements a slotted page file with an LRU buffer pool. It is
+// the "external memory" storage layer of Table I: engines that advertise
+// external-memory support keep their primary data in page files managed here.
+//
+// The file is an array of fixed-size pages. Page 0 is reserved for the
+// pager's own metadata (page count and free list head). Every page carries a
+// CRC32 checksum validated on read, so torn or corrupted pages surface as
+// errors instead of silent damage.
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// PageSize is the on-disk page size in bytes.
+const PageSize = 4096
+
+// headerSize is the per-page overhead: a CRC32 over the payload.
+const headerSize = 4
+
+// PayloadSize is the number of usable bytes per page.
+const PayloadSize = PageSize - headerSize
+
+// PageID identifies a page within a file. Page 0 is the pager's metadata.
+type PageID uint32
+
+// ErrChecksum reports a page whose stored CRC does not match its contents.
+var ErrChecksum = fmt.Errorf("pager: page checksum mismatch")
+
+type frame struct {
+	id    PageID
+	data  []byte // PayloadSize bytes
+	dirty bool
+	// LRU links.
+	prev, next *frame
+}
+
+// Pager manages a page file with a fixed-capacity write-back buffer pool.
+type Pager struct {
+	mu       sync.Mutex
+	f        *os.File
+	capacity int
+	frames   map[PageID]*frame
+	lruHead  *frame // most recently used
+	lruTail  *frame // least recently used
+	pages    uint32 // total pages in file, including page 0
+	freeHead PageID // head of the free page list, 0 if none
+	closed   bool
+
+	// Stats for the buffer-pool ablation benchmark.
+	hits   uint64
+	misses uint64
+}
+
+// Options configures Open.
+type Options struct {
+	// PoolPages is the buffer pool capacity in pages. Zero means 256.
+	PoolPages int
+}
+
+// Open opens or creates a page file.
+func Open(path string, opts Options) (*Pager, error) {
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 256
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	p := &Pager{
+		f:        f,
+		capacity: opts.PoolPages,
+		frames:   make(map[PageID]*frame, opts.PoolPages),
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: stat: %w", err)
+	}
+	if st.Size() == 0 {
+		// Fresh file: create the metadata page.
+		p.pages = 1
+		if err := p.writeMeta(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		if st.Size()%PageSize != 0 {
+			f.Close()
+			return nil, fmt.Errorf("pager: %s has size %d, not a multiple of %d", path, st.Size(), PageSize)
+		}
+		p.pages = uint32(st.Size() / PageSize)
+		if err := p.readMeta(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func (p *Pager) writeMeta() error {
+	buf := make([]byte, PayloadSize)
+	binary.BigEndian.PutUint32(buf[0:4], p.pages)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(p.freeHead))
+	return p.writeRaw(0, buf)
+}
+
+func (p *Pager) readMeta() error {
+	buf, err := p.readRaw(0)
+	if err != nil {
+		return err
+	}
+	p.pages = binary.BigEndian.Uint32(buf[0:4])
+	p.freeHead = PageID(binary.BigEndian.Uint32(buf[4:8]))
+	return nil
+}
+
+func (p *Pager) writeRaw(id PageID, payload []byte) error {
+	if len(payload) != PayloadSize {
+		return fmt.Errorf("pager: payload must be %d bytes, got %d", PayloadSize, len(payload))
+	}
+	var page [PageSize]byte
+	copy(page[headerSize:], payload)
+	binary.BigEndian.PutUint32(page[0:headerSize], crc32.ChecksumIEEE(page[headerSize:]))
+	if _, err := p.f.WriteAt(page[:], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+func (p *Pager) readRaw(id PageID) ([]byte, error) {
+	var page [PageSize]byte
+	if _, err := p.f.ReadAt(page[:], int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	want := binary.BigEndian.Uint32(page[0:headerSize])
+	if crc32.ChecksumIEEE(page[headerSize:]) != want {
+		return nil, fmt.Errorf("page %d: %w", id, ErrChecksum)
+	}
+	out := make([]byte, PayloadSize)
+	copy(out, page[headerSize:])
+	return out, nil
+}
+
+// Allocate returns a fresh page, reusing a freed page if available. The page
+// contents start zeroed.
+func (p *Pager) Allocate() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, fmt.Errorf("pager: allocate: file closed")
+	}
+	if p.freeHead != 0 {
+		id := p.freeHead
+		data, err := p.loadLocked(id)
+		if err != nil {
+			return 0, err
+		}
+		p.freeHead = PageID(binary.BigEndian.Uint32(data[0:4]))
+		zero := make([]byte, PayloadSize)
+		if err := p.storeLocked(id, zero); err != nil {
+			return 0, err
+		}
+		return id, p.writeMeta()
+	}
+	id := PageID(p.pages)
+	p.pages++
+	zero := make([]byte, PayloadSize)
+	if err := p.storeLocked(id, zero); err != nil {
+		return 0, err
+	}
+	return id, p.writeMeta()
+}
+
+// Free returns a page to the free list.
+func (p *Pager) Free(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id == 0 || uint32(id) >= p.pages {
+		return fmt.Errorf("pager: free invalid page %d", id)
+	}
+	buf := make([]byte, PayloadSize)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(p.freeHead))
+	if err := p.storeLocked(id, buf); err != nil {
+		return err
+	}
+	p.freeHead = id
+	return p.writeMeta()
+}
+
+// Read returns a copy of the page payload.
+func (p *Pager) Read(id PageID) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("pager: read: file closed")
+	}
+	data, err := p.loadLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, PayloadSize)
+	copy(out, data)
+	return out, nil
+}
+
+// Write replaces the page payload. Shorter payloads are zero-padded.
+func (p *Pager) Write(id PageID, payload []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("pager: write: file closed")
+	}
+	if len(payload) > PayloadSize {
+		return fmt.Errorf("pager: payload %d exceeds %d", len(payload), PayloadSize)
+	}
+	if uint32(id) >= p.pages {
+		return fmt.Errorf("pager: write to unallocated page %d", id)
+	}
+	buf := make([]byte, PayloadSize)
+	copy(buf, payload)
+	return p.storeLocked(id, buf)
+}
+
+// loadLocked fetches a page through the pool.
+func (p *Pager) loadLocked(id PageID) ([]byte, error) {
+	if fr, ok := p.frames[id]; ok {
+		p.hits++
+		p.touch(fr)
+		return fr.data, nil
+	}
+	p.misses++
+	data, err := p.readRaw(id)
+	if err != nil {
+		return nil, err
+	}
+	fr := &frame{id: id, data: data}
+	if err := p.insertFrame(fr); err != nil {
+		return nil, err
+	}
+	return fr.data, nil
+}
+
+// storeLocked writes a page through the pool (write-back).
+func (p *Pager) storeLocked(id PageID, payload []byte) error {
+	if fr, ok := p.frames[id]; ok {
+		copy(fr.data, payload)
+		fr.dirty = true
+		p.touch(fr)
+		return nil
+	}
+	fr := &frame{id: id, data: append([]byte(nil), payload...), dirty: true}
+	return p.insertFrame(fr)
+}
+
+func (p *Pager) insertFrame(fr *frame) error {
+	for len(p.frames) >= p.capacity {
+		victim := p.lruTail
+		if victim == nil {
+			break
+		}
+		if victim.dirty {
+			if err := p.writeRaw(victim.id, victim.data); err != nil {
+				return err
+			}
+		}
+		p.unlink(victim)
+		delete(p.frames, victim.id)
+	}
+	p.frames[fr.id] = fr
+	p.pushFront(fr)
+	return nil
+}
+
+func (p *Pager) touch(fr *frame) {
+	if p.lruHead == fr {
+		return
+	}
+	p.unlink(fr)
+	p.pushFront(fr)
+}
+
+func (p *Pager) pushFront(fr *frame) {
+	fr.prev = nil
+	fr.next = p.lruHead
+	if p.lruHead != nil {
+		p.lruHead.prev = fr
+	}
+	p.lruHead = fr
+	if p.lruTail == nil {
+		p.lruTail = fr
+	}
+}
+
+func (p *Pager) unlink(fr *frame) {
+	if fr.prev != nil {
+		fr.prev.next = fr.next
+	} else if p.lruHead == fr {
+		p.lruHead = fr.next
+	}
+	if fr.next != nil {
+		fr.next.prev = fr.prev
+	} else if p.lruTail == fr {
+		p.lruTail = fr.prev
+	}
+	fr.prev, fr.next = nil, nil
+}
+
+// Flush writes all dirty frames and syncs the file.
+func (p *Pager) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked()
+}
+
+func (p *Pager) flushLocked() error {
+	if p.closed {
+		return nil
+	}
+	if err := p.writeMeta(); err != nil {
+		return err
+	}
+	for _, fr := range p.frames {
+		if fr.dirty {
+			if err := p.writeRaw(fr.id, fr.data); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("pager: sync: %w", err)
+	}
+	return nil
+}
+
+// Pages returns the number of allocated pages, including the meta page.
+func (p *Pager) Pages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.pages)
+}
+
+// Stats returns buffer pool hit/miss counters.
+func (p *Pager) Stats() (hits, misses uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+// Close flushes and closes the underlying file.
+func (p *Pager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	if err := p.flushLocked(); err != nil {
+		p.f.Close()
+		p.closed = true
+		return err
+	}
+	p.closed = true
+	return p.f.Close()
+}

@@ -1,0 +1,200 @@
+package pager
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempPager(t *testing.T, pool int) (*Pager, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.pg")
+	p, err := Open(path, Options{PoolPages: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, path
+}
+
+func TestAllocateWriteRead(t *testing.T) {
+	p, _ := tempPager(t, 8)
+	id, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("allocated page 0")
+	}
+	payload := []byte("hello pages")
+	if err := p.Write(id, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(payload)], payload) {
+		t.Errorf("read back %q", got[:len(payload)])
+	}
+	if len(got) != PayloadSize {
+		t.Errorf("payload length %d", len(got))
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.pg")
+	p, err := Open(path, Options{PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := p.Allocate()
+	if err := p.Write(id, []byte("persist me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Open(path, Options{PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	got, err := p2.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:10]) != "persist me" {
+		t.Errorf("after reopen: %q", got[:10])
+	}
+	if p2.Pages() != 2 {
+		t.Errorf("pages = %d, want 2", p2.Pages())
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	p, _ := tempPager(t, 8)
+	a, _ := p.Allocate()
+	b, _ := p.Allocate()
+	if err := p.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := p.Allocate()
+	if c != a {
+		t.Errorf("freed page not reused: got %d want %d", c, a)
+	}
+	// Freed-then-reused page starts zeroed.
+	got, _ := p.Read(c)
+	for _, by := range got {
+		if by != 0 {
+			t.Fatal("reused page not zeroed")
+		}
+	}
+	_ = b
+	if err := p.Free(0); err == nil {
+		t.Error("freeing page 0 should fail")
+	}
+	if err := p.Free(999); err == nil {
+		t.Error("freeing unallocated page should fail")
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	p, _ := tempPager(t, 2) // tiny pool forces eviction
+	var ids []PageID
+	for i := 0; i < 6; i++ {
+		id, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Write(id, []byte{byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i, id := range ids {
+		got, err := p.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i+1) {
+			t.Errorf("page %d: got %d want %d", id, got[0], i+1)
+		}
+	}
+	hits, misses := p.Stats()
+	if misses == 0 {
+		t.Error("expected pool misses with tiny pool")
+	}
+	_ = hits
+}
+
+func TestChecksumDetection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.pg")
+	p, err := Open(path, Options{PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := p.Allocate()
+	p.Write(id, []byte("important"))
+	p.Close()
+
+	// Corrupt one byte of the page payload on disk.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, int64(id)*PageSize+100); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	p2, err := Open(path, Options{PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if _, err := p2.Read(id); !errors.Is(err, ErrChecksum) {
+		t.Errorf("corrupted read: %v", err)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	p, _ := tempPager(t, 4)
+	id, _ := p.Allocate()
+	if err := p.Write(id, make([]byte, PayloadSize+1)); err == nil {
+		t.Error("oversized payload should fail")
+	}
+	if err := p.Write(999, []byte("x")); err == nil {
+		t.Error("writing unallocated page should fail")
+	}
+}
+
+func TestClosedOperations(t *testing.T) {
+	p, _ := tempPager(t, 4)
+	id, _ := p.Allocate()
+	p.Close()
+	if _, err := p.Read(id); err == nil {
+		t.Error("read after close should fail")
+	}
+	if err := p.Write(id, nil); err == nil {
+		t.Error("write after close should fail")
+	}
+	if _, err := p.Allocate(); err == nil {
+		t.Error("allocate after close should fail")
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestBadFileSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.pg")
+	if err := os.WriteFile(path, make([]byte, PageSize+1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Error("misaligned file should fail to open")
+	}
+}

@@ -1,0 +1,172 @@
+// Package tx provides the transaction engine used by engines that advertise
+// transactional operation: a single-writer / multi-reader manager with undo
+// on abort and optional WAL-backed redo logging. The surveyed paper lists a
+// "transaction engine" among the components a system must provide to count
+// as a graph database (Section II); this package is that component.
+package tx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gdbm/internal/storage/wal"
+)
+
+// ErrDone is returned by operations on a committed or aborted transaction.
+var ErrDone = errors.New("tx: transaction already finished")
+
+// Manager coordinates transactions over one database instance.
+type Manager struct {
+	mu     sync.RWMutex // writer lock held for the lifetime of a write tx
+	log    *wal.Log     // optional
+	nextID uint64
+	idMu   sync.Mutex
+}
+
+// NewManager returns a manager. log may be nil for engines without
+// durability.
+func NewManager(log *wal.Log) *Manager {
+	return &Manager{log: log}
+}
+
+// Tx is a unit of work. Write transactions hold the manager's writer lock
+// until Commit or Abort; read transactions hold the reader lock.
+type Tx struct {
+	m        *Manager
+	id       uint64
+	readOnly bool
+	done     bool
+	undo     []func() error
+	records  [][]byte
+	onCommit []func() error
+}
+
+// Begin starts a write transaction.
+func (m *Manager) Begin() *Tx {
+	m.mu.Lock()
+	return &Tx{m: m, id: m.allocID()}
+}
+
+// BeginRead starts a read-only transaction.
+func (m *Manager) BeginRead() *Tx {
+	m.mu.RLock()
+	return &Tx{m: m, id: m.allocID(), readOnly: true}
+}
+
+func (m *Manager) allocID() uint64 {
+	m.idMu.Lock()
+	defer m.idMu.Unlock()
+	m.nextID++
+	return m.nextID
+}
+
+// ID returns the transaction identifier.
+func (t *Tx) ID() uint64 { return t.id }
+
+// ReadOnly reports whether the transaction is read-only.
+func (t *Tx) ReadOnly() bool { return t.readOnly }
+
+// OnAbort registers an undo action, run in reverse order if the transaction
+// aborts. Engines register the inverse of each applied mutation.
+func (t *Tx) OnAbort(undo func() error) error {
+	if t.done {
+		return ErrDone
+	}
+	if t.readOnly {
+		return fmt.Errorf("tx %d: OnAbort on read-only transaction", t.id)
+	}
+	t.undo = append(t.undo, undo)
+	return nil
+}
+
+// Record queues a redo record to be appended to the WAL at commit.
+func (t *Tx) Record(payload []byte) error {
+	if t.done {
+		return ErrDone
+	}
+	if t.readOnly {
+		return fmt.Errorf("tx %d: Record on read-only transaction", t.id)
+	}
+	t.records = append(t.records, append([]byte(nil), payload...))
+	return nil
+}
+
+// OnCommit registers a hook run after the WAL records are durable.
+func (t *Tx) OnCommit(fn func() error) error {
+	if t.done {
+		return ErrDone
+	}
+	t.onCommit = append(t.onCommit, fn)
+	return nil
+}
+
+// Commit makes the transaction's effects durable and releases its lock.
+func (t *Tx) Commit() error {
+	if t.done {
+		return ErrDone
+	}
+	t.done = true
+	defer t.release()
+	if !t.readOnly && t.m.log != nil && len(t.records) > 0 {
+		for _, r := range t.records {
+			if _, err := t.m.log.Append(r); err != nil {
+				return fmt.Errorf("tx %d: wal append: %w", t.id, err)
+			}
+		}
+		if err := t.m.log.Sync(); err != nil {
+			return fmt.Errorf("tx %d: wal sync: %w", t.id, err)
+		}
+	}
+	for _, fn := range t.onCommit {
+		if err := fn(); err != nil {
+			return fmt.Errorf("tx %d: commit hook: %w", t.id, err)
+		}
+	}
+	return nil
+}
+
+// Abort rolls back the transaction by running undo actions in reverse order
+// and releases its lock.
+func (t *Tx) Abort() error {
+	if t.done {
+		return ErrDone
+	}
+	t.done = true
+	defer t.release()
+	var firstErr error
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		if err := t.undo[i](); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("tx %d: undo: %w", t.id, err)
+		}
+	}
+	return firstErr
+}
+
+func (t *Tx) release() {
+	if t.readOnly {
+		t.m.mu.RUnlock()
+	} else {
+		t.m.mu.Unlock()
+	}
+}
+
+// Update runs fn inside a write transaction, committing on nil and aborting
+// on error.
+func (m *Manager) Update(fn func(*Tx) error) error {
+	t := m.Begin()
+	if err := fn(t); err != nil {
+		if aerr := t.Abort(); aerr != nil {
+			return fmt.Errorf("%w (abort also failed: %v)", err, aerr)
+		}
+		return err
+	}
+	return t.Commit()
+}
+
+// View runs fn inside a read-only transaction.
+func (m *Manager) View(fn func(*Tx) error) error {
+	t := m.BeginRead()
+	defer t.Commit()
+	return fn(t)
+}

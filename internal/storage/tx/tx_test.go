@@ -1,0 +1,173 @@
+package tx
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"gdbm/internal/storage/wal"
+)
+
+func TestCommitRunsHooks(t *testing.T) {
+	m := NewManager(nil)
+	ran := false
+	err := m.Update(func(tx *Tx) error {
+		return tx.OnCommit(func() error { ran = true; return nil })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("commit hook did not run")
+	}
+}
+
+func TestAbortRunsUndoInReverse(t *testing.T) {
+	m := NewManager(nil)
+	var order []int
+	err := m.Update(func(tx *Tx) error {
+		tx.OnAbort(func() error { order = append(order, 1); return nil })
+		tx.OnAbort(func() error { order = append(order, 2); return nil })
+		return fmt.Errorf("boom")
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Errorf("undo order = %v", order)
+	}
+}
+
+func TestCommitSkipsUndo(t *testing.T) {
+	m := NewManager(nil)
+	ran := false
+	m.Update(func(tx *Tx) error {
+		tx.OnAbort(func() error { ran = true; return nil })
+		return nil
+	})
+	if ran {
+		t.Error("undo ran on commit")
+	}
+}
+
+func TestDoubleFinish(t *testing.T) {
+	m := NewManager(nil)
+	tx := m.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrDone) {
+		t.Errorf("double commit: %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrDone) {
+		t.Errorf("abort after commit: %v", err)
+	}
+	if err := tx.OnAbort(func() error { return nil }); !errors.Is(err, ErrDone) {
+		t.Errorf("OnAbort after finish: %v", err)
+	}
+	if err := tx.Record(nil); !errors.Is(err, ErrDone) {
+		t.Errorf("Record after finish: %v", err)
+	}
+}
+
+func TestReadOnlyRestrictions(t *testing.T) {
+	m := NewManager(nil)
+	err := m.View(func(tx *Tx) error {
+		if !tx.ReadOnly() {
+			t.Error("View tx should be read-only")
+		}
+		if err := tx.OnAbort(func() error { return nil }); err == nil {
+			t.Error("OnAbort should fail on read-only tx")
+		}
+		if err := tx.Record([]byte("x")); err == nil {
+			t.Error("Record should fail on read-only tx")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALRecordsOnCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tx.wal")
+	log, err := wal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	m := NewManager(log)
+	m.Update(func(tx *Tx) error {
+		tx.Record([]byte("r1"))
+		tx.Record([]byte("r2"))
+		return nil
+	})
+	// Aborted records are not written.
+	m.Update(func(tx *Tx) error {
+		tx.Record([]byte("never"))
+		return fmt.Errorf("abort")
+	})
+	var got []string
+	log.Replay(func(p []byte) error { got = append(got, string(p)); return nil })
+	if len(got) != 2 || got[0] != "r1" || got[1] != "r2" {
+		t.Errorf("wal records = %v", got)
+	}
+}
+
+func TestWriterExclusion(t *testing.T) {
+	m := NewManager(nil)
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Update(func(tx *Tx) error {
+				c := counter
+				counter = c + 1
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if counter != 50 {
+		t.Errorf("counter = %d, want 50 (writers not serialized)", counter)
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	m := NewManager(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.View(func(tx *Tx) error { return nil })
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTxIDsUnique(t *testing.T) {
+	m := NewManager(nil)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10; i++ {
+		tx := m.Begin()
+		if seen[tx.ID()] {
+			t.Fatalf("duplicate id %d", tx.ID())
+		}
+		seen[tx.ID()] = true
+		tx.Commit()
+	}
+}
+
+func TestAbortErrorPropagates(t *testing.T) {
+	m := NewManager(nil)
+	tx := m.Begin()
+	tx.OnAbort(func() error { return fmt.Errorf("undo failed") })
+	if err := tx.Abort(); err == nil {
+		t.Error("abort should surface undo error")
+	}
+}

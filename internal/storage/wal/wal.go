@@ -1,0 +1,151 @@
+// Package wal implements a write-ahead log with CRC-framed records. Engines
+// with transaction support append redo records before applying updates; on
+// reopen, Replay feeds every intact record back to the engine. A torn tail
+// (partial final record) is detected by CRC/length checks and truncated, the
+// standard recovery contract.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// frame layout: u32 length | u32 crc32(payload) | payload
+const frameHeader = 8
+
+// Log is an append-only record log.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	size   int64
+	closed bool
+}
+
+// Open opens or creates the log at path.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat: %w", err)
+	}
+	return &Log{f: f, size: st.Size()}, nil
+}
+
+// Append writes one record and returns its offset. The record is durable
+// after the next Sync.
+func (l *Log) Append(payload []byte) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: append to closed log")
+	}
+	buf := make([]byte, frameHeader+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeader:], payload)
+	off := l.size
+	if _, err := l.f.WriteAt(buf, off); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(buf))
+	return off, nil
+}
+
+// Sync forces appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// Replay calls fn for every intact record in order. When it encounters a
+// torn or corrupt tail it truncates the log there and stops without error;
+// corruption before the tail is reported.
+func (l *Log) Replay(fn func(payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var off int64
+	hdr := make([]byte, frameHeader)
+	for off < l.size {
+		if l.size-off < frameHeader {
+			return l.truncateLocked(off)
+		}
+		if _, err := l.f.ReadAt(hdr, off); err != nil {
+			return fmt.Errorf("wal: read header at %d: %w", off, err)
+		}
+		length := binary.BigEndian.Uint32(hdr[0:4])
+		want := binary.BigEndian.Uint32(hdr[4:8])
+		if off+frameHeader+int64(length) > l.size {
+			return l.truncateLocked(off)
+		}
+		payload := make([]byte, length)
+		if _, err := l.f.ReadAt(payload, off+frameHeader); err != nil && err != io.EOF {
+			return fmt.Errorf("wal: read payload at %d: %w", off, err)
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			// A bad CRC in the final frame is a torn write; earlier it
+			// is corruption.
+			if off+frameHeader+int64(length) == l.size {
+				return l.truncateLocked(off)
+			}
+			return fmt.Errorf("wal: corrupt record at offset %d", off)
+		}
+		if err := fn(payload); err != nil {
+			return err
+		}
+		off += frameHeader + int64(length)
+	}
+	return nil
+}
+
+func (l *Log) truncateLocked(off int64) error {
+	if err := l.f.Truncate(off); err != nil {
+		return fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	l.size = off
+	return nil
+}
+
+// Truncate discards all records (after a checkpoint).
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	l.size = 0
+	return nil
+}
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
