@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test vet race-storage ci
+
+# Tier-1 verification: everything builds, every test passes.
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The storage stack and the engine conformance suite carry the crash-
+# recovery harness; run them under the race detector.
+race-storage:
+	$(GO) test -race ./internal/storage/... ./internal/engines/suite/...
+
+ci: vet test race-storage

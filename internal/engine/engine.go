@@ -12,6 +12,7 @@ import (
 	"gdbm/internal/algo"
 	"gdbm/internal/model"
 	"gdbm/internal/query/plan"
+	"gdbm/internal/storage/vfs"
 )
 
 // Support is a table cell: the survey's blank, ◦ and •.
@@ -155,6 +156,10 @@ type Options struct {
 	PoolPages int
 	// Partitions sets the shard count of the distributed archetype.
 	Partitions int
+	// FS is the filesystem disk-backed engines open their files on. Nil
+	// means the real filesystem; the crash-recovery harness passes a
+	// vfs.FaultFS to test durability under injected failures.
+	FS vfs.FS
 }
 
 // Factory constructs an engine.

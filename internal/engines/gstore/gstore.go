@@ -38,7 +38,7 @@ func New(opts engine.Options) (*DB, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("gstore: the G-Store archetype requires a data directory (external memory only, Table I)")
 	}
-	d, err := kv.OpenDisk(filepath.Join(opts.Dir, "gstore.pg"), opts.PoolPages)
+	d, err := kv.OpenDiskFS(opts.FS, filepath.Join(opts.Dir, "gstore.pg"), opts.PoolPages)
 	if err != nil {
 		return nil, err
 	}

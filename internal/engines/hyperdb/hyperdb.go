@@ -48,7 +48,7 @@ func New(opts engine.Options) (*DB, error) {
 		return nil, err
 	}
 	if opts.Dir != "" {
-		d, err := kv.OpenDisk(filepath.Join(opts.Dir, "hyperdb.pg"), opts.PoolPages)
+		d, err := kv.OpenDiskFS(opts.FS, filepath.Join(opts.Dir, "hyperdb.pg"), opts.PoolPages)
 		if err != nil {
 			return nil, err
 		}

@@ -78,7 +78,7 @@ func New(opts engine.Options) (*DB, error) {
 	}
 	db.cons.Add(constraint.Types{Schema: db.schema})
 	if opts.Dir != "" {
-		d, err := kv.OpenDisk(filepath.Join(opts.Dir, "infinigraph.pg"), opts.PoolPages)
+		d, err := kv.OpenDiskFS(opts.FS, filepath.Join(opts.Dir, "infinigraph.pg"), opts.PoolPages)
 		if err != nil {
 			return nil, err
 		}

@@ -42,7 +42,7 @@ type DB struct {
 func New(opts engine.Options) (*DB, error) {
 	db := &DB{}
 	if opts.Dir != "" {
-		d, err := kv.OpenDisk(filepath.Join(opts.Dir, "neograph.pg"), opts.PoolPages)
+		d, err := kv.OpenDiskFS(opts.FS, filepath.Join(opts.Dir, "neograph.pg"), opts.PoolPages)
 		if err != nil {
 			return nil, err
 		}

@@ -46,7 +46,7 @@ type DB struct {
 func New(opts engine.Options) (*DB, error) {
 	db := &DB{terms: make(map[string]model.NodeID), rules: reason.RDFS()}
 	if opts.Dir != "" {
-		d, err := kv.OpenDisk(filepath.Join(opts.Dir, "triples.pg"), opts.PoolPages)
+		d, err := kv.OpenDiskFS(opts.FS, filepath.Join(opts.Dir, "triples.pg"), opts.PoolPages)
 		if err != nil {
 			return nil, err
 		}

@@ -35,7 +35,7 @@ func New(opts engine.Options) (*DB, error) {
 	if opts.Dir == "" {
 		return &DB{Graph: kvgraph.New(kv.NewMemory())}, nil
 	}
-	d, err := kv.OpenDisk(filepath.Join(opts.Dir, "vertexkv.pg"), opts.PoolPages)
+	d, err := kv.OpenDiskFS(opts.FS, filepath.Join(opts.Dir, "vertexkv.pg"), opts.PoolPages)
 	if err != nil {
 		return nil, err
 	}

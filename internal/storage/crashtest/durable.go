@@ -1,0 +1,173 @@
+package crashtest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gdbm/internal/storage/btree"
+	"gdbm/internal/storage/pager"
+	"gdbm/internal/storage/tx"
+	"gdbm/internal/storage/vfs"
+	"gdbm/internal/storage/wal"
+)
+
+// DurableKV is the reference store for the full fault matrix: a B+tree
+// working set whose durability comes entirely from the WAL. Every open
+// wipes the page file and rebuilds the tree by replaying the log, so the
+// page file is a disposable cache: torn page writes, dropped page syncs
+// and half-flushed pools are all harmless by construction, and the only
+// durability-critical bytes are the CRC-framed WAL records. Each commit
+// is one WAL record that expands to two B+tree keys, making partial
+// application of a record detectable.
+//
+// This is the layering the survey's transactional engines assume (redo
+// log in front of backend storage); DurableKV exists so the crash harness
+// has a store that must survive the matrix with zero violations.
+type DurableKV struct {
+	log  *wal.Log
+	mgr  *tx.Manager
+	pg   *pager.Pager
+	tree *btree.Tree
+}
+
+const (
+	durableWAL  = "durable.wal"
+	durablePage = "durable.pg"
+)
+
+// OpenDurableKV opens the store on fsys, recovering from the WAL.
+func OpenDurableKV(fsys vfs.FS) (*DurableKV, error) {
+	// The page file is cache, not truth: wipe it so recovery state can
+	// never depend on what a crash left there.
+	raw, err := fsys.OpenFile(durablePage)
+	if err != nil {
+		return nil, err
+	}
+	if err := raw.Truncate(0); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	if err := raw.Close(); err != nil {
+		return nil, err
+	}
+	log, err := wal.OpenFS(fsys, durableWAL)
+	if err != nil {
+		return nil, err
+	}
+	pg, err := pager.Open(durablePage, pager.Options{PoolPages: 2, FS: fsys})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	tree, _, err := btree.Create(pg)
+	if err != nil {
+		pg.Close()
+		log.Close()
+		return nil, err
+	}
+	d := &DurableKV{log: log, mgr: tx.NewManager(log), pg: pg, tree: tree}
+	if err := log.Replay(func(payload []byte) error {
+		op, err := decodeDurableRec(payload)
+		if err != nil {
+			return err
+		}
+		return d.applyOp(op)
+	}); err != nil {
+		d.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+func encodeDurableRec(op int) []byte { return []byte(fmt.Sprintf("op:%d", op)) }
+
+func decodeDurableRec(payload []byte) (int, error) {
+	s, ok := strings.CutPrefix(string(payload), "op:")
+	if !ok {
+		return 0, fmt.Errorf("durablekv: malformed record %q", payload)
+	}
+	return strconv.Atoi(s)
+}
+
+func durableKey(prefix string, op int) []byte {
+	return []byte(fmt.Sprintf("%s/%08d", prefix, op))
+}
+
+func durableVal(op int) string { return fmt.Sprintf("val-%d", op) }
+
+func (d *DurableKV) applyOp(op int) error {
+	if err := d.tree.Put(durableKey("k", op), []byte(durableVal(op))); err != nil {
+		return err
+	}
+	return d.tree.Put(durableKey("c", op), []byte(durableVal(op)))
+}
+
+// Commit implements Instance: the op is durable once its WAL record is
+// synced; the tree mutation runs as the commit hook.
+func (d *DurableKV) Commit(op int) error {
+	return d.mgr.Update(func(tr *tx.Tx) error {
+		if err := tr.Record(encodeDurableRec(op)); err != nil {
+			return err
+		}
+		return tr.OnCommit(func() error { return d.applyOp(op) })
+	})
+}
+
+// Visible implements Instance: it validates both keys and the value of
+// every op it reports, and errors on a half-applied record. The tree is
+// scanned once per prefix and cross-checked afterwards (the tree lock is
+// not reentrant, so the callbacks must not issue Gets).
+func (d *DurableKV) Visible() (map[int]bool, error) {
+	scan := func(prefix string) (map[int]bool, error) {
+		got := map[int]bool{}
+		var inner error
+		err := d.tree.AscendPrefix([]byte(prefix+"/"), func(k, v []byte) bool {
+			op, err := strconv.Atoi(strings.TrimPrefix(string(k), prefix+"/"))
+			if err != nil {
+				inner = fmt.Errorf("durablekv: malformed key %q", k)
+				return false
+			}
+			if string(v) != durableVal(op) {
+				inner = fmt.Errorf("durablekv: op %d has wrong value %q", op, v)
+				return false
+			}
+			got[op] = true
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		return got, inner
+	}
+	vis, err := scan("k")
+	if err != nil {
+		return nil, err
+	}
+	second, err := scan("c")
+	if err != nil {
+		return nil, err
+	}
+	for op := range vis {
+		if !second[op] {
+			return nil, fmt.Errorf("durablekv: op %d partially applied (second key missing)", op)
+		}
+	}
+	for op := range second {
+		if !vis[op] {
+			return nil, fmt.Errorf("durablekv: op %d partially applied (first key missing)", op)
+		}
+	}
+	return vis, nil
+}
+
+// Close implements Instance.
+func (d *DurableKV) Close() error {
+	err := d.log.Close()
+	if cerr := d.pg.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+var _ Instance = (*DurableKV)(nil)

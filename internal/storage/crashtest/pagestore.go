@@ -1,0 +1,192 @@
+package crashtest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"gdbm/internal/storage/pager"
+	"gdbm/internal/storage/vfs"
+)
+
+// PageStore is the overwrite-in-place reference store: one page per op,
+// durability from pager.Flush. It has no log, so its ack point is a
+// successful flush, and a flush that fails is retried through Flusher —
+// the path that depends on the pager keeping dirty bits (and evicted-page
+// payloads) until a sync actually succeeds. It is sound under power cuts
+// and fsync failures but not under torn page writes, which an
+// overwrite-in-place store can only detect (by checksum), not repair; run
+// it without Config.TornWrites (see DESIGN.md, durability contract).
+type PageStore struct {
+	pg *pager.Pager
+}
+
+// OpenPageStore opens the store on fsys with a deliberately tiny pool so
+// dirty pages get evicted between flushes.
+func OpenPageStore(fsys vfs.FS) (*PageStore, error) {
+	pg, err := pager.Open("store.pg", pager.Options{PoolPages: 2, FS: fsys})
+	if err != nil {
+		return nil, err
+	}
+	return &PageStore{pg: pg}, nil
+}
+
+// pagePayload is the full-page image for op: a decodable header plus a
+// deterministic fill, so Visible can validate every byte.
+func pagePayload(op int) []byte {
+	buf := make([]byte, pager.PayloadSize)
+	for i := range buf {
+		buf[i] = byte('a' + op%26)
+	}
+	copy(buf, fmt.Sprintf("crash-op:%d;", op))
+	return buf
+}
+
+// Commit implements Instance. Op i lives in page i+1 (page 0 is the pager
+// meta page); pages for ops lost in a crash are re-allocated zeroed and
+// stay invisible.
+func (s *PageStore) Commit(op int) error {
+	for s.pg.Pages() < op+2 {
+		if _, err := s.pg.Allocate(); err != nil {
+			return err
+		}
+	}
+	if err := s.pg.Write(pager.PageID(op+1), pagePayload(op)); err != nil {
+		return err
+	}
+	if err := s.pg.Flush(); err != nil {
+		return fmt.Errorf("%w: %v", ErrAppliedNotDurable, err)
+	}
+	return nil
+}
+
+// Flush implements Flusher: the retryable durability barrier.
+func (s *PageStore) Flush() error { return s.pg.Flush() }
+
+// Visible implements Instance. All-zero pages are gaps (allocated but
+// never committed); anything else must be an exact op image.
+func (s *PageStore) Visible() (map[int]bool, error) {
+	vis := map[int]bool{}
+	zero := make([]byte, pager.PayloadSize)
+	for i := 1; i < s.pg.Pages(); i++ {
+		data, err := s.pg.Read(pager.PageID(i))
+		if err != nil {
+			return nil, err
+		}
+		if bytes.Equal(data, zero) {
+			continue
+		}
+		op := i - 1
+		if !bytes.Equal(data, pagePayload(op)) {
+			return nil, fmt.Errorf("pagestore: page %d holds damaged op image", i)
+		}
+		vis[op] = true
+	}
+	return vis, nil
+}
+
+// Close implements Instance.
+func (s *PageStore) Close() error { return s.pg.Close() }
+
+var (
+	_ Instance = (*PageStore)(nil)
+	_ Flusher  = (*PageStore)(nil)
+)
+
+// miniStore is a minimal slotted page-file store used to demonstrate that
+// the harness catches the classic flush bug: marking pages clean before
+// the sync barrier succeeds. With buggy=true its flush clears the dirty
+// set before calling Sync, so a flush retried after a failed fsync writes
+// nothing, the (post-fsyncgate) retried sync reports success, and the op
+// is acknowledged without ever reaching disk — exactly the bug the pager's
+// flushLocked had to avoid. With buggy=false the dirty set is cleared only
+// after Sync returns nil and the retry rewrites every dropped slot.
+type miniStore struct {
+	f     vfs.File
+	dirty map[int][]byte
+	buggy bool
+}
+
+const miniSlot = 64
+
+func openMini(buggy bool) func(fs *vfs.FaultFS) (Instance, error) {
+	return func(fs *vfs.FaultFS) (Instance, error) {
+		f, err := fs.OpenFile("mini.db")
+		if err != nil {
+			return nil, err
+		}
+		return &miniStore{f: f, dirty: map[int][]byte{}, buggy: buggy}, nil
+	}
+}
+
+// miniRecord frames op as: crc32(rest) | op | label, zero-padded to the
+// slot size.
+func miniRecord(op int) []byte {
+	rec := make([]byte, miniSlot)
+	binary.BigEndian.PutUint32(rec[4:8], uint32(op))
+	copy(rec[8:], fmt.Sprintf("mini-op:%d", op))
+	binary.BigEndian.PutUint32(rec[0:4], crc32.ChecksumIEEE(rec[4:]))
+	return rec
+}
+
+func (s *miniStore) Commit(op int) error {
+	s.dirty[op] = miniRecord(op)
+	if err := s.Flush(); err != nil {
+		return fmt.Errorf("%w: %v", ErrAppliedNotDurable, err)
+	}
+	return nil
+}
+
+func (s *miniStore) Flush() error {
+	slots := make([]int, 0, len(s.dirty))
+	for op := range s.dirty {
+		slots = append(slots, op)
+	}
+	sort.Ints(slots)
+	for _, op := range slots {
+		if _, err := s.f.WriteAt(s.dirty[op], int64(op)*miniSlot); err != nil {
+			return err
+		}
+	}
+	if s.buggy {
+		// The bug under test: slots marked clean before the barrier.
+		s.dirty = map[int][]byte{}
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	s.dirty = map[int][]byte{}
+	return nil
+}
+
+func (s *miniStore) Visible() (map[int]bool, error) {
+	size, err := s.f.Size()
+	if err != nil {
+		return nil, err
+	}
+	vis := map[int]bool{}
+	rec := make([]byte, miniSlot)
+	for off := int64(0); off+miniSlot <= size; off += miniSlot {
+		if _, err := s.f.ReadAt(rec, off); err != nil {
+			return nil, err
+		}
+		if binary.BigEndian.Uint32(rec[0:4]) != crc32.ChecksumIEEE(rec[4:]) {
+			continue // never durably written (or torn): an invisible slot
+		}
+		op := int(binary.BigEndian.Uint32(rec[4:8]))
+		if int64(op)*miniSlot != off {
+			return nil, fmt.Errorf("ministore: op %d found in wrong slot", op)
+		}
+		vis[op] = true
+	}
+	return vis, nil
+}
+
+func (s *miniStore) Close() error { return s.f.Close() }
+
+var (
+	_ Instance = (*miniStore)(nil)
+	_ Flusher  = (*miniStore)(nil)
+)

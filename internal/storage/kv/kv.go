@@ -11,6 +11,7 @@ import (
 
 	"gdbm/internal/storage/btree"
 	"gdbm/internal/storage/pager"
+	"gdbm/internal/storage/vfs"
 )
 
 // Store is an ordered byte-key/byte-value map.
@@ -129,9 +130,16 @@ type Disk struct {
 	owns   bool
 }
 
-// OpenDisk opens (or creates) a disk store in its own page file at path.
+// OpenDisk opens (or creates) a disk store in its own page file at path on
+// the real filesystem.
 func OpenDisk(path string, poolPages int) (*Disk, error) {
-	pg, err := pager.Open(path, pager.Options{PoolPages: poolPages})
+	return OpenDiskFS(nil, path, poolPages)
+}
+
+// OpenDiskFS is OpenDisk over an explicit filesystem (nil means the real
+// one); crash tests pass a vfs.FaultFS.
+func OpenDiskFS(fsys vfs.FS, path string, poolPages int) (*Disk, error) {
+	pg, err := pager.Open(path, pager.Options{PoolPages: poolPages, FS: fsys})
 	if err != nil {
 		return nil, err
 	}

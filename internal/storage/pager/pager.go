@@ -6,14 +6,23 @@
 // pager's own metadata (page count and free list head). Every page carries a
 // CRC32 checksum validated on read, so torn or corrupted pages surface as
 // errors instead of silent damage.
+//
+// Durability contract: Flush returns nil only after every buffered write has
+// been written AND fsynced. Dirty bits are cleared only once the sync
+// succeeds, and dirty pages evicted between syncs are retained in a side
+// ledger, so a Flush retried after a failed sync rewrites everything the
+// kernel may have dropped (the post-fsyncgate contract). All file access
+// goes through vfs.File so crash tests can inject failures.
 package pager
 
 import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
+	"sort"
 	"sync"
+
+	"gdbm/internal/storage/vfs"
 )
 
 // PageSize is the on-disk page size in bytes.
@@ -42,7 +51,7 @@ type frame struct {
 // Pager manages a page file with a fixed-capacity write-back buffer pool.
 type Pager struct {
 	mu       sync.Mutex
-	f        *os.File
+	f        vfs.File
 	capacity int
 	frames   map[PageID]*frame
 	lruHead  *frame // most recently used
@@ -50,6 +59,15 @@ type Pager struct {
 	pages    uint32 // total pages in file, including page 0
 	freeHead PageID // head of the free page list, 0 if none
 	closed   bool
+
+	// pendingEvict holds payloads of dirty frames evicted since the last
+	// successful sync. They were written to the file, but until a sync
+	// succeeds the kernel may drop them; a retried Flush must be able to
+	// rewrite them even though the frames left the pool.
+	pendingEvict map[PageID][]byte
+	// syncFailed records that the last sync attempt failed (sticky until
+	// a sync succeeds); Flush keeps rewriting everything unsynced.
+	syncFailed bool
 
 	// Stats for the buffer-pool ablation benchmark.
 	hits   uint64
@@ -60,6 +78,9 @@ type Pager struct {
 type Options struct {
 	// PoolPages is the buffer pool capacity in pages. Zero means 256.
 	PoolPages int
+	// FS is the filesystem to open the page file on. Nil means the real
+	// filesystem.
+	FS vfs.FS
 }
 
 // Open opens or creates a page file.
@@ -67,21 +88,25 @@ func Open(path string, opts Options) (*Pager, error) {
 	if opts.PoolPages <= 0 {
 		opts.PoolPages = 256
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if opts.FS == nil {
+		opts.FS = vfs.OS()
+	}
+	f, err := opts.FS.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("pager: open %s: %w", path, err)
 	}
 	p := &Pager{
-		f:        f,
-		capacity: opts.PoolPages,
-		frames:   make(map[PageID]*frame, opts.PoolPages),
+		f:            f,
+		capacity:     opts.PoolPages,
+		frames:       make(map[PageID]*frame, opts.PoolPages),
+		pendingEvict: map[PageID][]byte{},
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("pager: stat: %w", err)
+		return nil, fmt.Errorf("pager: size: %w", err)
 	}
-	if st.Size() == 0 {
+	if size == 0 {
 		// Fresh file: create the metadata page.
 		p.pages = 1
 		if err := p.writeMeta(); err != nil {
@@ -89,11 +114,11 @@ func Open(path string, opts Options) (*Pager, error) {
 			return nil, err
 		}
 	} else {
-		if st.Size()%PageSize != 0 {
+		if size%PageSize != 0 {
 			f.Close()
-			return nil, fmt.Errorf("pager: %s has size %d, not a multiple of %d", path, st.Size(), PageSize)
+			return nil, fmt.Errorf("pager: %s has size %d, not a multiple of %d", path, size, PageSize)
 		}
-		p.pages = uint32(st.Size() / PageSize)
+		p.pages = uint32(size / PageSize)
 		if err := p.readMeta(); err != nil {
 			f.Close()
 			return nil, err
@@ -267,6 +292,10 @@ func (p *Pager) insertFrame(fr *frame) error {
 			if err := p.writeRaw(victim.id, victim.data); err != nil {
 				return err
 			}
+			// The write is in the OS cache but not yet synced; keep the
+			// payload so a Flush retried after a failed sync can rewrite
+			// it (the frame is leaving the pool).
+			p.pendingEvict[victim.id] = append([]byte(nil), victim.data...)
 		}
 		p.unlink(victim)
 		delete(p.frames, victim.id)
@@ -310,7 +339,9 @@ func (p *Pager) unlink(fr *frame) {
 	fr.prev, fr.next = nil, nil
 }
 
-// Flush writes all dirty frames and syncs the file.
+// Flush writes all dirty frames and syncs the file. It returns nil only
+// once everything buffered is durable; after a failure it can be retried
+// and rewrites whatever the failed sync may have lost.
 func (p *Pager) Flush() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -324,17 +355,45 @@ func (p *Pager) flushLocked() error {
 	if err := p.writeMeta(); err != nil {
 		return err
 	}
-	for _, fr := range p.frames {
+	// Rewrite evicted-but-unsynced pages first (stale copies), then dirty
+	// frames in page order (newer copies win, and the write order is
+	// deterministic for crash-schedule enumeration).
+	evicted := make([]PageID, 0, len(p.pendingEvict))
+	for id := range p.pendingEvict {
+		evicted = append(evicted, id)
+	}
+	sort.Slice(evicted, func(i, j int) bool { return evicted[i] < evicted[j] })
+	for _, id := range evicted {
+		if err := p.writeRaw(id, p.pendingEvict[id]); err != nil {
+			return err
+		}
+	}
+	var written []*frame
+	ids := make([]PageID, 0, len(p.frames))
+	for id := range p.frames {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fr := p.frames[id]
 		if fr.dirty {
 			if err := p.writeRaw(fr.id, fr.data); err != nil {
 				return err
 			}
-			fr.dirty = false
+			written = append(written, fr)
 		}
 	}
 	if err := p.f.Sync(); err != nil {
+		// Sticky: nothing is marked clean, so the next Flush rewrites
+		// every unsynced page and syncs again.
+		p.syncFailed = true
 		return fmt.Errorf("pager: sync: %w", err)
 	}
+	p.syncFailed = false
+	for _, fr := range written {
+		fr.dirty = false
+	}
+	p.pendingEvict = map[PageID][]byte{}
 	return nil
 }
 
@@ -350,6 +409,14 @@ func (p *Pager) Stats() (hits, misses uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.hits, p.misses
+}
+
+// SyncFailed reports whether the most recent sync attempt failed (and the
+// pager is holding unsynced state for a retry).
+func (p *Pager) SyncFailed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.syncFailed
 }
 
 // Close flushes and closes the underlying file.

@@ -1,0 +1,99 @@
+package tx
+
+import (
+	"errors"
+	"testing"
+
+	"gdbm/internal/storage/vfs"
+	"gdbm/internal/storage/wal"
+)
+
+// TestCommitFailureRunsUndo pins the Commit contract: when the WAL append
+// or sync fails, the undo chain runs before Commit returns, so callers
+// never observe committed-in-memory-but-not-durable state.
+func TestCommitFailureRunsUndo(t *testing.T) {
+	fs := vfs.NewFaultFS()
+	log, err := wal.OpenFS(fs, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	m := NewManager(log)
+
+	x := 0
+	tr := m.Begin()
+	x = 42 // the in-memory mutation
+	if err := tr.OnAbort(func() error { x = 0; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Record([]byte("set x=42")); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the commit's sync.
+	fs.SetFaults(vfs.Fault{Kind: vfs.FailSync, Op: fs.Ops() + 2}) // append write, then sync
+	if err := tr.Commit(); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("commit = %v", err)
+	}
+	if x != 0 {
+		t.Fatalf("mutation survived failed commit: x = %d", x)
+	}
+	// The manager lock was released: a new transaction can run.
+	done := make(chan struct{})
+	go func() {
+		t2 := m.Begin()
+		t2.Abort()
+		close(done)
+	}()
+	<-done
+}
+
+// TestCommitAppendFailureRunsUndoInReverse checks ordering and that a
+// failed append (not just sync) triggers the rollback.
+func TestCommitAppendFailureRunsUndoInReverse(t *testing.T) {
+	fs := vfs.NewFaultFS()
+	log, err := wal.OpenFS(fs, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	m := NewManager(log)
+
+	var order []int
+	tr := m.Begin()
+	tr.OnAbort(func() error { order = append(order, 1); return nil })
+	tr.OnAbort(func() error { order = append(order, 2); return nil })
+	tr.Record([]byte("r"))
+	fs.SetFaults(vfs.Fault{Kind: vfs.FailWrite, Op: fs.Ops() + 1})
+	if err := tr.Commit(); err == nil {
+		t.Fatal("commit should fail")
+	}
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("undo order = %v, want [2 1]", order)
+	}
+}
+
+// TestUpdateRollsBackOnCommitFailure: the Update helper surfaces the
+// commit error and the undo chain has run.
+func TestUpdateRollsBackOnCommitFailure(t *testing.T) {
+	fs := vfs.NewFaultFS()
+	log, err := wal.OpenFS(fs, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	m := NewManager(log)
+
+	state := map[string]int{}
+	fs.SetFaults(vfs.Fault{Kind: vfs.FailSync, Op: 2}) // append = op 1, commit sync = op 2
+	err = m.Update(func(tr *Tx) error {
+		state["k"] = 7
+		tr.OnAbort(func() error { delete(state, "k"); return nil })
+		return tr.Record([]byte("put k 7"))
+	})
+	if err == nil {
+		t.Fatal("update should fail")
+	}
+	if _, ok := state["k"]; ok {
+		t.Fatalf("state not rolled back: %v", state)
+	}
+}

@@ -102,6 +102,11 @@ func (t *Tx) OnCommit(fn func() error) error {
 }
 
 // Commit makes the transaction's effects durable and releases its lock.
+// If the WAL append or sync fails, the transaction's undo chain runs
+// before Commit returns, so callers never observe mutations that were
+// applied in memory but not made durable. OnCommit hooks run only after
+// the records are durable; a hook failure is reported but not rolled back
+// (the durable log already holds the transaction).
 func (t *Tx) Commit() error {
 	if t.done {
 		return ErrDone
@@ -109,13 +114,11 @@ func (t *Tx) Commit() error {
 	t.done = true
 	defer t.release()
 	if !t.readOnly && t.m.log != nil && len(t.records) > 0 {
-		for _, r := range t.records {
-			if _, err := t.m.log.Append(r); err != nil {
-				return fmt.Errorf("tx %d: wal append: %w", t.id, err)
+		if err := t.appendRecords(); err != nil {
+			if uerr := t.runUndo(); uerr != nil {
+				return fmt.Errorf("%w (rollback also failed: %v)", err, uerr)
 			}
-		}
-		if err := t.m.log.Sync(); err != nil {
-			return fmt.Errorf("tx %d: wal sync: %w", t.id, err)
+			return err
 		}
 	}
 	for _, fn := range t.onCommit {
@@ -126,6 +129,30 @@ func (t *Tx) Commit() error {
 	return nil
 }
 
+func (t *Tx) appendRecords() error {
+	for _, r := range t.records {
+		if _, err := t.m.log.Append(r); err != nil {
+			return fmt.Errorf("tx %d: wal append: %w", t.id, err)
+		}
+	}
+	if err := t.m.log.Sync(); err != nil {
+		return fmt.Errorf("tx %d: wal sync: %w", t.id, err)
+	}
+	return nil
+}
+
+// runUndo executes the undo chain in reverse order, reporting the first
+// failure but running every action regardless.
+func (t *Tx) runUndo() error {
+	var firstErr error
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		if err := t.undo[i](); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("tx %d: undo: %w", t.id, err)
+		}
+	}
+	return firstErr
+}
+
 // Abort rolls back the transaction by running undo actions in reverse order
 // and releases its lock.
 func (t *Tx) Abort() error {
@@ -134,13 +161,7 @@ func (t *Tx) Abort() error {
 	}
 	t.done = true
 	defer t.release()
-	var firstErr error
-	for i := len(t.undo) - 1; i >= 0; i-- {
-		if err := t.undo[i](); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("tx %d: undo: %w", t.id, err)
-		}
-	}
-	return firstErr
+	return t.runUndo()
 }
 
 func (t *Tx) release() {

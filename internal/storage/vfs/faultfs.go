@@ -1,0 +1,463 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrInjected is the base error of every injected fault.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// ErrPowerCut is returned by every operation after a simulated power cut,
+// until Recover is called. It wraps ErrInjected.
+var ErrPowerCut = fmt.Errorf("%w: simulated power cut", ErrInjected)
+
+// FaultKind selects the failure a Fault injects.
+type FaultKind int
+
+const (
+	// FaultNone is the zero value; the fault is ignored.
+	FaultNone FaultKind = iota
+	// FailWrite makes the scheduled write return an error without writing
+	// anything.
+	FailWrite
+	// TornWrite makes the scheduled write persist only a prefix directly
+	// to durable storage (as if the platter was mid-sector when power
+	// died) and then cuts power.
+	TornWrite
+	// FailSync makes the scheduled sync return an error. Following the
+	// post-fsyncgate kernel contract, the file's unsynced writes are
+	// marked clean but NOT made durable: a later sync that is not
+	// preceded by fresh writes silently persists nothing.
+	FailSync
+	// CorruptRead flips a bit in the bytes returned by the scheduled
+	// read, without touching the stored data.
+	CorruptRead
+	// PowerCut freezes every file at its last-synced content instead of
+	// executing the scheduled operation.
+	PowerCut
+)
+
+// Keep sentinels for Fault.Keep.
+const (
+	// KeepHalf persists the first half of the torn write.
+	KeepHalf = -1
+	// KeepAllButOne persists all but the final byte of the torn write.
+	KeepAllButOne = -2
+)
+
+// Fault schedules one deterministic failure. Op is the 1-based index into
+// the stream of durability operations (writes, syncs, truncates — see
+// OpLog) or, for CorruptRead, into the stream of reads.
+type Fault struct {
+	Kind FaultKind
+	Op   int
+	// Keep is the number of bytes a TornWrite persists (clamped to the
+	// write size minus one); KeepHalf and KeepAllButOne are sentinels.
+	Keep int
+	// Sticky makes a FailSync permanent: every later sync on the
+	// filesystem fails too, until Recover.
+	Sticky bool
+}
+
+// span is a half-open byte interval of a file written since the last
+// successful sync.
+type span struct{ off, end int64 }
+
+type memFile struct {
+	name string
+	// disk is the durable content: what survives a power cut.
+	disk []byte
+	// buf is the content seen by reads: disk plus unsynced writes (the
+	// OS page cache).
+	buf []byte
+	// pending are the buf intervals written since the last successful
+	// sync; a successful sync copies them onto disk.
+	pending []span
+	// pendingTrunc is the smallest length the file was truncated to
+	// since the last successful sync, or -1.
+	pendingTrunc int64
+}
+
+func (f *memFile) writeBuf(p []byte, off int64) {
+	end := off + int64(len(p))
+	if end > int64(len(f.buf)) {
+		f.buf = append(f.buf, make([]byte, end-int64(len(f.buf)))...)
+	}
+	copy(f.buf[off:end], p)
+	if len(p) > 0 {
+		f.pending = append(f.pending, span{off, end})
+	}
+}
+
+// writeDisk writes directly to durable storage (torn-write prefixes).
+func (f *memFile) writeDisk(p []byte, off int64) {
+	end := off + int64(len(p))
+	if end > int64(len(f.disk)) {
+		f.disk = append(f.disk, make([]byte, end-int64(len(f.disk)))...)
+	}
+	copy(f.disk[off:end], p)
+}
+
+func (f *memFile) truncate(size int64) {
+	if size <= int64(len(f.buf)) {
+		f.buf = f.buf[:size]
+		// Clip pending intervals to the new length.
+		kept := f.pending[:0]
+		for _, s := range f.pending {
+			if s.off >= size {
+				continue
+			}
+			if s.end > size {
+				s.end = size
+			}
+			kept = append(kept, s)
+		}
+		f.pending = kept
+	} else {
+		old := int64(len(f.buf))
+		f.buf = append(f.buf, make([]byte, size-old)...)
+		f.pending = append(f.pending, span{old, size})
+	}
+	if f.pendingTrunc < 0 || size < f.pendingTrunc {
+		f.pendingTrunc = size
+	}
+}
+
+// syncOK applies the pending truncation and intervals to durable storage.
+func (f *memFile) syncOK() {
+	if f.pendingTrunc >= 0 && f.pendingTrunc < int64(len(f.disk)) {
+		f.disk = f.disk[:f.pendingTrunc]
+	}
+	for _, s := range f.pending {
+		if s.end > int64(len(f.buf)) {
+			s.end = int64(len(f.buf))
+		}
+		if s.off >= s.end {
+			continue
+		}
+		f.writeDisk(f.buf[s.off:s.end], s.off)
+	}
+	f.pending = nil
+	f.pendingTrunc = -1
+}
+
+// syncDropped models the post-fsyncgate kernel: the error is reported
+// once and the dirty intervals are marked clean without reaching disk.
+// The page cache (buf) keeps the data, so reads still see it.
+func (f *memFile) syncDropped() {
+	f.pending = nil
+	f.pendingTrunc = -1
+}
+
+// FaultFS is an in-memory filesystem with deterministic fault injection.
+// All methods are safe for concurrent use. The zero value is not usable;
+// call NewFaultFS.
+type FaultFS struct {
+	mu     sync.Mutex
+	files  map[string]*memFile
+	faults []Fault
+
+	ops   int    // durability operations executed (writes, syncs, truncates)
+	reads int    // reads executed
+	opLog []byte // one byte per durability op: 'w', 's' or 't'
+
+	down       bool // power is off
+	gen        int  // bumped at each power cut; stale handles fail
+	stickySync bool // every sync fails until Recover
+	triggered  bool // at least one scheduled fault fired
+}
+
+// NewFaultFS returns an empty fault-injection filesystem with no faults
+// scheduled.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{files: map[string]*memFile{}}
+}
+
+// SetFaults replaces the fault schedule and resets the Triggered flag, so
+// Triggered afterwards reports on the new schedule only. Counters are not
+// reset: Op indexes keep counting from the filesystem's creation (or use
+// Ops and Reads to offset into the future).
+func (fs *FaultFS) SetFaults(faults ...Fault) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.faults = append([]Fault(nil), faults...)
+	fs.triggered = false
+}
+
+// Ops returns the number of durability operations executed so far.
+func (fs *FaultFS) Ops() int { fs.mu.Lock(); defer fs.mu.Unlock(); return fs.ops }
+
+// Reads returns the number of reads executed so far.
+func (fs *FaultFS) Reads() int { fs.mu.Lock(); defer fs.mu.Unlock(); return fs.reads }
+
+// OpLog returns one byte per durability op executed: 'w' (write), 's'
+// (sync), 't' (truncate).
+func (fs *FaultFS) OpLog() []byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return append([]byte(nil), fs.opLog...)
+}
+
+// Triggered reports whether any scheduled fault has fired.
+func (fs *FaultFS) Triggered() bool { fs.mu.Lock(); defer fs.mu.Unlock(); return fs.triggered }
+
+// Durable returns a copy of the durable (post-power-cut) content of path.
+func (fs *FaultFS) Durable(path string) []byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f, ok := fs.files[path]; ok {
+		return append([]byte(nil), f.disk...)
+	}
+	return nil
+}
+
+// Install sets both the durable and visible content of path, as if it had
+// been written and synced. It is a test helper and does not count ops.
+func (fs *FaultFS) Install(path string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[path] = &memFile{
+		name:         path,
+		disk:         append([]byte(nil), data...),
+		buf:          append([]byte(nil), data...),
+		pendingTrunc: -1,
+	}
+}
+
+// PowerCut freezes every file at its last-synced content and fails every
+// subsequent operation (including on open handles) with ErrPowerCut.
+func (fs *FaultFS) PowerCut() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.cutLocked()
+}
+
+func (fs *FaultFS) cutLocked() {
+	for _, f := range fs.files {
+		f.buf = append([]byte(nil), f.disk...)
+		f.pending = nil
+		f.pendingTrunc = -1
+	}
+	fs.down = true
+	fs.gen++
+}
+
+// Recover simulates a reboot after a crash: if power was not already cut
+// it is cut now (unsynced writes are lost), then the machine comes back
+// up with the fault schedule cleared. Handles opened before the crash
+// stay dead.
+func (fs *FaultFS) Recover() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.down {
+		fs.cutLocked()
+	}
+	fs.down = false
+	fs.faults = nil
+	fs.stickySync = false
+}
+
+// matchLocked returns the scheduled fault firing at the current op index
+// for an op of the given kind byte ('w', 's', 't'), or nil.
+func (fs *FaultFS) matchLocked(op byte) *Fault {
+	for i := range fs.faults {
+		f := &fs.faults[i]
+		if f.Op != fs.ops || f.Kind == FaultNone || f.Kind == CorruptRead {
+			continue
+		}
+		switch f.Kind {
+		case PowerCut:
+			return f
+		case FailWrite, TornWrite:
+			if op == 'w' {
+				return f
+			}
+		case FailSync:
+			if op == 's' {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+func (fs *FaultFS) matchReadLocked() *Fault {
+	for i := range fs.faults {
+		f := &fs.faults[i]
+		if f.Kind == CorruptRead && f.Op == fs.reads {
+			return f
+		}
+	}
+	return nil
+}
+
+// OpenFile implements FS. Opening a missing file creates it empty; file
+// creation itself is treated as durable (the equivalent of a synced
+// parent directory).
+func (fs *FaultFS) OpenFile(path string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.down {
+		return nil, ErrPowerCut
+	}
+	f, ok := fs.files[path]
+	if !ok {
+		f = &memFile{name: path, pendingTrunc: -1}
+		fs.files[path] = f
+	}
+	return &faultFile{fs: fs, f: f, gen: fs.gen}, nil
+}
+
+type faultFile struct {
+	fs  *FaultFS
+	f   *memFile
+	gen int
+}
+
+func (h *faultFile) liveLocked() error {
+	if h.fs.down || h.gen != h.fs.gen {
+		return ErrPowerCut
+	}
+	return nil
+}
+
+func tornKeep(keep, n int) int {
+	switch keep {
+	case KeepHalf:
+		keep = n / 2
+	case KeepAllButOne:
+		keep = n - 1
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	if keep >= n {
+		keep = n - 1
+	}
+	if keep < 0 { // n == 0
+		keep = 0
+	}
+	return keep
+}
+
+func (h *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := h.liveLocked(); err != nil {
+		return 0, err
+	}
+	fs.ops++
+	fs.opLog = append(fs.opLog, 'w')
+	if f := fs.matchLocked('w'); f != nil {
+		fs.triggered = true
+		switch f.Kind {
+		case PowerCut:
+			fs.cutLocked()
+			return 0, ErrPowerCut
+		case FailWrite:
+			return 0, fmt.Errorf("%w: write %s at %d failed", ErrInjected, h.f.name, off)
+		case TornWrite:
+			keep := tornKeep(f.Keep, len(p))
+			h.f.writeDisk(p[:keep], off)
+			fs.cutLocked()
+			return keep, fmt.Errorf("torn write %s at %d (%d of %d bytes): %w",
+				h.f.name, off, keep, len(p), ErrPowerCut)
+		}
+	}
+	h.f.writeBuf(p, off)
+	return len(p), nil
+}
+
+func (h *faultFile) Sync() error {
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := h.liveLocked(); err != nil {
+		return err
+	}
+	fs.ops++
+	fs.opLog = append(fs.opLog, 's')
+	if f := fs.matchLocked('s'); f != nil {
+		fs.triggered = true
+		switch f.Kind {
+		case PowerCut:
+			fs.cutLocked()
+			return ErrPowerCut
+		case FailSync:
+			h.f.syncDropped()
+			if f.Sticky {
+				fs.stickySync = true
+			}
+			return fmt.Errorf("%w: sync %s failed", ErrInjected, h.f.name)
+		}
+	}
+	if fs.stickySync {
+		h.f.syncDropped()
+		return fmt.Errorf("%w: sync %s failed (sticky)", ErrInjected, h.f.name)
+	}
+	h.f.syncOK()
+	return nil
+}
+
+func (h *faultFile) Truncate(size int64) error {
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := h.liveLocked(); err != nil {
+		return err
+	}
+	fs.ops++
+	fs.opLog = append(fs.opLog, 't')
+	if f := fs.matchLocked('t'); f != nil && f.Kind == PowerCut {
+		fs.triggered = true
+		fs.cutLocked()
+		return ErrPowerCut
+	}
+	h.f.truncate(size)
+	return nil
+}
+
+func (h *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := h.liveLocked(); err != nil {
+		return 0, err
+	}
+	fs.reads++
+	n := 0
+	if off < int64(len(h.f.buf)) {
+		n = copy(p, h.f.buf[off:])
+	}
+	if f := fs.matchReadLocked(); f != nil && n > 0 {
+		fs.triggered = true
+		p[0] ^= 0x80 // silent corruption: no error reported
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *faultFile) Size() (int64, error) {
+	fs := h.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := h.liveLocked(); err != nil {
+		return 0, err
+	}
+	return int64(len(h.f.buf)), nil
+}
+
+// Close is a no-op: durability comes only from Sync. Closing a stale
+// handle after a power cut is allowed (cleanup paths call Close).
+func (h *faultFile) Close() error { return nil }
+
+var (
+	_ FS   = (*FaultFS)(nil)
+	_ File = (*faultFile)(nil)
+)

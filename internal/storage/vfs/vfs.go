@@ -1,0 +1,53 @@
+// Package vfs abstracts the filesystem surface the disk-backed storage
+// stack (wal, pager, kv) uses, so that durability claims can be tested
+// under injected failures instead of trusted. Two implementations exist:
+// OS, a passthrough to the real filesystem, and FaultFS, an in-memory
+// filesystem with deterministic fault schedules (failed writes, torn
+// writes, fsync failures with post-fsyncgate semantics, read-side
+// corruption, and simulated power cuts).
+package vfs
+
+import (
+	"fmt"
+	"os"
+)
+
+// File is the file surface the storage layer relies on. It matches the
+// subset of *os.File the wal and pager use.
+type File interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Size() (int64, error)
+	Close() error
+}
+
+// FS opens files. Opening a missing file creates it (the storage layer
+// always opens read-write-create).
+type FS interface {
+	OpenFile(path string) (File, error)
+}
+
+// OS returns the passthrough filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) OpenFile(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("vfs: open %s: %w", path, err)
+	}
+	return osFile{f}, nil
+}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

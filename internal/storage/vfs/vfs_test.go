@@ -1,0 +1,241 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	fs := OS()
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := fs.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if sz, err := f.Size(); err != nil || sz != 5 {
+		t.Fatalf("size = %d, %v", sz, err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("read %q", buf)
+	}
+	if err := f.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 2 {
+		t.Fatalf("size after truncate = %d", sz)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSUnsyncedWritesLostAtPowerCut(t *testing.T) {
+	fs := NewFaultFS()
+	f, _ := fs.OpenFile("x")
+	f.WriteAt([]byte("durable"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("volatile"), 0)
+	// Reads see the page cache.
+	buf := make([]byte, 8)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "volatile" {
+		t.Fatalf("read %q", buf)
+	}
+	fs.PowerCut()
+	if _, err := f.WriteAt([]byte("z"), 0); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("write after cut: %v", err)
+	}
+	fs.Recover()
+	// The stale handle stays dead; a fresh open sees only synced bytes.
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("stale handle read: %v", err)
+	}
+	f2, err := fs.OpenFile("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := f2.Size()
+	if sz != 7 {
+		t.Fatalf("size after recover = %d", sz)
+	}
+	got := make([]byte, 7)
+	f2.ReadAt(got, 0)
+	if string(got) != "durable" {
+		t.Fatalf("recovered %q", got)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	fs := NewFaultFS()
+	f, _ := fs.OpenFile("x")
+	f.WriteAt([]byte("base"), 0)
+	f.Sync() // ops: w=1 s=2
+	fs.SetFaults(Fault{Kind: TornWrite, Op: 3, Keep: 2})
+	n, err := f.WriteAt([]byte("XYZW"), 4)
+	if n != 2 || !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("torn write = %d, %v", n, err)
+	}
+	fs.Recover()
+	if got := fs.Durable("x"); !bytes.Equal(got, []byte("baseXY")) {
+		t.Fatalf("durable = %q", got)
+	}
+}
+
+func TestFaultFSFsyncgateSemantics(t *testing.T) {
+	// After a failed sync the dirty range is marked clean without
+	// reaching disk; a later sync with no fresh writes persists nothing.
+	fs := NewFaultFS()
+	f, _ := fs.OpenFile("x")
+	f.WriteAt([]byte("aaaa"), 0) // op 1
+	fs.SetFaults(Fault{Kind: FailSync, Op: 2})
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync = %v", err)
+	}
+	if err := f.Sync(); err != nil { // op 3: succeeds, persists nothing
+		t.Fatal(err)
+	}
+	if got := fs.Durable("x"); len(got) != 0 {
+		t.Fatalf("durable after lying sync = %q", got)
+	}
+	// Rewriting the range re-dirties it; the next sync persists it.
+	f.WriteAt([]byte("bbbb"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Durable("x"); !bytes.Equal(got, []byte("bbbb")) {
+		t.Fatalf("durable after rewrite = %q", got)
+	}
+}
+
+func TestFaultFSStickySync(t *testing.T) {
+	fs := NewFaultFS()
+	f, _ := fs.OpenFile("x")
+	f.WriteAt([]byte("a"), 0)
+	fs.SetFaults(Fault{Kind: FailSync, Op: 2, Sticky: true})
+	if err := f.Sync(); err == nil {
+		t.Fatal("want sync failure")
+	}
+	f.WriteAt([]byte("b"), 0)
+	if err := f.Sync(); err == nil {
+		t.Fatal("sticky sync should keep failing")
+	}
+	fs.Recover()
+	f2, _ := fs.OpenFile("x")
+	if err := f2.Sync(); err != nil {
+		t.Fatalf("sync after recover: %v", err)
+	}
+}
+
+func TestFaultFSFailWrite(t *testing.T) {
+	fs := NewFaultFS()
+	f, _ := fs.OpenFile("x")
+	fs.SetFaults(Fault{Kind: FailWrite, Op: 1})
+	if _, err := f.WriteAt([]byte("a"), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write = %v", err)
+	}
+	if sz, _ := f.Size(); sz != 0 {
+		t.Fatalf("failed write changed size to %d", sz)
+	}
+	// Later writes proceed.
+	if _, err := f.WriteAt([]byte("a"), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSCorruptRead(t *testing.T) {
+	fs := NewFaultFS()
+	f, _ := fs.OpenFile("x")
+	f.WriteAt([]byte("abcd"), 0)
+	fs.SetFaults(Fault{Kind: CorruptRead, Op: 2})
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 0); err != nil || string(buf) != "abcd" {
+		t.Fatalf("read 1 = %q, %v", buf, err)
+	}
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("corrupt read must be silent, got %v", err)
+	}
+	if string(buf) == "abcd" {
+		t.Fatal("read 2 should be corrupted")
+	}
+	if !fs.Triggered() {
+		t.Fatal("fault not marked triggered")
+	}
+}
+
+func TestFaultFSTruncateDurability(t *testing.T) {
+	fs := NewFaultFS()
+	f, _ := fs.OpenFile("x")
+	f.WriteAt([]byte("abcdef"), 0)
+	f.Sync()
+	// An unsynced truncate does not survive a power cut.
+	f.Truncate(2)
+	fs.Recover()
+	if got := fs.Durable("x"); !bytes.Equal(got, []byte("abcdef")) {
+		t.Fatalf("unsynced truncate persisted: %q", got)
+	}
+	// A synced truncate does.
+	f2, _ := fs.OpenFile("x")
+	f2.Truncate(2)
+	if err := f2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Recover()
+	if got := fs.Durable("x"); !bytes.Equal(got, []byte("ab")) {
+		t.Fatalf("synced truncate lost: %q", got)
+	}
+	// Truncate followed by rewrite from scratch.
+	f3, _ := fs.OpenFile("x")
+	f3.Truncate(0)
+	f3.WriteAt([]byte("zz"), 0)
+	f3.Sync()
+	if got := fs.Durable("x"); !bytes.Equal(got, []byte("zz")) {
+		t.Fatalf("truncate+write = %q", got)
+	}
+}
+
+func TestFaultFSShortRead(t *testing.T) {
+	fs := NewFaultFS()
+	f, _ := fs.OpenFile("x")
+	f.WriteAt([]byte("abc"), 0)
+	buf := make([]byte, 8)
+	n, err := f.ReadAt(buf, 0)
+	if n != 3 || err != io.EOF {
+		t.Fatalf("short read = %d, %v", n, err)
+	}
+	n, err = f.ReadAt(buf, 10)
+	if n != 0 || err != io.EOF {
+		t.Fatalf("past-EOF read = %d, %v", n, err)
+	}
+}
+
+func TestFaultFSOpLog(t *testing.T) {
+	fs := NewFaultFS()
+	f, _ := fs.OpenFile("x")
+	f.WriteAt([]byte("a"), 0)
+	f.Sync()
+	f.Truncate(0)
+	f.Sync()
+	if got := string(fs.OpLog()); got != "wsts" {
+		t.Fatalf("oplog = %q", got)
+	}
+	if fs.Ops() != 4 {
+		t.Fatalf("ops = %d", fs.Ops())
+	}
+}

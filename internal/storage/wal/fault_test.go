@@ -1,0 +1,218 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"gdbm/internal/storage/vfs"
+)
+
+// appendAll builds a synced log on fs and returns its durable bytes.
+func appendAll(t *testing.T, fs *vfs.FaultFS, path string, payloads [][]byte) []byte {
+	t.Helper()
+	l, err := OpenFS(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return fs.Durable(path)
+}
+
+func replayAll(fs *vfs.FaultFS, path string) ([][]byte, error) {
+	l, err := OpenFS(fs, path)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	var got [][]byte
+	err = l.Replay(func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	return got, err
+}
+
+// TestReplayTornTailEveryOffset is the property test required by the
+// crash-recovery contract: a log truncated at ANY byte offset inside the
+// final frame must replay every earlier record intact and truncate the
+// torn tail without error.
+func TestReplayTornTailEveryOffset(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("first-record"),
+		{},
+		[]byte("a-longer-third-record-with-some-padding"),
+		bytes.Repeat([]byte{0xAB}, 100),
+		[]byte("final-record-the-one-that-tears"),
+	}
+	base := appendAll(t, vfs.NewFaultFS(), "w", payloads)
+	lastStart := len(base) - (8 + len(payloads[len(payloads)-1]))
+	keep := payloads[:len(payloads)-1]
+
+	for cut := lastStart; cut < len(base); cut++ {
+		fs := vfs.NewFaultFS()
+		fs.Install("w", base[:cut])
+		got, err := replayAll(fs, "w")
+		if err != nil {
+			t.Fatalf("cut at %d: replay error %v", cut, err)
+		}
+		if len(got) != len(keep) {
+			t.Fatalf("cut at %d: replayed %d records, want %d", cut, len(got), len(keep))
+		}
+		for i := range keep {
+			if !bytes.Equal(got[i], keep[i]) {
+				t.Fatalf("cut at %d: record %d = %q, want %q", cut, i, got[i], keep[i])
+			}
+		}
+		// The torn tail is truncated durably: a second replay over the
+		// recovered file sees the same records.
+		if d := fs.Durable("w"); len(d) != lastStart {
+			t.Fatalf("cut at %d: tail not truncated, size %d want %d", cut, len(d), lastStart)
+		}
+	}
+}
+
+// TestReplayCorruptTailEveryOffset flips each byte of the final frame in
+// turn. Replay may report corruption or truncate the tail, but the records
+// it yields must always be an exact prefix of the originals — never a
+// damaged record.
+func TestReplayCorruptTailEveryOffset(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("first-record"),
+		[]byte("second-record"),
+		[]byte("final-record-the-one-that-corrupts"),
+	}
+	base := appendAll(t, vfs.NewFaultFS(), "w", payloads)
+	lastStart := len(base) - (8 + len(payloads[len(payloads)-1]))
+
+	for off := lastStart; off < len(base); off++ {
+		mut := append([]byte(nil), base...)
+		mut[off] ^= 0xFF
+		fs := vfs.NewFaultFS()
+		fs.Install("w", mut)
+		got, err := replayAll(fs, "w")
+		if len(got) > len(payloads) {
+			t.Fatalf("flip at %d: %d records from %d appended", off, len(got), len(payloads))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], payloads[i]) {
+				t.Fatalf("flip at %d: record %d damaged: %q", off, i, got[i])
+			}
+		}
+		if err == nil && len(got) < len(payloads)-1 {
+			t.Fatalf("flip at %d: lost record %d without error", off, len(got))
+		}
+	}
+}
+
+// TestStickySyncFailure: after a failed fsync the log must refuse further
+// appends and syncs until reopened (fsyncgate defense).
+func TestStickySyncFailure(t *testing.T) {
+	fs := vfs.NewFaultFS()
+	l, err := OpenFS(fs, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	// ops so far: w=1; fail the first sync.
+	fs.SetFaults(vfs.Fault{Kind: vfs.FailSync, Op: 2})
+	if err := l.Sync(); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("sync = %v", err)
+	}
+	if _, err := l.Append([]byte("two")); err == nil {
+		t.Fatal("append after failed sync must fail")
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("sync after failed sync must fail")
+	}
+	if err := l.Close(); err == nil {
+		t.Fatal("close should surface the sticky sync error")
+	}
+	// After a crash the record dropped by the failed fsync is gone, which
+	// is exactly what the sticky error reported; reopening clears the
+	// poison.
+	fs.Recover()
+	got, err := replayAll(fs, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("records after lost sync = %v", got)
+	}
+	l2, err := OpenFS(fs, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.Append([]byte("three")); err != nil {
+		t.Fatalf("fresh log append: %v", err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayAfterPowerCutAtEveryOp drives a full append workload, cuts
+// power before each durability op in turn, and checks that every record
+// whose Sync was acknowledged is replayed.
+func TestReplayAfterPowerCutAtEveryOp(t *testing.T) {
+	const records = 6
+	// Probe run to count ops.
+	probe := vfs.NewFaultFS()
+	l, err := OpenFS(probe, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < records; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	total := probe.Ops()
+
+	for cut := 1; cut <= total; cut++ {
+		fs := vfs.NewFaultFS()
+		fs.SetFaults(vfs.Fault{Kind: vfs.PowerCut, Op: cut})
+		l, err := OpenFS(fs, "w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked := 0
+		for i := 0; i < records; i++ {
+			if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+				break
+			}
+			if err := l.Sync(); err != nil {
+				break
+			}
+			acked++
+		}
+		l.Close()
+		fs.Recover()
+		got, err := replayAll(fs, "w")
+		if err != nil {
+			t.Fatalf("cut %d: replay: %v", cut, err)
+		}
+		if len(got) < acked {
+			t.Fatalf("cut %d: %d acked records, only %d replayed", cut, acked, len(got))
+		}
+		for i, g := range got {
+			if want := fmt.Sprintf("rec-%d", i); string(g) != want {
+				t.Fatalf("cut %d: record %d = %q", cut, i, g)
+			}
+		}
+	}
+}

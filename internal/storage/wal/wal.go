@@ -3,6 +3,13 @@
 // reopen, Replay feeds every intact record back to the engine. A torn tail
 // (partial final record) is detected by CRC/length checks and truncated, the
 // standard recovery contract.
+//
+// The log goes through vfs.File, so crash tests can run it over an injected
+// fault schedule. A failed fsync is sticky: once Sync reports an error the
+// log refuses further appends and syncs until it is reopened, because after
+// a failed fsync the kernel may have dropped the dirty pages — retrying the
+// sync and trusting its success would silently lose the records (the
+// "fsyncgate" pattern).
 package wal
 
 import (
@@ -10,8 +17,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"sync"
+
+	"gdbm/internal/storage/vfs"
 )
 
 // frame layout: u32 length | u32 crc32(payload) | payload
@@ -19,24 +27,28 @@ const frameHeader = 8
 
 // Log is an append-only record log.
 type Log struct {
-	mu     sync.Mutex
-	f      *os.File
-	size   int64
-	closed bool
+	mu      sync.Mutex
+	f       vfs.File
+	size    int64
+	closed  bool
+	syncErr error // sticky: set on first failed sync, cleared only by reopen
 }
 
-// Open opens or creates the log at path.
-func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// Open opens or creates the log at path on the real filesystem.
+func Open(path string) (*Log, error) { return OpenFS(vfs.OS(), path) }
+
+// OpenFS opens or creates the log at path on fsys.
+func OpenFS(fsys vfs.FS, path string) (*Log, error) {
+	f, err := fsys.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("wal: stat: %w", err)
+		return nil, fmt.Errorf("wal: size: %w", err)
 	}
-	return &Log{f: f, size: st.Size()}, nil
+	return &Log{f: f, size: size}, nil
 }
 
 // Append writes one record and returns its offset. The record is durable
@@ -46,6 +58,9 @@ func (l *Log) Append(payload []byte) (int64, error) {
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, fmt.Errorf("wal: append to closed log")
+	}
+	if l.syncErr != nil {
+		return 0, fmt.Errorf("wal: append after failed sync: %w", l.syncErr)
 	}
 	buf := make([]byte, frameHeader+len(payload))
 	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
@@ -59,14 +74,27 @@ func (l *Log) Append(payload []byte) (int64, error) {
 	return off, nil
 }
 
-// Sync forces appended records to stable storage.
+// Sync forces appended records to stable storage. After Sync returns an
+// error the log is poisoned: every later Append and Sync fails with the
+// same error until the log is reopened.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return nil
 	}
-	return l.f.Sync()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.syncErr != nil {
+		return fmt.Errorf("wal: sync after failed sync: %w", l.syncErr)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.syncErr = err
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
 }
 
 // Replay calls fn for every intact record in order. When it encounters a
@@ -114,6 +142,11 @@ func (l *Log) truncateLocked(off int64) error {
 		return fmt.Errorf("wal: truncate torn tail: %w", err)
 	}
 	l.size = off
+	// Make the truncation durable before replay reports success, so a
+	// crash after recovery cannot resurrect the torn tail.
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -143,7 +176,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
-	if err := l.f.Sync(); err != nil {
+	if err := l.syncLocked(); err != nil {
 		l.f.Close()
 		return err
 	}
