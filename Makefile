@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race-storage ci
+.PHONY: build test vet lint race race-storage ci
 
 # Tier-1 verification: everything builds, every test passes.
 build:
@@ -12,9 +12,24 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# The storage stack and the engine conformance suite carry the crash-
-# recovery harness; run them under the race detector.
+# Static invariants: stock go vet plus the repo's own gdbvet suite
+# (vfsonly, syncerr, capdecl, lockdiscipline) driven through the
+# -vettool protocol. See DESIGN.md "Static invariants".
+bin/gdbvet: FORCE
+	$(GO) build -o $@ ./cmd/gdbvet
+
+.PHONY: FORCE
+FORCE:
+
+lint: vet bin/gdbvet
+	$(GO) vet -vettool=$(CURDIR)/bin/gdbvet ./...
+
+# The whole module runs under the race detector; the storage subset
+# remains as a faster inner-loop target.
+race:
+	$(GO) test -race ./...
+
 race-storage:
 	$(GO) test -race ./internal/storage/... ./internal/engines/suite/...
 
-ci: vet test race-storage
+ci: lint test race

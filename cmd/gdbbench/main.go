@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"gdbm"
+	"gdbm/internal/storage/vfs"
 )
 
 func main() {
@@ -36,11 +37,11 @@ func main() {
 
 func run(table string, diff, perf bool, nodes, degree int, seed int64, dir string) error {
 	if dir == "" {
-		tmp, err := os.MkdirTemp("", "gdbbench")
+		tmp, err := vfs.OSFS.TempDir("gdbbench")
 		if err != nil {
 			return err
 		}
-		defer os.RemoveAll(tmp)
+		defer vfs.OSFS.RemoveAll(tmp)
 		dir = tmp
 	}
 
@@ -50,7 +51,9 @@ func run(table string, diff, perf bool, nodes, degree int, seed int64, dir strin
 			opts := gdbm.Options{}
 			if name == "gstore" {
 				opts.Dir = filepath.Join(dir, name)
-				os.MkdirAll(opts.Dir, 0o755)
+				if err := vfs.OSFS.MkdirAll(opts.Dir); err != nil {
+					return nil, nil, err
+				}
 			}
 			e, err := gdbm.Open(name, opts)
 			if err != nil {
@@ -110,8 +113,12 @@ func run(table string, diff, perf bool, nodes, degree int, seed int64, dir strin
 			opts := gdbm.Options{}
 			if name == "gstore" || name == "vertexkv" {
 				d := filepath.Join(dir, "perf-"+name)
-				os.RemoveAll(d)
-				os.MkdirAll(d, 0o755)
+				if err := vfs.OSFS.RemoveAll(d); err != nil {
+					return nil, err
+				}
+				if err := vfs.OSFS.MkdirAll(d); err != nil {
+					return nil, err
+				}
 				opts.Dir = d
 			}
 			return gdbm.Open(name, opts)

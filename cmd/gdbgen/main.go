@@ -18,6 +18,7 @@ import (
 	"gdbm/internal/format"
 	"gdbm/internal/gen"
 	"gdbm/internal/memgraph"
+	"gdbm/internal/storage/vfs"
 )
 
 func main() {
@@ -57,31 +58,31 @@ func run(kind string, nodes, degree int, seed int64, form, out string) error {
 
 	switch form {
 	case "graphml":
-		f, err := os.Create(out)
+		f, w, err := vfs.Create(vfs.OSFS, out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		return format.WriteGraphML(f, g)
+		return format.WriteGraphML(w, g)
 	case "csv":
-		nf, err := os.Create(out + ".nodes.csv")
+		nf, nw, err := vfs.Create(vfs.OSFS, out+".nodes.csv")
 		if err != nil {
 			return err
 		}
 		defer nf.Close()
-		ef, err := os.Create(out + ".edges.csv")
+		ef, ew, err := vfs.Create(vfs.OSFS, out+".edges.csv")
 		if err != nil {
 			return err
 		}
 		defer ef.Close()
-		return format.WriteCSV(nf, ef, g)
+		return format.WriteCSV(nw, ew, g)
 	case "ntriples":
-		f, err := os.Create(out)
+		f, w, err := vfs.Create(vfs.OSFS, out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		return format.WriteNTriples(f, tripleView{g})
+		return format.WriteNTriples(w, tripleView{g})
 	}
 	return fmt.Errorf("unknown format %q", form)
 }

@@ -25,7 +25,13 @@ import (
 	"strings"
 
 	"gdbm"
+	"gdbm/internal/storage/vfs"
 )
+
+// shellFS is the filesystem \save and \load go through; routing it via
+// vfs keeps the crash harness able to intercept every byte the tools
+// write and satisfies the vfsonly invariant.
+var shellFS = vfs.OSFS
 
 func main() {
 	name := flag.String("engine", "neograph", "engine to open (see gdbm.Engines())")
@@ -147,12 +153,12 @@ func command(out io.Writer, e gdbm.Engine, line string) (quit bool, err error) {
 		if !ok {
 			return false, fmt.Errorf("engine does not expose a binary graph API")
 		}
-		f, err := os.Create(fields[1])
+		f, w, err := vfs.Create(shellFS, fields[1])
 		if err != nil {
 			return false, err
 		}
 		defer f.Close()
-		if err := gdbm.WriteGraphML(f, g); err != nil {
+		if err := gdbm.WriteGraphML(w, g); err != nil {
 			return false, err
 		}
 		fmt.Fprintf(out, "wrote %s\n", fields[1])
@@ -165,12 +171,16 @@ func command(out io.Writer, e gdbm.Engine, line string) (quit bool, err error) {
 		if !ok {
 			return false, fmt.Errorf("engine has no loader surface")
 		}
-		f, err := os.Open(fields[1])
+		f, err := shellFS.OpenFile(fields[1])
 		if err != nil {
 			return false, err
 		}
 		defer f.Close()
-		nodes, edges, err := gdbm.ReadGraphML(f, l)
+		r, err := vfs.NewReader(f)
+		if err != nil {
+			return false, err
+		}
+		nodes, edges, err := gdbm.ReadGraphML(r, l)
 		if err != nil {
 			return false, err
 		}

@@ -1,0 +1,17 @@
+// Package dirty is a deliberately violating fixture for gdbvet's own
+// driver tests. Its real import path sits under gdbm/cmd, so vfsonly
+// applies even when cmd/go hands gdbvet the true package path via the
+// -vettool protocol. Wildcard patterns (./...) never match testdata, so
+// the repo-wide lint stays green.
+package dirty
+
+import "os"
+
+// Leak opens a file straight through the os package.
+func Leak(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

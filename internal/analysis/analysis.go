@@ -1,0 +1,232 @@
+// Package analysis is the repository's own go/analysis-shaped framework:
+// an Analyzer/Pass vocabulary, a diagnostic type, and the //gdbvet:allow
+// suppression protocol shared by every gdbvet analyzer.
+//
+// The x/tools analysis framework is deliberately not used — the module is
+// dependency-free — so this package reimplements the minimal surface the
+// four invariant analyzers (vfsonly, syncerr, capdecl, lockdiscipline)
+// need on top of go/ast and go/types. Package load type-checks whole
+// packages via `go list -export`; cmd/gdbvet drives the analyzers both
+// standalone and under `go vet -vettool`.
+//
+// # Suppression
+//
+// A finding can be silenced only by an explicit, justified annotation on
+// the offending line or the line directly above it:
+//
+//	f, err := os.Open(p) //gdbvet:allow(vfsonly): boundary code, see doc.go
+//
+// The justification after the colon is mandatory: a directive without one
+// suppresses nothing and is itself reported. A directive that suppresses
+// nothing is reported as unused, so stale annotations cannot linger.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //gdbvet:allow(name) directives.
+	Name string
+	// Doc is the one-paragraph description printed by gdbvet -help.
+	Doc string
+	// AppliesTo filters packages by logical import path; nil runs the
+	// analyzer everywhere.
+	AppliesTo func(pkgPath string) bool
+	// Run reports the package's violations through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one reported violation, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	// PkgPath is the package's logical import path. Tests may map a
+	// testdata directory to a virtual path so path-scoped analyzers see
+	// the package where it pretends to live.
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+
+	allows []*allowDirective
+	diags  []Diagnostic
+}
+
+// Reportf records a violation at pos unless a justified
+// //gdbvet:allow(<analyzer>) directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	posn := p.Fset.Position(pos)
+	for _, d := range p.allows {
+		if d.covers(posn) && d.reason != "" {
+			d.used = true
+			return
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      posn,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowDirective is one parsed //gdbvet:allow comment.
+type allowDirective struct {
+	pos    token.Position // of the comment itself
+	names  []string
+	reason string
+	used   bool
+}
+
+// covers reports whether the directive applies to a finding at posn: the
+// comment sits on the same line (trailing) or the line directly above.
+func (d *allowDirective) covers(posn token.Position) bool {
+	return d.pos.Filename == posn.Filename &&
+		(d.pos.Line == posn.Line || d.pos.Line == posn.Line-1)
+}
+
+var allowRx = regexp.MustCompile(`^//gdbvet:allow\(([A-Za-z0-9_,]+)\)(?::\s*(.*))?$`)
+
+// parseAllows extracts the directives naming the analyzer from the files'
+// comments.
+func parseAllows(fset *token.FileSet, files []*ast.File, analyzer string) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				// Tolerate a trailing `// ...` segment so analysistest
+				// fixtures can put `// want` expectations on the
+				// directive's own line.
+				if i := strings.Index(text, " // "); i >= 0 {
+					text = strings.TrimRight(text[:i], " ")
+				}
+				m := allowRx.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				names := strings.Split(m[1], ",")
+				applies := false
+				for _, n := range names {
+					if n == analyzer {
+						applies = true
+					}
+				}
+				if !applies {
+					continue
+				}
+				out = append(out, &allowDirective{
+					pos:    fset.Position(c.Pos()),
+					names:  names,
+					reason: strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Target is the package surface an analyzer runs over; package load
+// produces it and analysistest fakes it.
+type Target struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// Run executes one analyzer over one package and returns its diagnostics,
+// including directive-hygiene findings (missing justification, unused
+// directive), sorted by position.
+//
+// Test files are exempt: the invariants govern production code, while
+// tests deliberately provoke the conditions the analyzers forbid (fault
+// injection discards failing Sync/Append errors on purpose, crash tests
+// corrupt files through the raw OS). The go vet driver hands gdbvet test
+// files alongside the package's own, so the exemption lives here rather
+// than in the loader.
+func Run(a *Analyzer, t *Target) ([]Diagnostic, error) {
+	if a.AppliesTo != nil && !a.AppliesTo(t.PkgPath) {
+		return nil, nil
+	}
+	var files []*ast.File
+	for _, f := range t.Files {
+		if strings.HasSuffix(t.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	pass := &Pass{
+		Analyzer: a,
+		PkgPath:  t.PkgPath,
+		Fset:     t.Fset,
+		Files:    files,
+		Pkg:      t.Pkg,
+		Info:     t.Info,
+		allows:   parseAllows(t.Fset, files, a.Name),
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, t.PkgPath, err)
+	}
+	for _, d := range pass.allows {
+		switch {
+		case d.reason == "":
+			pass.diags = append(pass.diags, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: a.Name,
+				Message:  "gdbvet:allow directive is missing its mandatory justification (write //gdbvet:allow(" + a.Name + "): <why>)",
+			})
+		case !d.used:
+			pass.diags = append(pass.diags, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: a.Name,
+				Message:  "unused gdbvet:allow(" + a.Name + ") directive suppresses nothing; delete it",
+			})
+		}
+	}
+	Sort(pass.diags)
+	return pass.diags, nil
+}
+
+// Sort orders diagnostics by file, line, column, analyzer.
+func Sort(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// PathIsUnder reports whether pkgPath is pkg or nested below it —
+// the import-path analogue of filepath prefix matching.
+func PathIsUnder(pkgPath, pkg string) bool {
+	return pkgPath == pkg || strings.HasPrefix(pkgPath, pkg+"/")
+}

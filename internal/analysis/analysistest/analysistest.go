@@ -1,0 +1,143 @@
+// Package analysistest runs one gdbvet analyzer over a testdata package
+// and checks its diagnostics against `// want "regexp"` comments, the
+// same contract as x/tools' analysistest, rebuilt on the repo's own
+// loader.
+//
+// Expectations are written on the offending line:
+//
+//	f, _ := os.Open("x") // want `direct os\.Open call`
+//
+// Each want string is a regular expression that must match exactly one
+// diagnostic reported on that line, and every diagnostic must be wanted.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gdbm/internal/analysis"
+	"gdbm/internal/analysis/load"
+)
+
+// expectation is one `// want` clause.
+type expectation struct {
+	file    string // base name
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRx = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads the package in dir (a path relative to the test's working
+// directory), presents it to the analyzer under the virtual import path
+// asPath (so path-scoped analyzers treat the fixture as if it lived
+// there), and diffs diagnostics against want comments. It returns the
+// diagnostics for any extra assertions.
+func Run(t *testing.T, a *analysis.Analyzer, dir, asPath string) []analysis.Diagnostic {
+	t.Helper()
+	targets, err := load.Packages("", "./"+strings.TrimPrefix(dir, "./"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("analysistest: %s resolved to %d packages, want 1", dir, len(targets))
+	}
+	target := targets[0]
+	if asPath != "" {
+		target.PkgPath = asPath
+	}
+
+	var wants []*expectation
+	for _, f := range target.Files {
+		filename := target.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := target.Fset.Position(c.Pos())
+				rxs, err := parseWant(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: %v", filename, posn.Line, err)
+				}
+				for _, rx := range rxs {
+					wants = append(wants, &expectation{
+						file: base(filename),
+						line: posn.Line,
+						rx:   regexp.MustCompile(rx),
+						raw:  rx,
+					})
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(a, target)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.raw)
+		}
+	}
+	return diags
+}
+
+// claim marks the first unmatched expectation covering d and reports
+// whether one existed.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == base(d.Pos.Filename) && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func base(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// parseWant splits `"rx1" "rx2"` or backquoted forms into regexp sources.
+func parseWant(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("want: expected quoted regexp, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("want: unterminated %c-quoted regexp", quote)
+		}
+		lit := s[:end+2]
+		rx, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("want: %q: %v", lit, err)
+		}
+		out = append(out, rx)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want: no regexps")
+	}
+	return out, nil
+}

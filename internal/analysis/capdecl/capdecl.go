@@ -1,0 +1,146 @@
+// Package capdecl pins the engines to the survey's feature matrices: a
+// type in an engine package may only implement (or type-assert to) the
+// capability interfaces of package engine that the archetype's paper
+// profile — recorded in internal/engine/capability — allows. Because the
+// check runs over go/types method sets, it also convicts capabilities
+// acquired silently through struct embedding, the way neograph once
+// inherited a SchemaHolder surface from its propcore substrate.
+package capdecl
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gdbm/internal/analysis"
+	"gdbm/internal/engine/capability"
+)
+
+// enginePkgPath is the package whose exported interfaces form the
+// capability vocabulary.
+const enginePkgPath = "gdbm/internal/engine"
+
+// enginesRoot is the subtree holding one package per archetype.
+const enginesRoot = "gdbm/internal/engines"
+
+// Registry is the consulted allowance table; tests may add entries for
+// fixture packages.
+var Registry = capability.Profiles
+
+// Analyzer is the capdecl check.
+var Analyzer = &analysis.Analyzer{
+	Name: "capdecl",
+	Doc: "engine packages may only implement the capability interfaces their " +
+		"archetype's survey profile allows (internal/engine/capability), so " +
+		"Tables I-VII cannot drift from the code",
+	AppliesTo: func(pkgPath string) bool {
+		return pkgPath != enginesRoot && analysis.PathIsUnder(pkgPath, enginesRoot)
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	prof, ok := Registry[pass.PkgPath]
+	if !ok {
+		pass.Reportf(pass.Files[0].Name.Pos(),
+			"engine package %s has no profile in internal/engine/capability; register its allowed capability set before it can ship", pass.PkgPath)
+		return nil
+	}
+	if prof.Library {
+		return nil
+	}
+
+	enginePkg := findImport(pass.Pkg, enginePkgPath)
+	if enginePkg == nil {
+		// Without the engine package in the import graph the package
+		// cannot register itself as an archetype; nothing to pin.
+		return nil
+	}
+
+	// Resolve the capability vocabulary to its interface types.
+	type capIface struct {
+		name  capability.Capability
+		named types.Type
+		iface *types.Interface
+	}
+	var caps []capIface
+	for _, name := range capability.All() {
+		obj := enginePkg.Scope().Lookup(name)
+		if obj == nil {
+			continue
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		caps = append(caps, capIface{name, obj.Type(), iface})
+	}
+
+	// Every concrete package-level type must stay inside the allowance.
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if types.IsInterface(t) {
+			continue
+		}
+		for _, c := range caps {
+			if prof.Allows(c.name) {
+				continue
+			}
+			if types.Implements(t, c.iface) || types.Implements(types.NewPointer(t), c.iface) {
+				pass.Reportf(tn.Pos(),
+					"type %s implements engine.%s, but the %q profile forbids it (survey tables; see internal/engine/capability)",
+					name, c.name, prof.Row)
+			}
+		}
+	}
+
+	// Explicit conversions or assertions to a forbidden capability are
+	// drift too, even when no local type implements it.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ta, ok := n.(*ast.TypeAssertExpr)
+			if !ok || ta.Type == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[ta.Type]
+			if !ok {
+				return true
+			}
+			for _, c := range caps {
+				if !prof.Allows(c.name) && types.Identical(tv.Type, c.named) {
+					pass.Reportf(ta.Pos(),
+						"type assertion to engine.%s, but the %q profile forbids that capability",
+						c.name, prof.Row)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findImport walks the transitive imports of pkg for path.
+func findImport(pkg *types.Package, path string) *types.Package {
+	seen := map[*types.Package]bool{}
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if imp.Path() == path {
+				return imp
+			}
+			if found := walk(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}

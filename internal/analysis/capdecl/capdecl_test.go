@@ -1,0 +1,56 @@
+package capdecl_test
+
+import (
+	"testing"
+
+	"gdbm/internal/analysis/analysistest"
+	"gdbm/internal/analysis/capdecl"
+	"gdbm/internal/engine/capability"
+)
+
+// TestForbiddenCapabilities registers a fixture profile and checks that an
+// engine gaining an interface its profile forbids — directly, through
+// embedding, or via a type assertion — is convicted, while allowed and
+// escape-hatched surfaces stay silent.
+func TestForbiddenCapabilities(t *testing.T) {
+	const path = "gdbm/internal/engines/fakedb"
+	capability.Profiles[path] = capability.Profile{
+		Row: "Fakebase",
+		Allowed: []capability.Capability{
+			capability.Loader, capability.GraphAPI,
+			capability.Querier, capability.Persistent,
+		},
+	}
+	defer delete(capability.Profiles, path)
+	analysistest.Run(t, capdecl.Analyzer, "testdata/src/fakedb", path)
+}
+
+// TestUnregisteredEngine: a package under internal/engines/ with no
+// capability profile is convicted at its package clause.
+func TestUnregisteredEngine(t *testing.T) {
+	analysistest.Run(t, capdecl.Analyzer, "testdata/src/ghostdb", "gdbm/internal/engines/ghostdb")
+}
+
+// TestScope: only archetype packages under internal/engines are checked.
+func TestScope(t *testing.T) {
+	if capdecl.Analyzer.AppliesTo("gdbm/internal/engines") {
+		t.Error("the engines root itself holds no package to check")
+	}
+	if capdecl.Analyzer.AppliesTo("gdbm/internal/storage/wal") {
+		t.Error("storage packages are out of capdecl scope")
+	}
+	if !capdecl.Analyzer.AppliesTo("gdbm/internal/engines/neograph") {
+		t.Error("engine packages must be in capdecl scope")
+	}
+}
+
+// TestRealRegistryLibraries: the shared substrate packages are marked
+// Library so capdecl skips them without weakening engine checks.
+func TestRealRegistryLibraries(t *testing.T) {
+	for _, p := range []string{"gdbm/internal/engines/propcore", "gdbm/internal/engines/suite"} {
+		prof, ok := capability.Profiles[p]
+		if !ok || !prof.Library {
+			t.Errorf("%s must be registered as a library package", p)
+		}
+	}
+}

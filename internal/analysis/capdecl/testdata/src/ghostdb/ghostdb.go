@@ -1,0 +1,9 @@
+// Package ghostdb is a capdecl fixture: an engine package that never
+// registered a capability profile.
+package ghostdb // want `engine package gdbm/internal/engines/ghostdb has no profile in internal/engine/capability`
+
+// Ghost would be an engine; without a profile the package is convicted at
+// its package clause before any type is inspected.
+type Ghost struct{}
+
+func (Ghost) Name() string { return "ghost" }

@@ -1,0 +1,27 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"gdbm/internal/analysis/analysistest"
+	"gdbm/internal/analysis/lockdiscipline"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, lockdiscipline.Analyzer, "testdata/src/locky", "gdbm/internal/storage/locky")
+}
+
+func TestScope(t *testing.T) {
+	for _, p := range []string{
+		"gdbm/internal/storage/tx",
+		"gdbm/internal/engines/hyperdb",
+		"gdbm/internal/kvgraph",
+	} {
+		if !lockdiscipline.Analyzer.AppliesTo(p) {
+			t.Errorf("%s should be in lockdiscipline scope", p)
+		}
+	}
+	if lockdiscipline.Analyzer.AppliesTo("gdbm/cmd/gdbshell") {
+		t.Error("cmd packages are out of lockdiscipline scope")
+	}
+}

@@ -1,0 +1,100 @@
+// Package locky is a lockdiscipline fixture; analysistest presents it
+// under a virtual import path inside internal/storage.
+package locky
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]string
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Copy violations.
+
+func byValueParam(g guarded) int { // want `byValueParam parameter by value carries a sync\.Mutex`
+	return g.n
+}
+
+func byValueReturn(g *guarded) guarded {
+	return *g // want `return copies a value containing sync\.Mutex`
+}
+
+func assignCopy(g *guarded) {
+	cp := *g // want `assignment copies a value containing sync\.Mutex`
+	cp.n++
+}
+
+func argCopy(g *guarded) {
+	byValueParam(*g) // want `call passes a value containing sync\.Mutex by value`
+}
+
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range copies a value containing sync\.Mutex per iteration`
+		total += g.n
+	}
+	return total
+}
+
+// Allowed copies: fresh values.
+
+func freshValue() guarded {
+	g := guarded{n: 1} // composite literal: fresh, no aliasing
+	g.n++
+	return guarded{}
+}
+
+// Lock/Unlock pairing violations.
+
+func lockNoUnlock(s *store) string {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) has no matching s\.mu\.Unlock\(\) in lockNoUnlock`
+	return s.data["k"]
+}
+
+func rlockWrongUnlock(s *store) string {
+	s.rw.RLock() // want `s\.rw\.RLock\(\) has no matching s\.rw\.RUnlock\(\) in rlockWrongUnlock`
+	defer s.rw.Unlock()
+	return s.data["k"]
+}
+
+// Allowed pairings.
+
+func deferred(s *store) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data["k"]
+}
+
+func direct(s *store) {
+	s.mu.Lock()
+	s.data["k"] = "v"
+	s.mu.Unlock()
+}
+
+func deferredInClosure(s *store) string {
+	s.mu.Lock()
+	defer func() { s.mu.Unlock() }()
+	return s.data["k"]
+}
+
+func readersWriter(s *store) string {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.data["k"]
+}
+
+// The escape hatch: a deliberate cross-function lock handoff.
+
+func acquireForCaller(s *store) {
+	s.mu.Lock() //gdbvet:allow(lockdiscipline): lock handed to the caller, released by releaseForCaller
+}
+
+func releaseForCaller(s *store) {
+	s.mu.Unlock()
+}

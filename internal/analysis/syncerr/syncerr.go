@@ -1,0 +1,116 @@
+// Package syncerr is the static twin of the crash harness's fsyncgate
+// tests: an error returned by Sync, Append, Commit or Flush is a
+// durability event that must be checked and propagated. Discarding one —
+// as an expression statement, behind defer/go, or by assigning it to the
+// blank identifier — silently converts "not durable" into "fine".
+package syncerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gdbm/internal/analysis"
+)
+
+// scope: the storage stack, the engines, the kv-backed graph adapter and
+// the tools that drive them.
+var scope = []string{
+	"gdbm/internal/storage",
+	"gdbm/internal/engines",
+	"gdbm/internal/kvgraph",
+	"gdbm/cmd",
+}
+
+// watched is the set of durability-critical method names.
+var watched = map[string]bool{
+	"Sync": true, "Append": true, "Commit": true, "Flush": true,
+}
+
+// Analyzer is the syncerr check.
+var Analyzer = &analysis.Analyzer{
+	Name: "syncerr",
+	Doc: "every Sync/Append/Commit/Flush error must be checked and propagated, " +
+		"never discarded — the static half of the crash-recovery durability contract",
+	AppliesTo: func(pkgPath string) bool {
+		for _, s := range scope {
+			if analysis.PathIsUnder(pkgPath, s) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	errType := types.Universe.Lookup("error").Type()
+
+	// watchedCall returns the method name if call is a method call to a
+	// watched durability method whose final result is an error.
+	watchedCall := func(call *ast.CallExpr) (string, bool) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !watched[sel.Sel.Name] {
+			return "", false
+		}
+		selection, ok := pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.MethodVal {
+			return "", false
+		}
+		sig, ok := selection.Type().(*types.Signature)
+		if !ok {
+			return "", false
+		}
+		res := sig.Results()
+		if res.Len() == 0 || !types.Identical(res.At(res.Len()-1).Type(), errType) {
+			return "", false
+		}
+		return sel.Sel.Name, true
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					if name, ok := watchedCall(call); ok {
+						pass.Reportf(call.Pos(),
+							"%s error is discarded; durability failures must be checked and propagated", name)
+					}
+				}
+			case *ast.DeferStmt:
+				if name, ok := watchedCall(stmt.Call); ok {
+					pass.Reportf(stmt.Pos(),
+						"defer discards the %s error; capture it (defer func() { ... }()) or restructure", name)
+				}
+			case *ast.GoStmt:
+				if name, ok := watchedCall(stmt.Call); ok {
+					pass.Reportf(stmt.Pos(),
+						"go statement discards the %s error; durability failures must be observed", name)
+				}
+			case *ast.AssignStmt:
+				// Sole RHS call: result i binds to LHS i (or a single
+				// result to each LHS in a 1:1 assignment).
+				if len(stmt.Rhs) != 1 {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := watchedCall(call)
+				if !ok {
+					return true
+				}
+				// The error is the callee's final result, so it lands in
+				// the final LHS position.
+				last := stmt.Lhs[len(stmt.Lhs)-1]
+				if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(stmt.Pos(),
+						"%s error is assigned to the blank identifier; durability failures must be checked and propagated", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

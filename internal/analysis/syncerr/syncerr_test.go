@@ -1,0 +1,27 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"gdbm/internal/analysis/analysistest"
+	"gdbm/internal/analysis/syncerr"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, syncerr.Analyzer, "testdata/src/durably", "gdbm/internal/storage/durably")
+}
+
+func TestScope(t *testing.T) {
+	for _, p := range []string{
+		"gdbm/internal/storage/tx",
+		"gdbm/internal/engines/gstore",
+		"gdbm/cmd/gdbbench",
+	} {
+		if !syncerr.Analyzer.AppliesTo(p) {
+			t.Errorf("%s should be in syncerr scope", p)
+		}
+	}
+	if syncerr.Analyzer.AppliesTo("gdbm/internal/query/gql") {
+		t.Error("query packages are out of syncerr scope")
+	}
+}

@@ -1,0 +1,82 @@
+// Package durably is a syncerr fixture; analysistest presents it under a
+// virtual import path inside internal/storage.
+package durably
+
+// log mimics the durability surface of the real wal.Log.
+type log struct{}
+
+func (log) Append(p []byte) (int64, error) { return 0, nil }
+func (log) Sync() error                    { return nil }
+func (log) Commit() error                  { return nil }
+func (log) Flush() error                   { return nil }
+
+// noErr has look-alike methods with no error result; they are not
+// durability events and must not be convicted.
+type noErr struct{}
+
+func (noErr) Sync()   {}
+func (noErr) Commit() {}
+
+// Violations.
+
+func dropExpr(l log) {
+	l.Sync() // want `Sync error is discarded`
+}
+
+func dropCommit(l log) {
+	l.Commit() // want `Commit error is discarded`
+}
+
+func dropBlank(l log) {
+	_ = l.Flush() // want `Flush error is assigned to the blank identifier`
+}
+
+func dropAppendBlank(l log) {
+	_, _ = l.Append(nil) // want `Append error is assigned to the blank identifier`
+}
+
+func dropDefer(l log) {
+	defer l.Commit() // want `defer discards the Commit error`
+}
+
+func dropGo(l log) {
+	go l.Sync() // want `go statement discards the Sync error`
+}
+
+// Allowed: checked, propagated, or legitimately captured.
+
+func checked(l log) error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	return l.Commit()
+}
+
+func captured(l log) (err error) {
+	defer func() {
+		if cerr := l.Commit(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	n, err := l.Append([]byte("x"))
+	_ = n
+	return err
+}
+
+func keepsPayloadDropsCount(l log) error {
+	// Blanking the non-error result is fine; the error is still checked.
+	_, err := l.Append([]byte("x"))
+	return err
+}
+
+func notDurability(n noErr) {
+	// Same names, no error result: out of the invariant.
+	n.Sync()
+	n.Commit()
+}
+
+// The escape hatch with justification.
+
+func sanctioned(l log) {
+	l.Sync() //gdbvet:allow(syncerr): best-effort background sync, failure is re-observed by the next foreground Sync
+}

@@ -1,0 +1,77 @@
+// Package diskio is a vfsonly fixture; analysistest presents it under a
+// virtual import path inside internal/storage.
+package diskio
+
+import (
+	"io/ioutil"
+	"os"
+
+	"gdbm/internal/storage/vfs"
+)
+
+// Violations: every direct filesystem touch must be convicted.
+
+func openDirect() error {
+	f, err := os.Open("data.db") // want `direct os\.Open bypasses vfs\.FS`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeDirect() error {
+	return os.WriteFile("data.db", []byte("x"), 0o644) // want `direct os\.WriteFile bypasses vfs\.FS`
+}
+
+func mkTemp() (string, error) {
+	return os.MkdirTemp("", "x") // want `direct os\.MkdirTemp bypasses vfs\.FS`
+}
+
+func legacy() ([]byte, error) {
+	return ioutil.ReadFile("data.db") // want `ioutil\.ReadFile is deprecated and bypasses vfs\.FS`
+}
+
+// valueLeak shows that even referencing the function (not calling it)
+// is convicted: handing os.Remove to a helper is the same hole.
+var valueLeak = os.Remove // want `direct os\.Remove bypasses vfs\.FS`
+
+// Allowed: non-filesystem os identifiers are fine.
+
+func exitCode() {
+	if os.Getenv("DEBUG") == "" {
+		os.Stderr.WriteString("quiet\n")
+	}
+}
+
+// Allowed: the justified escape hatch.
+
+func sanctioned() error {
+	f, err := os.Open("raw.db") //gdbvet:allow(vfsonly): fixture boundary, mirrors the vfs package's own OS seam
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// A directive with no justification suppresses nothing and is itself
+// convicted, alongside the violation it failed to cover.
+
+func unjustified() error {
+	//gdbvet:allow(vfsonly) // want `missing its mandatory justification`
+	return os.Truncate("data.db", 0) // want `direct os\.Truncate bypasses vfs\.FS`
+}
+
+// A justified directive that covers nothing is stale and convicted.
+
+func stale() error {
+	//gdbvet:allow(vfsonly): outdated annotation, nothing here needs it // want `unused gdbvet:allow\(vfsonly\) directive`
+	return routed()
+}
+
+func routed() error {
+	f, err := vfs.OSFS.OpenFile("data.db")
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

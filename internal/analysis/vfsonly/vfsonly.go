@@ -1,0 +1,87 @@
+// Package vfsonly forbids direct filesystem access in the storage stack,
+// the engines and the command-line tools: every byte must flow through
+// vfs.FS so the FaultFS crash harness (PR 1) observes it. A direct
+// os.Open in an engine is exactly the kind of hole that lets durability
+// claims pass testing while dodging fault injection.
+//
+// The single sanctioned boundary is package internal/storage/vfs itself,
+// whose os calls carry justified //gdbvet:allow(vfsonly) directives.
+package vfsonly
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gdbm/internal/analysis"
+)
+
+// scope lists the package subtrees where the invariant holds.
+var scope = []string{
+	"gdbm/internal/storage",
+	"gdbm/internal/engines",
+	"gdbm/internal/kvgraph",
+	"gdbm/cmd",
+}
+
+// deniedOS is the set of package os functions that touch the filesystem.
+// Non-filesystem identifiers (Stderr, Exit, Getenv, O_RDWR, ...) stay
+// usable.
+var deniedOS = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"NewFile": true, "ReadFile": true, "WriteFile": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Truncate": true, "ReadDir": true, "Readlink": true,
+	"Stat": true, "Lstat": true, "Chmod": true, "Chown": true,
+	"Chtimes": true, "Link": true, "Symlink": true,
+	"Chdir": true, "DirFS": true, "CopyFS": true,
+}
+
+// Analyzer is the vfsonly check.
+var Analyzer = &analysis.Analyzer{
+	Name: "vfsonly",
+	Doc: "forbid direct os/ioutil filesystem access outside vfs.FS so the " +
+		"fault-injection harness sees every byte the storage stack and tools write",
+	AppliesTo: func(pkgPath string) bool {
+		for _, s := range scope {
+			if analysis.PathIsUnder(pkgPath, s) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "os":
+				if deniedOS[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"direct os.%s bypasses vfs.FS; route file I/O through vfs.OSFS / Options.FS so the crash harness can intercept it",
+						sel.Sel.Name)
+				}
+			case "io/ioutil":
+				pass.Reportf(sel.Pos(),
+					"ioutil.%s is deprecated and bypasses vfs.FS; route file I/O through vfs.OSFS / Options.FS",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

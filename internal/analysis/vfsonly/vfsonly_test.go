@@ -1,0 +1,31 @@
+package vfsonly_test
+
+import (
+	"testing"
+
+	"gdbm/internal/analysis/analysistest"
+	"gdbm/internal/analysis/vfsonly"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, vfsonly.Analyzer, "testdata/src/diskio", "gdbm/internal/storage/diskio")
+}
+
+// TestScope pins the guarded subtrees: the invariant is scoped, not
+// global, and must cover the stack, the engines and the tools.
+func TestScope(t *testing.T) {
+	if vfsonly.Analyzer.AppliesTo("gdbm/internal/report") {
+		t.Error("internal/report should be out of vfsonly scope")
+	}
+	for _, p := range []string{
+		"gdbm/internal/storage/wal",
+		"gdbm/internal/storage/vfs",
+		"gdbm/internal/engines/neograph",
+		"gdbm/cmd/gdbshell",
+		"gdbm/internal/kvgraph",
+	} {
+		if !vfsonly.Analyzer.AppliesTo(p) {
+			t.Errorf("%s should be in vfsonly scope", p)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package capability is the single source of truth for which capability
+// interfaces (engine.Loader, engine.Querier, ...) each archetype engine is
+// allowed to implement, derived cell by cell from the survey's Tables I-VII.
+//
+// The registry is enforced from two sides:
+//
+//   - statically, by the gdbvet "capdecl" analyzer, which convicts any type
+//     in an engine package that implements a capability interface its
+//     profile forbids (including accidental implementations picked up by
+//     embedding); and
+//   - dynamically, by this package's conformance test, which opens every
+//     registered engine and checks that the implemented set stays inside
+//     the allowed set and that the allowed set is consistent with the
+//     engine's declared Features.
+//
+// Together they pin the paper's feature matrices to the code: an engine
+// cannot silently grow (or lose) a surface the survey says it should not
+// have.
+package capability
+
+import "sort"
+
+// Capability names one of the interface-level surfaces declared in
+// package engine. The names must match the interface identifiers.
+type Capability = string
+
+// The capability vocabulary. Every entry names an exported interface of
+// gdbm/internal/engine; the capdecl analyzer resolves them by name.
+const (
+	Loader        Capability = "Loader"
+	GraphAPI      Capability = "GraphAPI"
+	HyperAPI      Capability = "HyperAPI"
+	Querier       Capability = "Querier"
+	SchemaHolder  Capability = "SchemaHolder"
+	Reasoner      Capability = "Reasoner"
+	Transactional Capability = "Transactional"
+	Persistent    Capability = "Persistent"
+)
+
+// All lists the capability vocabulary in deterministic order.
+func All() []Capability {
+	return []Capability{
+		Loader, GraphAPI, HyperAPI, Querier,
+		SchemaHolder, Reasoner, Transactional, Persistent,
+	}
+}
+
+// Profile is one engine package's allowance.
+type Profile struct {
+	// Row is the survey-table row the package reproduces ("Neo4j", ...).
+	Row string
+	// Allowed is the set of capability interfaces the archetype's paper
+	// profile permits. Anything outside it is a capdecl violation.
+	Allowed []Capability
+	// Library marks shared substrate packages that live under
+	// internal/engines/ but are not archetypes themselves; capdecl does
+	// not constrain them.
+	Library bool
+}
+
+// Allows reports whether the profile permits the capability.
+func (p Profile) Allows(c Capability) bool {
+	for _, a := range p.Allowed {
+		if a == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Profiles maps engine package import path to its allowance. Rationale is
+// recorded per entry against the survey's tables; the conformance test
+// cross-checks the machine-checkable parts against Features().
+var Profiles = map[string]Profile{
+	// AllegroGraph: RDF store with SPARQL (Tables II+V query language),
+	// RDFS++ reasoning (Table V), disk persistence (Table I external
+	// memory) and a graph API.
+	"gdbm/internal/engines/triplestore": {
+		Row:     "AllegroGraph",
+		Allowed: []Capability{Loader, GraphAPI, Querier, SchemaHolder, Reasoner, Persistent},
+	},
+	// DEX: bitmap-backed attributed multigraph, API-only operation
+	// (Table II blanks DDL/DML/QL), node/relation types with types
+	// checking (Tables IV+VI), external memory (Table I).
+	"gdbm/internal/engines/bitmapdb": {
+		Row:     "DEX",
+		Allowed: []Capability{Loader, GraphAPI, SchemaHolder, Persistent},
+	},
+	// Filament: schema-free pull-style API over a relational backend
+	// (Table I backend storage); no language, no schema (Tables II, IV).
+	"gdbm/internal/engines/filamentdb": {
+		Row:     "Filament",
+		Allowed: []Capability{Loader, GraphAPI, Persistent},
+	},
+	// G-Store: queries only through its language (Table V blanks the API
+	// column), DDL in the language (Table II), paged external memory.
+	"gdbm/internal/engines/gstore": {
+		Row:     "G-Store",
+		Allowed: []Capability{Loader, Querier, SchemaHolder, Persistent},
+	},
+	// HyperGraphDB: hypergraph model (Table III), typed atoms (Table IV
+	// node/relation types), key-value backend storage (Table I). The
+	// hypergraph surface is exposed by a side type, hence HyperAPI.
+	"gdbm/internal/engines/hyperdb": {
+		Row:     "HyperGraphDB",
+		Allowed: []Capability{Loader, HyperAPI, SchemaHolder, Persistent},
+	},
+	// InfiniteGraph: distributed attributed graph, API operation, typed
+	// nodes/relations (Table IV), external memory.
+	"gdbm/internal/engines/infinigraph": {
+		Row:     "InfiniteGraph",
+		Allowed: []Capability{Loader, GraphAPI, SchemaHolder, Persistent},
+	},
+	// Neo4j: schema-free network model — Table IV blanks every schema
+	// column and Table II blanks DDL, so SchemaHolder is forbidden; the
+	// Cypher-like gql is the Table V "in development" partial query
+	// language; transactions per the survey's Section II component list.
+	"gdbm/internal/engines/neograph": {
+		Row:     "Neo4j",
+		Allowed: []Capability{Loader, GraphAPI, Querier, Transactional, Persistent},
+	},
+	// Sones: main-memory only (Table I blanks external memory, so
+	// Persistent is forbidden), GraphQL-style language with DDL, object
+	// model with hypergraph flavor (Table III).
+	"gdbm/internal/engines/sonesdb": {
+		Row:     "Sones",
+		Allowed: []Capability{Loader, GraphAPI, HyperAPI, Querier, SchemaHolder},
+	},
+	// VertexDB: REST/JSON document-per-vertex store over a key-value
+	// backend (Table I), schema-free, API only.
+	"gdbm/internal/engines/vertexkv": {
+		Row:     "VertexDB",
+		Allowed: []Capability{Loader, GraphAPI, Persistent},
+	},
+	// Shared substrate packages under internal/engines/ that archetypes
+	// compose; they are not archetypes and carry no paper profile.
+	"gdbm/internal/engines/propcore": {Library: true},
+	"gdbm/internal/engines/suite":    {Library: true},
+}
+
+// Rows returns the registered engine package paths sorted by survey row.
+func Rows() []string {
+	var paths []string
+	for p, prof := range Profiles {
+		if !prof.Library {
+			paths = append(paths, p)
+		}
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		return Profiles[paths[i]].Row < Profiles[paths[j]].Row
+	})
+	return paths
+}

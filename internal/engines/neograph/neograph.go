@@ -72,6 +72,15 @@ func New(opts engine.Options) (*DB, error) {
 	return db, nil
 }
 
+// Schema shadows the schema surface promoted from the embedded
+// *propcore.Core. The Neo4j archetype is schema-free — Table II blanks its
+// DDL column and Table IV blanks every schema row — so DB must not satisfy
+// engine.SchemaHolder; without this shadow the embedding would leak a
+// capability the survey forbids (caught by gdbvet's capdecl analyzer and
+// the capability conformance test). The substrate schema stays reachable
+// as db.Core.Schema() for package-internal use.
+func (db *DB) Schema() {}
+
 // CreateIndex adds a hash index on a node property.
 func (db *DB) CreateIndex(prop string) error {
 	idx, err := db.Core.Idx.Create(index.Nodes, prop, index.KindHash)

@@ -44,13 +44,13 @@ type Tx struct {
 
 // Begin starts a write transaction.
 func (m *Manager) Begin() *Tx {
-	m.mu.Lock()
+	m.mu.Lock() //gdbvet:allow(lockdiscipline): writer lock spans the transaction lifetime; (*Tx).release unlocks on Commit/Abort
 	return &Tx{m: m, id: m.allocID()}
 }
 
 // BeginRead starts a read-only transaction.
 func (m *Manager) BeginRead() *Tx {
-	m.mu.RLock()
+	m.mu.RLock() //gdbvet:allow(lockdiscipline): reader lock spans the transaction lifetime; (*Tx).release unlocks on Commit/Abort
 	return &Tx{m: m, id: m.allocID(), readOnly: true}
 }
 
@@ -185,9 +185,16 @@ func (m *Manager) Update(fn func(*Tx) error) error {
 	return t.Commit()
 }
 
-// View runs fn inside a read-only transaction.
-func (m *Manager) View(fn func(*Tx) error) error {
+// View runs fn inside a read-only transaction. A read-only Commit cannot
+// write, but it can still report a misuse error (double completion), so
+// its error joins fn's instead of being dropped by a bare defer; the
+// deferred closure keeps the lock released even if fn panics.
+func (m *Manager) View(fn func(*Tx) error) (err error) {
 	t := m.BeginRead()
-	defer t.Commit()
+	defer func() {
+		if cerr := t.Commit(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	return fn(t)
 }

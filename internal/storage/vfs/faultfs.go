@@ -168,6 +168,7 @@ type FaultFS struct {
 	gen        int  // bumped at each power cut; stale handles fail
 	stickySync bool // every sync fails until Recover
 	triggered  bool // at least one scheduled fault fired
+	tmpSeq     int  // TempDir name counter
 }
 
 // NewFaultFS returns an empty fault-injection filesystem with no faults
@@ -309,6 +310,43 @@ func (fs *FaultFS) OpenFile(path string) (File, error) {
 		fs.files[path] = f
 	}
 	return &faultFile{fs: fs, f: f, gen: fs.gen}, nil
+}
+
+// MkdirAll implements FS. The in-memory namespace is flat, so directory
+// creation only has to respect the power state.
+func (fs *FaultFS) MkdirAll(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.down {
+		return ErrPowerCut
+	}
+	return nil
+}
+
+// RemoveAll implements FS: it deletes path and every file under it.
+func (fs *FaultFS) RemoveAll(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.down {
+		return ErrPowerCut
+	}
+	for name := range fs.files {
+		if name == path || (len(name) > len(path) && name[:len(path)] == path && name[len(path)] == '/') {
+			delete(fs.files, name)
+		}
+	}
+	return nil
+}
+
+// TempDir implements FS with a deterministic unique name.
+func (fs *FaultFS) TempDir(pattern string) (string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.down {
+		return "", ErrPowerCut
+	}
+	fs.tmpSeq++
+	return fmt.Sprintf("/tmp/%s%d", pattern, fs.tmpSeq), nil
 }
 
 type faultFile struct {

@@ -1,14 +1,20 @@
 // Package vfs abstracts the filesystem surface the disk-backed storage
-// stack (wal, pager, kv) uses, so that durability claims can be tested
-// under injected failures instead of trusted. Two implementations exist:
-// OS, a passthrough to the real filesystem, and FaultFS, an in-memory
-// filesystem with deterministic fault schedules (failed writes, torn
-// writes, fsync failures with post-fsyncgate semantics, read-side
-// corruption, and simulated power cuts).
+// stack (wal, pager, kv) and the command-line tools use, so that
+// durability claims can be tested under injected failures instead of
+// trusted. Two implementations exist: OSFS, a passthrough to the real
+// filesystem, and FaultFS, an in-memory filesystem with deterministic
+// fault schedules (failed writes, torn writes, fsync failures with
+// post-fsyncgate semantics, read-side corruption, and simulated power
+// cuts).
+//
+// Everything under internal/storage, internal/engines and cmd that
+// touches files must go through this package; the gdbvet analyzer
+// "vfsonly" enforces that mechanically.
 package vfs
 
 import (
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -23,23 +29,47 @@ type File interface {
 	Close() error
 }
 
-// FS opens files. Opening a missing file creates it (the storage layer
-// always opens read-write-create).
+// FS is the filesystem surface. Opening a missing file creates it (the
+// storage layer always opens read-write-create); the directory
+// operations exist so the command-line tools can route every byte of
+// file I/O through the same seam the crash harness instruments.
 type FS interface {
 	OpenFile(path string) (File, error)
+	// MkdirAll creates a directory path together with any necessary
+	// parents.
+	MkdirAll(path string) error
+	// RemoveAll removes path and everything it contains.
+	RemoveAll(path string) error
+	// TempDir creates a new unique directory and returns its path.
+	TempDir(pattern string) (string, error)
 }
 
+// OSFS is the passthrough filesystem singleton.
+var OSFS FS = osFS{}
+
 // OS returns the passthrough filesystem.
-func OS() FS { return osFS{} }
+func OS() FS { return OSFS }
 
 type osFS struct{}
 
 func (osFS) OpenFile(path string) (File, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644) //gdbvet:allow(vfsonly): this is the single OS boundary every other package routes through
 	if err != nil {
 		return nil, fmt.Errorf("vfs: open %s: %w", path, err)
 	}
 	return osFile{f}, nil
+}
+
+func (osFS) MkdirAll(path string) error {
+	return os.MkdirAll(path, 0o755) //gdbvet:allow(vfsonly): OS boundary
+}
+
+func (osFS) RemoveAll(path string) error {
+	return os.RemoveAll(path) //gdbvet:allow(vfsonly): OS boundary
+}
+
+func (osFS) TempDir(pattern string) (string, error) {
+	return os.MkdirTemp("", pattern) //gdbvet:allow(vfsonly): OS boundary
 }
 
 type osFile struct{ *os.File }
@@ -50,4 +80,50 @@ func (f osFile) Size() (int64, error) {
 		return 0, err
 	}
 	return st.Size(), nil
+}
+
+// NewReader returns an io.Reader over the current contents of f.
+func NewReader(f File) (io.Reader, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	return io.NewSectionReader(readerAt{f}, 0, size), nil
+}
+
+type readerAt struct{ f File }
+
+func (r readerAt) ReadAt(p []byte, off int64) (int, error) { return r.f.ReadAt(p, off) }
+
+// Writer is a sequential io.Writer over a File. Callers that replace a
+// file's contents should Truncate(0) first; Sync durability stays the
+// caller's responsibility.
+type Writer struct {
+	f   File
+	off int64
+}
+
+// NewWriter returns a Writer appending at offset 0.
+func NewWriter(f File) *Writer { return &Writer{f: f} }
+
+func (w *Writer) Write(p []byte) (int, error) {
+	n, err := w.f.WriteAt(p, w.off)
+	w.off += int64(n)
+	return n, err
+}
+
+// Create opens path on fs with fresh (truncated) contents and returns
+// the file together with a sequential Writer over it — the vfs analogue
+// of os.Create for the command-line tools. The caller owns Close (and
+// Sync, if durability matters).
+func Create(fs FS, path string) (File, *Writer, error) {
+	f, err := fs.OpenFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return f, NewWriter(f), nil
 }

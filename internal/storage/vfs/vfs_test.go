@@ -239,3 +239,54 @@ func TestFaultFSOpLog(t *testing.T) {
 		t.Fatalf("ops = %d", fs.Ops())
 	}
 }
+
+func TestDirOpsAndAdapters(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fs   FS
+	}{{"os", OSFS}, {"fault", NewFaultFS()}} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, err := tc.fs.TempDir("vfstest")
+			if err != nil {
+				t.Fatalf("TempDir: %v", err)
+			}
+			sub := dir + "/a/b"
+			if err := tc.fs.MkdirAll(sub); err != nil {
+				t.Fatalf("MkdirAll: %v", err)
+			}
+			f, err := tc.fs.OpenFile(sub + "/x.dat")
+			if err != nil {
+				t.Fatalf("OpenFile: %v", err)
+			}
+			w := NewWriter(f)
+			if _, err := w.Write([]byte("hello ")); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			if _, err := w.Write([]byte("world")); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			r, err := NewReader(f)
+			if err != nil {
+				t.Fatalf("NewReader: %v", err)
+			}
+			got, err := io.ReadAll(r)
+			if err != nil {
+				t.Fatalf("ReadAll: %v", err)
+			}
+			if string(got) != "hello world" {
+				t.Fatalf("round trip = %q", got)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if err := tc.fs.RemoveAll(dir); err != nil {
+				t.Fatalf("RemoveAll: %v", err)
+			}
+			if ffs, ok := tc.fs.(*FaultFS); ok {
+				if d := ffs.Durable(sub + "/x.dat"); d != nil {
+					t.Fatalf("RemoveAll left %q", d)
+				}
+			}
+		})
+	}
+}
