@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race race-storage ci
+.PHONY: build test vet lint race race-storage race-kernels bench ci
 
 # Tier-1 verification: everything builds, every test passes.
 build:
@@ -32,4 +32,14 @@ race:
 race-storage:
 	$(GO) test -race ./internal/storage/... ./internal/engines/suite/...
 
-ci: lint test race
+# Query kernels and every engine under the race detector — the surface the
+# parallel substrate touches.
+race-kernels:
+	$(GO) test -race ./internal/algo/... ./internal/engines/...
+
+# Parallel kernel sweep; records honest per-host numbers (GOMAXPROCS and
+# NumCPU are in the JSON, speedup needs a multi-core host).
+bench:
+	$(GO) run ./cmd/gdbbench -parallel -table none -out BENCH_parallel.json
+
+ci: lint test race race-kernels

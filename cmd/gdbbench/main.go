@@ -7,6 +7,8 @@
 //	gdbbench -table 7              # print one table
 //	gdbbench -diff                 # cell-by-cell diff vs the paper
 //	gdbbench -perf -nodes 10000    # performance sweep (HPC-SGAB style)
+//	gdbbench -parallel -table none # parallel kernel sweep
+//	gdbbench -parallel -out BENCH_parallel.json -table none
 package main
 
 import (
@@ -14,8 +16,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"gdbm"
+	"gdbm/internal/engine/capability"
 	"gdbm/internal/storage/vfs"
 )
 
@@ -23,19 +28,22 @@ func main() {
 	table := flag.String("table", "all", "table to regenerate: 1..8 or 'all' or 'none'")
 	diff := flag.Bool("diff", false, "print the cell-by-cell diff against the paper's matrices")
 	perf := flag.Bool("perf", false, "run the performance sweep")
+	parallel := flag.Bool("parallel", false, "run the parallel kernel sweep")
+	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel")
+	out := flag.String("out", "", "write the -parallel sweep as JSON to this file")
 	nodes := flag.Int("nodes", 2000, "perf sweep graph size (nodes)")
 	degree := flag.Int("degree", 4, "perf sweep edges per node")
 	seed := flag.Int64("seed", 42, "workload seed")
 	dir := flag.String("dir", "", "data directory for disk-backed engines (default: temp)")
 	flag.Parse()
 
-	if err := run(*table, *diff, *perf, *nodes, *degree, *seed, *dir); err != nil {
+	if err := run(*table, *diff, *perf, *parallel, *workers, *out, *nodes, *degree, *seed, *dir); err != nil {
 		fmt.Fprintln(os.Stderr, "gdbbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table string, diff, perf bool, nodes, degree int, seed int64, dir string) error {
+func run(table string, diff, perf, parallel bool, workers, out string, nodes, degree int, seed int64, dir string) error {
 	if dir == "" {
 		tmp, err := vfs.OSFS.TempDir("gdbbench")
 		if err != nil {
@@ -49,7 +57,7 @@ func run(table string, diff, perf bool, nodes, degree int, seed int64, dir strin
 		var engines []gdbm.Engine
 		for _, name := range gdbm.Engines() {
 			opts := gdbm.Options{}
-			if name == "gstore" {
+			if capability.NeedsDir(name) {
 				opts.Dir = filepath.Join(dir, name)
 				if err := vfs.OSFS.MkdirAll(opts.Dir); err != nil {
 					return nil, nil, err
@@ -111,7 +119,9 @@ func run(table string, diff, perf bool, nodes, degree int, seed int64, dir strin
 		fmt.Printf("performance sweep: R-MAT n=%d, degree=%d, seed=%d\n\n", nodes, degree, seed)
 		open := func(name string) (gdbm.Engine, error) {
 			opts := gdbm.Options{}
-			if name == "gstore" || name == "vertexkv" {
+			// vertexkv is benched in its disk-backed configuration by
+			// choice; disk-only archetypes get a directory by necessity.
+			if capability.NeedsDir(name) || name == "vertexkv" {
 				d := filepath.Join(dir, "perf-"+name)
 				if err := vfs.OSFS.RemoveAll(d); err != nil {
 					return nil, err
@@ -129,5 +139,42 @@ func run(table string, diff, perf bool, nodes, degree int, seed int64, dir strin
 		}
 		gdbm.RenderPerf(os.Stdout, results)
 	}
+
+	if parallel {
+		counts, err := parseWorkers(workers)
+		if err != nil {
+			return err
+		}
+		sweep, err := gdbm.RunParallelSweep(nodes, degree, seed, counts)
+		if err != nil {
+			return err
+		}
+		gdbm.RenderParallel(os.Stdout, sweep)
+		if out != "" {
+			if err := gdbm.WriteParallelJSON(vfs.OSFS, out, sweep); err != nil {
+				return err
+			}
+			fmt.Println("wrote", out)
+		}
+	}
 	return nil
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-workers lists no counts")
+	}
+	return counts, nil
 }

@@ -1,23 +1,68 @@
 package main
 
 import (
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"gdbm/internal/storage/vfs"
 )
 
 func TestRunTablesAndDiff(t *testing.T) {
-	if err := run("all", true, false, 0, 0, 1, t.TempDir()); err != nil {
+	if err := run("all", true, false, false, "", "", 0, 0, 1, t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleTable(t *testing.T) {
-	if err := run("7", false, false, 0, 0, 1, t.TempDir()); err != nil {
+	if err := run("7", false, false, false, "", "", 0, 0, 1, t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPerfSweepSmall(t *testing.T) {
-	if err := run("none", false, true, 300, 2, 1, t.TempDir()); err != nil {
+	if err := run("none", false, true, false, "", "", 300, 2, 1, t.TempDir()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunParallelSweepSmall(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	if err := run("none", false, false, true, "1,2", out, 300, 2, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	f, err := vfs.OSFS.OpenFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := vfs.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{`"gomaxprocs"`, `"kernel": "bfs"`, `"workers": 2`, `"speedup_vs_sequential"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("JSON missing %s:\n%s", want, body)
+		}
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	if _, err := parseWorkers("0"); err == nil {
+		t.Error("worker count 0 accepted")
+	}
+	if _, err := parseWorkers(""); err == nil {
+		t.Error("empty worker list accepted")
+	}
+	counts, err := parseWorkers(" 1, 4 ,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 3 || counts[0] != 1 || counts[2] != 8 {
+		t.Errorf("parseWorkers = %v", counts)
 	}
 }

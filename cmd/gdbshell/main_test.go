@@ -6,12 +6,13 @@ import (
 	"testing"
 
 	"gdbm"
+	"gdbm/internal/engine/capability"
 )
 
 func shellSession(t *testing.T, engine string, input string) string {
 	t.Helper()
 	opts := gdbm.Options{}
-	if engine == "gstore" {
+	if capability.NeedsDir(engine) {
 		opts.Dir = t.TempDir()
 	}
 	e, err := gdbm.Open(engine, opts)

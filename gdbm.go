@@ -259,6 +259,20 @@ var RunPerf = report.RunPerf
 // RenderPerf prints a performance sweep.
 var RenderPerf = report.RenderPerf
 
+// ParallelSweep is the parallel-kernel benchmark result set.
+type ParallelSweep = report.ParallelSweep
+
+// RunParallelSweep times the parallel query kernels against their
+// sequential baselines across worker counts.
+var RunParallelSweep = report.RunParallelSweep
+
+// RenderParallel prints a parallel-kernel sweep.
+var RenderParallel = report.RenderParallel
+
+// WriteParallelJSON writes a parallel-kernel sweep as JSON through the
+// vfs seam.
+var WriteParallelJSON = report.WriteParallelJSON
+
 // PastLanguages returns the executable Table VIII profiles.
 func PastLanguages() []*PastLanguage { return pastql.Languages() }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"gdbm"
+	"gdbm/internal/engine/capability"
 )
 
 func TestPublicOpenAllEngines(t *testing.T) {
@@ -13,7 +14,7 @@ func TestPublicOpenAllEngines(t *testing.T) {
 	}
 	for _, name := range names {
 		opts := gdbm.Options{}
-		if name == "gstore" {
+		if capability.NeedsDir(name) {
 			opts.Dir = t.TempDir()
 		}
 		e, err := gdbm.Open(name, opts)
@@ -84,7 +85,7 @@ func TestPublicGenerateAndTables(t *testing.T) {
 	var engines []gdbm.Engine
 	for _, name := range gdbm.Engines() {
 		opts := gdbm.Options{}
-		if name == "gstore" {
+		if capability.NeedsDir(name) {
 			opts.Dir = t.TempDir()
 		}
 		e, err := gdbm.Open(name, opts)

@@ -1,0 +1,129 @@
+// Package algotest provides shared test helpers for the algorithm layer:
+// random graph and path-expression generators (used by the sequential RPQ
+// quick-checks and the parallel-kernel equivalence properties) and a
+// fault-injecting graph wrapper for error-propagation tests. It lives
+// outside the _test files so internal/algo and internal/algo/par can share
+// one set of generators.
+package algotest
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+
+	"gdbm/internal/memgraph"
+	"gdbm/internal/model"
+)
+
+// RandomDAG builds an acyclic graph: edges only go from lower to higher
+// node index, labels drawn from {a, b, c}.
+func RandomDAG(rng *rand.Rand, n, m int) (*memgraph.Graph, []model.NodeID) {
+	g := memgraph.New()
+	ids := make([]model.NodeID, n)
+	for i := range ids {
+		ids[i], _ = g.AddNode("V", nil)
+	}
+	labels := []string{"a", "b", "c"}
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(n-u-1)
+		g.AddEdge(labels[rng.Intn(len(labels))], ids[u], ids[v], nil)
+	}
+	return g, ids
+}
+
+// RandomExpr produces a small random path expression over {a, b, c}.
+func RandomExpr(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		return []string{"a", "b", "c"}[rng.Intn(3)]
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return RandomExpr(rng, depth-1) + "/" + RandomExpr(rng, depth-1)
+	case 1:
+		return "(" + RandomExpr(rng, depth-1) + "|" + RandomExpr(rng, depth-1) + ")"
+	case 2:
+		return "(" + RandomExpr(rng, depth-1) + ")*"
+	case 3:
+		return "(" + RandomExpr(rng, depth-1) + ")?"
+	default:
+		return []string{"a", "b", "c"}[rng.Intn(3)]
+	}
+}
+
+// RandomGraph builds a labeled, attributed, possibly cyclic multigraph:
+// n nodes with labels from {P, Q} and an integer property "w", m edges
+// with labels from {a, b, c}. Self-loops and parallel edges may occur.
+func RandomGraph(rng *rand.Rand, n, m int) (*memgraph.Graph, []model.NodeID) {
+	g := memgraph.New()
+	ids := make([]model.NodeID, n)
+	nlabels := []string{"P", "Q"}
+	for i := range ids {
+		ids[i], _ = g.AddNode(nlabels[rng.Intn(len(nlabels))],
+			model.Properties{"w": model.Int(int64(rng.Intn(100)))})
+	}
+	elabels := []string{"a", "b", "c"}
+	for i := 0; i < m; i++ {
+		u := ids[rng.Intn(n)]
+		v := ids[rng.Intn(n)]
+		g.AddEdge(elabels[rng.Intn(len(elabels))], u, v, nil)
+	}
+	return g, ids
+}
+
+// ErrInjected is the sentinel failure returned by FlakyGraph once its call
+// budget runs out.
+var ErrInjected = errors.New("algotest: injected failure")
+
+// FlakyGraph wraps a Graph and makes Nodes, Edges, Neighbors and Degree
+// fail with ErrInjected after budget successful calls (budget 0 fails the
+// first call). The countdown is atomic, so concurrent kernels can share
+// one wrapper.
+type FlakyGraph struct {
+	model.Graph
+	budget int64
+}
+
+// NewFlaky wraps g with a failure budget.
+func NewFlaky(g model.Graph, budget int) *FlakyGraph {
+	return &FlakyGraph{Graph: g, budget: int64(budget)}
+}
+
+func (f *FlakyGraph) tick() error {
+	if atomic.AddInt64(&f.budget, -1) < 0 {
+		return ErrInjected
+	}
+	return nil
+}
+
+// Nodes implements model.Graph, consuming one budget unit.
+func (f *FlakyGraph) Nodes(fn func(model.Node) bool) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.Graph.Nodes(fn)
+}
+
+// Edges implements model.Graph, consuming one budget unit.
+func (f *FlakyGraph) Edges(fn func(model.Edge) bool) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.Graph.Edges(fn)
+}
+
+// Neighbors implements model.Graph, consuming one budget unit.
+func (f *FlakyGraph) Neighbors(id model.NodeID, dir model.Direction, fn func(model.Edge, model.Node) bool) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.Graph.Neighbors(id, dir, fn)
+}
+
+// Degree implements model.Graph, consuming one budget unit.
+func (f *FlakyGraph) Degree(id model.NodeID, dir model.Direction) (int, error) {
+	if err := f.tick(); err != nil {
+		return 0, err
+	}
+	return f.Graph.Degree(id, dir)
+}

@@ -1,0 +1,160 @@
+package par
+
+import (
+	"context"
+
+	"gdbm/internal/model"
+)
+
+// frontierWeights returns per-node degree hints for work splitting. Degree
+// errors degrade to weight 1 rather than failing the kernel — the weights
+// only steer chunking, and a node whose adjacency is truly unreadable
+// reports its error from the expansion itself.
+func frontierWeights(g model.Graph, frontier []model.NodeID, dir model.Direction) func(int) int {
+	w := make([]int, len(frontier))
+	for i, id := range frontier {
+		d, err := g.Degree(id, dir)
+		if err != nil || d < 1 {
+			d = 1
+		}
+		w[i] = d
+	}
+	return func(i int) int { return w[i] }
+}
+
+// expandFrontier expands every frontier node's adjacency concurrently into
+// per-node candidate buffers: buf[i] holds the neighbors of frontier[i]
+// not yet visited at expansion start, in Neighbors order. The visited map
+// is read, never written, during expansion, so workers share it without
+// locks; deduplication across buffers is the sequential merge's job.
+func expandFrontier(ctx context.Context, g model.Graph, frontier []model.NodeID, dir model.Direction, visited map[model.NodeID]bool, opt Options) ([][]model.NodeID, error) {
+	buf := make([][]model.NodeID, len(frontier))
+	expand := func(ctx context.Context, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return g.Neighbors(frontier[i], dir, func(_ model.Edge, n model.Node) bool {
+			if !visited[n.ID] {
+				buf[i] = append(buf[i], n.ID)
+			}
+			return true
+		})
+	}
+	if len(frontier) < opt.threshold() {
+		for i := range frontier {
+			if err := expand(ctx, i); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	}
+	chunks := Split(len(frontier), opt.workers()*chunksPerWorker, frontierWeights(g, frontier, dir))
+	err := opt.pool().Map(ctx, len(chunks), func(ctx context.Context, ci int) error {
+		for i := chunks[ci].Start; i < chunks[ci].End; i++ {
+			if err := expand(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// BFS walks the graph from start with the same visit sequence and
+// early-stop semantics as algo.BFS, expanding each depth level's frontier
+// concurrently and merging the discoveries in frontier order. On an
+// iteration error the callbacks already issued may cover nodes the
+// sequential walk would not have reached before failing; the error
+// returned is the same.
+func BFS(ctx context.Context, g model.Graph, start model.NodeID, dir model.Direction, opt Options, visit func(id model.NodeID, depth int) bool) error {
+	if _, err := g.Node(start); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	visited := map[model.NodeID]bool{start: true}
+	frontier := []model.NodeID{start}
+	if !visit(start, 0) {
+		return nil
+	}
+	for depth := 1; len(frontier) > 0; depth++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		buf, err := expandFrontier(ctx, g, frontier, dir, visited, opt)
+		if err != nil {
+			return err
+		}
+		var next []model.NodeID
+		for _, cands := range buf {
+			for _, id := range cands {
+				if visited[id] {
+					continue
+				}
+				visited[id] = true
+				if !visit(id, depth) {
+					return nil
+				}
+				next = append(next, id)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// Reachable reports whether to can be reached from from following dir,
+// equivalently to algo.Reachable.
+func Reachable(ctx context.Context, g model.Graph, from, to model.NodeID, dir model.Direction, opt Options) (bool, error) {
+	if from == to {
+		if _, err := g.Node(from); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	found := false
+	err := BFS(ctx, g, from, dir, opt, func(id model.NodeID, _ int) bool {
+		if id == to {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, err
+}
+
+// Neighborhood returns the k-neighborhood of start in the same
+// BFS-discovery order as algo.Neighborhood.
+func Neighborhood(ctx context.Context, g model.Graph, start model.NodeID, k int, dir model.Direction, opt Options) ([]model.NodeID, error) {
+	if _, err := g.Node(start); err != nil {
+		return nil, err
+	}
+	visited := map[model.NodeID]bool{start: true}
+	frontier := []model.NodeID{start}
+	var out []model.NodeID
+	for depth := 0; depth < k && len(frontier) > 0; depth++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		buf, err := expandFrontier(ctx, g, frontier, dir, visited, opt)
+		if err != nil {
+			return nil, err
+		}
+		var next []model.NodeID
+		for _, cands := range buf {
+			for _, id := range cands {
+				if !visited[id] {
+					visited[id] = true
+					next = append(next, id)
+					out = append(out, id)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package par
+
+// Range is a half-open index interval [Start, End).
+type Range struct{ Start, End int }
+
+// Len returns the number of indexes in the range.
+func (r Range) Len() int { return r.End - r.Start }
+
+// Split partitions the index range [0, n) into at most parts contiguous,
+// in-order ranges of roughly equal total weight, so per-chunk results can
+// be concatenated to reproduce the sequential processing order. A nil
+// weight treats all items as equal; weights below 1 count as 1. Heavy
+// items (hubs) never split across chunks — a single very heavy item makes
+// its chunk the straggler, which callers offset by requesting more chunks
+// than workers.
+func Split(n, parts int, weight func(i int) int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts <= 1 {
+		return []Range{{0, n}}
+	}
+	if weight == nil {
+		out := make([]Range, 0, parts)
+		for i := 0; i < parts; i++ {
+			start, end := i*n/parts, (i+1)*n/parts
+			if start < end {
+				out = append(out, Range{start, end})
+			}
+		}
+		return out
+	}
+	w := func(i int) int {
+		v := weight(i)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	remaining := 0
+	for i := 0; i < n; i++ {
+		remaining += w(i)
+	}
+	out := make([]Range, 0, parts)
+	start, acc := 0, 0
+	for i := 0; i < n; i++ {
+		acc += w(i)
+		// Close the chunk once it reaches an equal share of the remaining
+		// weight over the remaining chunk budget.
+		left := parts - len(out)
+		if left > 1 && acc >= (remaining+left-1)/left {
+			out = append(out, Range{start, i + 1})
+			start = i + 1
+			remaining -= acc
+			acc = 0
+		}
+	}
+	if start < n {
+		out = append(out, Range{start, n})
+	}
+	return out
+}

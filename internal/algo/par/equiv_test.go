@@ -1,0 +1,436 @@
+package par_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gdbm/internal/algo"
+	"gdbm/internal/algo/algotest"
+	"gdbm/internal/algo/par"
+	"gdbm/internal/kvgraph"
+	"gdbm/internal/model"
+	"gdbm/internal/storage/kv"
+)
+
+// force pushes every kernel through its parallel path regardless of input
+// size, so the equivalence properties exercise chunking and merging even on
+// the small graphs quick.Check generates.
+var force = par.Options{Threshold: 1, Workers: 4}
+
+type visitRec struct {
+	id    model.NodeID
+	depth int
+}
+
+// kvClone copies a memgraph into a kvgraph so the Nodes scan order is
+// deterministic (ID order) — required for the exact-sequence pattern and
+// limit properties.
+func kvClone(t testing.TB, g model.Graph) *kvgraph.Graph {
+	t.Helper()
+	out := kvgraph.New(kv.NewMemory())
+	ids := map[model.NodeID]model.NodeID{}
+	var nodes []model.Node
+	if err := g.Nodes(func(n model.Node) bool { nodes = append(nodes, n); return true }); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		id, err := out.AddNode(n.Label, n.Props)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[n.ID] = id
+	}
+	var edges []model.Edge
+	if err := g.Edges(func(e model.Edge) bool { edges = append(edges, e); return true }); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].ID < edges[j].ID })
+	for _, e := range edges {
+		if _, err := out.AddEdge(e.Label, ids[e.From], ids[e.To], e.Props); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestBFSVisitSequenceMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, ids := algotest.RandomGraph(rng, 20+rng.Intn(20), 60+rng.Intn(60))
+		start := ids[rng.Intn(len(ids))]
+		for _, dir := range []model.Direction{model.Out, model.In, model.Both} {
+			var seq, parv []visitRec
+			if err := algo.BFS(g, start, dir, func(id model.NodeID, d int) bool {
+				seq = append(seq, visitRec{id, d})
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			err := par.BFS(context.Background(), g, start, dir, force, func(id model.NodeID, d int) bool {
+				parv = append(parv, visitRec{id, d})
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(seq) != fmt.Sprint(parv) {
+				t.Logf("seed %d dir %v:\nseq %v\npar %v", seed, dir, seq, parv)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSEarlyStopMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, ids := algotest.RandomGraph(rng, 30, 90)
+	for _, stopAfter := range []int{1, 3, 7} {
+		var seq, parv []visitRec
+		n := 0
+		algo.BFS(g, ids[0], model.Both, func(id model.NodeID, d int) bool {
+			seq = append(seq, visitRec{id, d})
+			n++
+			return n < stopAfter
+		})
+		n = 0
+		if err := par.BFS(context.Background(), g, ids[0], model.Both, force, func(id model.NodeID, d int) bool {
+			parv = append(parv, visitRec{id, d})
+			n++
+			return n < stopAfter
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(seq) != fmt.Sprint(parv) {
+			t.Fatalf("stopAfter=%d:\nseq %v\npar %v", stopAfter, seq, parv)
+		}
+	}
+}
+
+func TestNeighborhoodAndReachableMatchSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, ids := algotest.RandomGraph(rng, 15+rng.Intn(15), 40+rng.Intn(40))
+		a, b := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+		k := 1 + rng.Intn(4)
+		for _, dir := range []model.Direction{model.Out, model.Both} {
+			seqN, err := algo.Neighborhood(g, a, k, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parN, err := par.Neighborhood(context.Background(), g, a, k, dir, force)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(seqN) != fmt.Sprint(parN) {
+				t.Logf("seed %d dir %v k=%d: seq %v par %v", seed, dir, k, seqN, parN)
+				return false
+			}
+			seqR, err := algo.Reachable(g, a, b, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parR, err := par.Reachable(context.Background(), g, a, b, dir, force)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seqR != parR {
+				t.Logf("seed %d dir %v: reachable seq=%v par=%v", seed, dir, seqR, parR)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalPathMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, ids := algotest.RandomDAG(rng, 10+rng.Intn(8), 20+rng.Intn(20))
+		expr := algotest.RandomExpr(rng, 2)
+		pe, err := algo.CompilePathExpr(expr)
+		if err != nil {
+			t.Fatalf("compile %q: %v", expr, err)
+		}
+		start := ids[rng.Intn(len(ids))]
+		seq, err := pe.Eval(g, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parv, err := par.EvalPath(context.Background(), pe, g, start, force)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The parallel product search replays the sequential candidate
+		// order, so the result sequences are identical, not just set-equal.
+		if fmt.Sprint(seq) != fmt.Sprint(parv) {
+			t.Logf("seed %d expr %q start %d:\nseq %v\npar %v", seed, expr, start, seq, parv)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// On a cyclic graph too (not just DAGs): the product automaton handles
+// cycles via the visited set.
+func TestEvalPathMatchesSequentialOnCyclicGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, ids := algotest.RandomGraph(rng, 12, 36)
+		pe, err := algo.CompilePathExpr(algotest.RandomExpr(rng, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := ids[rng.Intn(len(ids))]
+		seq, err := pe.Eval(g, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parv, err := par.EvalPath(context.Background(), pe, g, start, force)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprint(seq) == fmt.Sprint(parv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func matchKey(m algo.Match) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += fmt.Sprintf("%s=%d;", k, m[k])
+	}
+	return s
+}
+
+func testPattern(t testing.TB) *algo.Pattern {
+	t.Helper()
+	p, err := algo.NewPattern(
+		[]algo.PatternNode{{Var: "x", Label: "P"}, {Var: "y"}},
+		[]algo.PatternEdge{{From: 0, To: 1, Label: "a"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// On memgraph the Nodes scan order varies between calls (map iteration), so
+// parallel and sequential matching agree as sets.
+func TestFindMatchesSetEqualOnMemgraph(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, _ := algotest.RandomGraph(rng, 20, 60)
+		p := testPattern(t)
+		seq, err := algo.FindMatches(g, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parv, err := par.FindMatches(context.Background(), g, p, 0, force)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != len(parv) {
+			t.Logf("seed %d: %d seq matches, %d par", seed, len(seq), len(parv))
+			return false
+		}
+		set := map[string]bool{}
+		for _, m := range seq {
+			set[matchKey(m)] = true
+		}
+		for _, m := range parv {
+			if !set[matchKey(m)] {
+				t.Logf("seed %d: par-only match %v", seed, m)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// On kvgraph the scan order is deterministic (ID order), so the match
+// sequence — including limit truncation — is byte-identical.
+func TestFindMatchesExactOrderOnKVGraph(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mg, _ := algotest.RandomGraph(rng, 18, 50)
+		g := kvClone(t, mg)
+		p := testPattern(t)
+		for _, limit := range []int{0, 1, 3, 10} {
+			seq, err := algo.FindMatches(g, p, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parv, err := par.FindMatches(context.Background(), g, p, limit, force)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seq) != len(parv) {
+				t.Logf("seed %d limit %d: %d seq, %d par", seed, limit, len(seq), len(parv))
+				return false
+			}
+			for i := range seq {
+				if matchKey(seq[i]) != matchKey(parv[i]) {
+					t.Logf("seed %d limit %d pos %d: seq %v par %v", seed, limit, i, seq[i], parv[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregatesMatchSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, _ := algotest.RandomGraph(rng, 25, 70)
+		for _, kind := range []algo.AggKind{algo.AggCount, algo.AggSum, algo.AggMin, algo.AggMax, algo.AggAvg} {
+			for _, label := range []string{"", "P"} {
+				seq, err := algo.AggregateNodeProp(g, label, "w", kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parv, err := par.AggregateNodeProp(context.Background(), g, label, "w", kind, force)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Integer inputs make every aggregate (sum, avg included)
+				// exact, so equality is not flaky.
+				if !seq.Equal(parv) {
+					t.Logf("seed %d kind %v label %q: seq %v par %v", seed, kind, label, seq, parv)
+					return false
+				}
+			}
+		}
+		seqD, err := algo.Degrees(g, model.Both)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parD, err := par.Degrees(context.Background(), g, model.Both, force)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqD != parD {
+			t.Logf("seed %d: degrees seq %+v par %+v", seed, seqD, parD)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelsHonorCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, ids := algotest.RandomGraph(rng, 40, 120)
+	pe, err := algo.CompilePathExpr("(a|b)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	checks := map[string]func() error{
+		"BFS": func() error {
+			return par.BFS(ctx, g, ids[0], model.Both, force, func(model.NodeID, int) bool { return true })
+		},
+		"Reachable": func() error {
+			_, err := par.Reachable(ctx, g, ids[0], ids[1], model.Both, force)
+			return err
+		},
+		"EvalPath": func() error {
+			_, err := par.EvalPath(ctx, pe, g, ids[0], force)
+			return err
+		},
+		"FindMatches": func() error {
+			_, err := par.FindMatches(ctx, g, testPattern(t), 0, force)
+			return err
+		},
+		"Aggregate": func() error {
+			_, err := par.AggregateNodeProp(ctx, g, "", "w", algo.AggSum, force)
+			return err
+		},
+		"Degrees": func() error {
+			_, err := par.Degrees(ctx, g, model.Both, force)
+			return err
+		},
+	}
+	for name, fn := range checks {
+		if err := fn(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with canceled context: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+func TestKernelsPropagateInjectedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, ids := algotest.RandomGraph(rng, 30, 90)
+	pe, err := algo.CompilePathExpr("a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AggregateNodeProp reads the graph exactly once (the Nodes scan), so
+	// only budget 0 can trip it; traversal kernels touch the graph per
+	// frontier element and fail at any budget.
+	budgets := map[string][]int{"Aggregate": {0}}
+	checks := map[string]func(model.Graph) error{
+		"BFS": func(fg model.Graph) error {
+			return par.BFS(context.Background(), fg, ids[0], model.Both, force, func(model.NodeID, int) bool { return true })
+		},
+		"EvalPath": func(fg model.Graph) error {
+			_, err := par.EvalPath(context.Background(), pe, fg, ids[0], force)
+			return err
+		},
+		"FindMatches": func(fg model.Graph) error {
+			_, err := par.FindMatches(context.Background(), fg, testPattern(t), 0, force)
+			return err
+		},
+		"Aggregate": func(fg model.Graph) error {
+			_, err := par.AggregateNodeProp(context.Background(), fg, "", "w", algo.AggSum, force)
+			return err
+		},
+		"Degrees": func(fg model.Graph) error {
+			_, err := par.Degrees(context.Background(), fg, model.Both, force)
+			return err
+		},
+	}
+	for name, fn := range checks {
+		bs, ok := budgets[name]
+		if !ok {
+			bs = []int{0, 1, 3}
+		}
+		for _, budget := range bs {
+			if err := fn(algotest.NewFlaky(g, budget)); !errors.Is(err, algotest.ErrInjected) {
+				t.Errorf("%s budget=%d: err = %v, want injected", name, budget, err)
+			}
+		}
+	}
+}

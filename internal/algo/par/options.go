@@ -1,0 +1,45 @@
+package par
+
+// DefaultThreshold is the work-size floor below which kernels run the
+// sequential path: a frontier or candidate list smaller than this is
+// cheaper to process inline than to chunk and hand out.
+const DefaultThreshold = 256
+
+// chunksPerWorker oversubscribes chunks relative to workers so a straggler
+// chunk (a hub-heavy range) doesn't idle the rest of the pool.
+const chunksPerWorker = 4
+
+// Options tunes one kernel invocation. The zero value selects the shared
+// default pool, its worker count, and DefaultThreshold.
+type Options struct {
+	// Workers caps the number of chunks in flight; 0 = pool size.
+	Workers int
+	// Threshold is the minimum work size worth parallelizing; 0 selects
+	// DefaultThreshold (set 1 to parallelize unconditionally). Below it,
+	// kernels produce their results through the sequential internal/algo
+	// implementations.
+	Threshold int
+	// Pool runs the work; nil selects Default().
+	Pool *Pool
+}
+
+func (o Options) pool() *Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return Default()
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return o.pool().Workers()
+}
+
+func (o Options) threshold() int {
+	if o.Threshold > 0 {
+		return o.Threshold
+	}
+	return DefaultThreshold
+}

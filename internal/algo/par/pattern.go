@@ -1,0 +1,88 @@
+package par
+
+import (
+	"context"
+
+	"gdbm/internal/algo"
+	"gdbm/internal/model"
+)
+
+// FindMatches enumerates pattern embeddings exactly as algo.FindMatches
+// does, parallelizing the root-candidate scan: every node is filtered
+// against the root pattern node's local constraints concurrently, the
+// surviving candidates are partitioned into contiguous chunks, and one
+// seeded sequential search runs per chunk. Chunk results concatenate in
+// scan order and the merge truncates at limit, so the returned matches
+// equal the sequential kernel's whenever the graph's Nodes order is
+// deterministic (and are a permutation of them otherwise).
+func FindMatches(ctx context.Context, g model.Graph, p *algo.Pattern, limit int, opt Options) ([]algo.Match, error) {
+	if p.NumNodes() == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var nodes []model.Node
+	if err := g.Nodes(func(n model.Node) bool {
+		nodes = append(nodes, n)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if len(nodes) < opt.threshold() {
+		return algo.FindMatches(g, p, limit)
+	}
+
+	root := p.RootIndex()
+	keep := make([]bool, len(nodes))
+	chunks := Split(len(nodes), opt.workers()*chunksPerWorker, nil)
+	if err := opt.pool().Map(ctx, len(chunks), func(ctx context.Context, ci int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for i := chunks[ci].Start; i < chunks[ci].End; i++ {
+			keep[i] = p.NodeMatches(root, nodes[i])
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var seeds []model.NodeID
+	for i, k := range keep {
+		if k {
+			seeds = append(seeds, nodes[i].ID)
+		}
+	}
+	if len(seeds) == 0 {
+		return nil, nil
+	}
+
+	// Each chunk honors the global limit on its own (a chunk can at worst
+	// compute matches the merge discards), and the in-order truncating
+	// merge makes the first limit matches identical to the sequential
+	// kernel's.
+	sChunks := Split(len(seeds), opt.workers()*chunksPerWorker, nil)
+	res := make([][]algo.Match, len(sChunks))
+	if err := opt.pool().Map(ctx, len(sChunks), func(ctx context.Context, ci int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		m, err := algo.FindMatchesSeeded(g, p, limit, seeds[sChunks[ci].Start:sChunks[ci].End])
+		if err != nil {
+			return err
+		}
+		res[ci] = m
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var out []algo.Match
+	for _, m := range res {
+		out = append(out, m...)
+		if limit > 0 && len(out) >= limit {
+			out = out[:limit]
+			break
+		}
+	}
+	return out, nil
+}

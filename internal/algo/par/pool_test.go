@@ -1,0 +1,158 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapRunsEveryIndex(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 200
+	var hits [n]int32
+	err := p.Map(context.Background(), n, func(_ context.Context, i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestMapPropagatesFirstError(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	boom := errors.New("boom")
+	err := p.Map(context.Background(), 50, func(_ context.Context, i int) error {
+		if i == 17 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestMapErrorCancelsSiblings(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	boom := errors.New("boom")
+	var canceled int32
+	err := p.Map(context.Background(), 100, func(ctx context.Context, i int) error {
+		if i == 0 {
+			return boom
+		}
+		if ctx.Err() != nil {
+			atomic.AddInt32(&canceled, 1)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// With caller-runs submission and index 0 failing first, later tasks
+	// observe the canceled derived context. At least some must have seen it.
+	if atomic.LoadInt32(&canceled) == 0 {
+		t.Log("no sibling observed cancellation (scheduling-dependent, not a failure)")
+	}
+}
+
+func TestMapHonorsCanceledContext(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int32(0)
+	err := p.Map(ctx, 10, func(_ context.Context, _ int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if atomic.LoadInt32(&ran) != 0 {
+		t.Fatalf("%d tasks ran despite pre-canceled context", ran)
+	}
+}
+
+// Caller-runs overflow means Map cannot deadlock even when tasks submit
+// nested Maps on the same saturated pool.
+func TestMapNestedDoesNotDeadlock(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	var total int32
+	err := p.Map(context.Background(), 8, func(ctx context.Context, i int) error {
+		return p.Map(ctx, 8, func(_ context.Context, j int) error {
+			atomic.AddInt32(&total, 1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 64 {
+		t.Fatalf("nested map ran %d tasks, want 64", total)
+	}
+}
+
+func TestPoolDefaults(t *testing.T) {
+	p := New(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", p.Workers())
+	}
+	if Default().Workers() < 1 {
+		t.Fatal("Default pool has no workers")
+	}
+	p.Close() // double Close must not panic
+}
+
+func TestSplitUniform(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{0, 4}, {1, 4}, {4, 4}, {10, 3}, {100, 7}, {5, 100},
+	} {
+		chunks := Split(tc.n, tc.parts, nil)
+		checkCover(t, chunks, tc.n, tc.parts)
+	}
+}
+
+func TestSplitWeighted(t *testing.T) {
+	// One heavy item among light ones: the heavy item must not share its
+	// chunk with everything else.
+	weights := []int{1, 1, 1, 1000, 1, 1, 1, 1}
+	chunks := Split(len(weights), 4, func(i int) int { return weights[i] })
+	checkCover(t, chunks, len(weights), 4)
+	for _, c := range chunks {
+		if c.Start <= 3 && 3 < c.End && c.Len() == len(weights) {
+			t.Fatalf("weighted split degenerated to one chunk: %v", chunks)
+		}
+	}
+	// Zero and negative weights are clamped, not fatal.
+	chunks = Split(6, 3, func(int) int { return 0 })
+	checkCover(t, chunks, 6, 3)
+}
+
+func checkCover(t *testing.T, chunks []Range, n, parts int) {
+	t.Helper()
+	if len(chunks) > parts {
+		t.Fatalf("Split(%d, %d): %d chunks", n, parts, len(chunks))
+	}
+	next := 0
+	for _, c := range chunks {
+		if c.Start != next || c.End <= c.Start {
+			t.Fatalf("Split(%d, %d): bad chunk %+v in %v", n, parts, c, chunks)
+		}
+		next = c.End
+	}
+	if next != n {
+		t.Fatalf("Split(%d, %d): covers [0,%d), want [0,%d)", n, parts, next, n)
+	}
+}

@@ -1,0 +1,160 @@
+package par
+
+import (
+	"context"
+	"sort"
+
+	"gdbm/internal/algo"
+	"gdbm/internal/model"
+)
+
+// product pairs a graph node with an automaton state.
+type product struct {
+	node  model.NodeID
+	state int
+}
+
+// EvalPath answers a regular path query from start with the same node
+// sequence as expr.Eval: a BFS over the product of the graph and the
+// expression's automaton, here with each level's product frontier expanded
+// concurrently. Candidates are generated per frontier element in the
+// sequential kernel's order (automaton transitions, then neighbors, then
+// epsilon-closed states ascending) and merged in frontier order, so
+// deduplication and result accumulation replay the sequential discovery
+// sequence exactly.
+func EvalPath(ctx context.Context, expr *algo.PathExpr, g model.Graph, start model.NodeID, opt Options) ([]model.NodeID, error) {
+	if _, err := g.Node(start); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	trans := make([][]algo.PathTransition, expr.NumStates())
+	for s := range trans {
+		trans[s] = expr.Transitions(s)
+	}
+	closure := func(states map[int]bool) {
+		stack := make([]int, 0, len(states))
+		for s := range states {
+			stack = append(stack, s)
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, t := range trans[s] {
+				if t.Eps && !states[t.To] {
+					states[t.To] = true
+					stack = append(stack, t.To)
+				}
+			}
+		}
+	}
+	sorted := func(states map[int]bool) []int {
+		out := make([]int, 0, len(states))
+		for s := range states {
+			out = append(out, s)
+		}
+		sort.Ints(out)
+		return out
+	}
+
+	startSet := map[int]bool{expr.StartState(): true}
+	closure(startSet)
+
+	visited := map[product]bool{}
+	var frontier []product
+	for _, s := range sorted(startSet) {
+		ps := product{start, s}
+		visited[ps] = true
+		frontier = append(frontier, ps)
+	}
+
+	final := expr.FinalState()
+	resultSet := map[model.NodeID]bool{}
+	var results []model.NodeID
+	accept := func(n model.NodeID, s int) {
+		if s == final && !resultSet[n] {
+			resultSet[n] = true
+			results = append(results, n)
+		}
+	}
+	for _, ps := range frontier {
+		accept(ps.node, ps.state)
+	}
+
+	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		buf := make([][]product, len(frontier))
+		expand := func(ctx context.Context, i int) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			cur := frontier[i]
+			for _, t := range trans[cur.state] {
+				if t.Eps {
+					continue
+				}
+				dir := model.Out
+				if t.Inverse {
+					dir = model.In
+				}
+				t := t
+				err := g.Neighbors(cur.node, dir, func(e model.Edge, n model.Node) bool {
+					if e.Label != t.Label {
+						return true
+					}
+					next := map[int]bool{t.To: true}
+					closure(next)
+					for _, s := range sorted(next) {
+						if ps := (product{n.ID, s}); !visited[ps] {
+							buf[i] = append(buf[i], ps)
+						}
+					}
+					return true
+				})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if len(frontier) < opt.threshold() {
+			for i := range frontier {
+				if err := expand(ctx, i); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			nodes := make([]model.NodeID, len(frontier))
+			for i, ps := range frontier {
+				nodes[i] = ps.node
+			}
+			chunks := Split(len(frontier), opt.workers()*chunksPerWorker, frontierWeights(g, nodes, model.Both))
+			if err := opt.pool().Map(ctx, len(chunks), func(ctx context.Context, ci int) error {
+				for i := chunks[ci].Start; i < chunks[ci].End; i++ {
+					if err := expand(ctx, i); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		var next []product
+		for _, cands := range buf {
+			for _, ps := range cands {
+				if visited[ps] {
+					continue
+				}
+				visited[ps] = true
+				accept(ps.node, ps.state)
+				next = append(next, ps)
+			}
+		}
+		frontier = next
+	}
+	return results, nil
+}

@@ -1,0 +1,129 @@
+package par
+
+import (
+	"context"
+	"math"
+
+	"gdbm/internal/algo"
+	"gdbm/internal/model"
+)
+
+// AggregateNodeProp computes the same aggregate as algo.AggregateNodeProp,
+// folding contiguous node chunks concurrently and merging the partial
+// aggregators in chunk order. Count, min and max merge exactly; sums merge
+// by partial-sum addition, exact for integer-valued properties and equal
+// up to floating-point association otherwise.
+func AggregateNodeProp(ctx context.Context, g model.Graph, label, prop string, kind algo.AggKind, opt Options) (model.Value, error) {
+	if err := ctx.Err(); err != nil {
+		return model.Null(), err
+	}
+	var nodes []model.Node
+	if err := g.Nodes(func(n model.Node) bool {
+		nodes = append(nodes, n)
+		return true
+	}); err != nil {
+		return model.Null(), err
+	}
+	if len(nodes) < opt.threshold() {
+		return algo.AggregateNodeProp(g, label, prop, kind)
+	}
+	chunks := Split(len(nodes), opt.workers()*chunksPerWorker, nil)
+	parts := make([]*algo.Aggregator, len(chunks))
+	if err := opt.pool().Map(ctx, len(chunks), func(ctx context.Context, ci int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		agg := algo.NewAggregator(kind)
+		for i := chunks[ci].Start; i < chunks[ci].End; i++ {
+			n := nodes[i]
+			if label != "" && n.Label != label {
+				continue
+			}
+			if kind == algo.AggCount {
+				agg.Add(model.Int(1))
+			} else {
+				agg.Add(n.Props.Get(prop))
+			}
+		}
+		parts[ci] = agg
+		return nil
+	}); err != nil {
+		return model.Null(), err
+	}
+	total := algo.NewAggregator(kind)
+	for _, part := range parts {
+		total.Merge(part)
+	}
+	return total.Result(), nil
+}
+
+// Degrees computes algo.Degrees' statistics with the per-node degree
+// lookups spread across the pool. Min, max and the node count merge
+// exactly; the average's numerator is a sum of integer degrees, exact in
+// float64, so the result equals the sequential kernel's.
+func Degrees(ctx context.Context, g model.Graph, dir model.Direction, opt Options) (algo.DegreeStats, error) {
+	if err := ctx.Err(); err != nil {
+		return algo.DegreeStats{}, err
+	}
+	var ids []model.NodeID
+	if err := g.Nodes(func(n model.Node) bool {
+		ids = append(ids, n.ID)
+		return true
+	}); err != nil {
+		return algo.DegreeStats{}, err
+	}
+	if len(ids) < opt.threshold() {
+		return algo.Degrees(g, dir)
+	}
+	type partStats struct {
+		min, max int
+		sum      float64
+		n        int
+	}
+	chunks := Split(len(ids), opt.workers()*chunksPerWorker, nil)
+	parts := make([]partStats, len(chunks))
+	if err := opt.pool().Map(ctx, len(chunks), func(ctx context.Context, ci int) error {
+		ps := partStats{min: math.MaxInt}
+		for i := chunks[ci].Start; i < chunks[ci].End; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			d, err := g.Degree(ids[i], dir)
+			if err != nil {
+				return err
+			}
+			if d < ps.min {
+				ps.min = d
+			}
+			if d > ps.max {
+				ps.max = d
+			}
+			ps.sum += float64(d)
+			ps.n++
+		}
+		parts[ci] = ps
+		return nil
+	}); err != nil {
+		return algo.DegreeStats{}, err
+	}
+	stats := algo.DegreeStats{Min: math.MaxInt}
+	n := 0
+	for _, ps := range parts {
+		if ps.n == 0 {
+			continue
+		}
+		if ps.min < stats.Min {
+			stats.Min = ps.min
+		}
+		if ps.max > stats.Max {
+			stats.Max = ps.max
+		}
+		stats.Avg += ps.sum
+		n += ps.n
+	}
+	if n == 0 {
+		return algo.DegreeStats{}, nil
+	}
+	stats.Avg /= float64(n)
+	return stats, nil
+}

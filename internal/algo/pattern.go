@@ -47,10 +47,46 @@ func NewPattern(nodes []PatternNode, edges []PatternEdge) (*Pattern, error) {
 // Match is one embedding of the pattern: variable name to data node.
 type Match map[string]model.NodeID
 
+// NumNodes returns the number of pattern nodes.
+func (p *Pattern) NumNodes() int { return len(p.nodes) }
+
+// RootIndex returns the index of the pattern node the backtracking search
+// assigns first (the first entry of the internal match order). Candidate
+// lists passed to FindMatchesSeeded seed this node.
+func (p *Pattern) RootIndex() int {
+	order, _ := matchOrder(p)
+	return order[0]
+}
+
+// NodeMatches reports whether data node n satisfies the label and property
+// constraints of pattern node pi. It checks local constraints only — edge
+// constraints and injectivity are the search's job.
+func (p *Pattern) NodeMatches(pi int, n model.Node) bool {
+	pn := p.nodes[pi]
+	if pn.Label != "" && pn.Label != n.Label {
+		return false
+	}
+	for k, v := range pn.Props {
+		if !n.Props.Get(k).Equal(v) {
+			return false
+		}
+	}
+	return true
+}
+
 // FindMatches enumerates embeddings of the pattern in g, up to limit
 // (0 = unlimited). The mapping is injective (isomorphism, not homomorphism),
 // matching the survey's definition.
 func FindMatches(g model.Graph, p *Pattern, limit int) ([]Match, error) {
+	return FindMatchesSeeded(g, p, limit, nil)
+}
+
+// FindMatchesSeeded is FindMatches with the candidate set for the root
+// pattern node (the first node in match order, RootIndex) restricted to
+// seeds, tried in the given order. A nil seeds scans every node of g. The
+// parallel pattern kernel partitions a filtered candidate list across
+// workers and runs one seeded search per chunk.
+func FindMatchesSeeded(g model.Graph, p *Pattern, limit int, seeds []model.NodeID) ([]Match, error) {
 	if len(p.nodes) == 0 {
 		return nil, nil
 	}
@@ -71,18 +107,7 @@ func FindMatches(g model.Graph, p *Pattern, limit int) ([]Match, error) {
 		adj[e.To] = append(adj[e.To], ei)
 	}
 
-	nodeOK := func(pi int, n model.Node) bool {
-		pn := p.nodes[pi]
-		if pn.Label != "" && pn.Label != n.Label {
-			return false
-		}
-		for k, v := range pn.Props {
-			if !n.Props.Get(k).Equal(v) {
-				return false
-			}
-		}
-		return true
-	}
+	nodeOK := p.NodeMatches
 
 	// edgesOK verifies every pattern edge whose endpoints are both
 	// assigned and which involves pi.
@@ -167,15 +192,33 @@ func FindMatches(g model.Graph, p *Pattern, limit int) ([]Match, error) {
 			}
 			return nil
 		}
+		// Root with an explicit seed list: try the seeds in order.
+		if step == 0 && seeds != nil {
+			for _, id := range seeds {
+				n, err := g.Node(id)
+				if err != nil {
+					return err
+				}
+				if err := try(n); err != nil {
+					return err
+				}
+				if limit > 0 && len(out) >= limit {
+					return nil
+				}
+			}
+			return nil
+		}
 		// Unanchored: scan all nodes.
 		var scanErr error
-		g.Nodes(func(n model.Node) bool {
+		if err := g.Nodes(func(n model.Node) bool {
 			if err := try(n); err != nil {
 				scanErr = err
 				return false
 			}
 			return !(limit > 0 && len(out) >= limit)
-		})
+		}); err != nil {
+			return err
+		}
 		return scanErr
 	}
 	if err := rec(0); err != nil {

@@ -2,6 +2,7 @@ package algo
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"gdbm/internal/model"
@@ -211,10 +212,51 @@ func (p *rpqParser) parseAtom() (fragment, error) {
 	return fragment{in, out}, nil
 }
 
+// PathTransition is one exported automaton transition, used by external
+// evaluators (the parallel product-graph kernel in internal/algo/par).
+// Eps transitions consume no edge; non-eps transitions consume one edge
+// whose label equals Label, traversed against direction when Inverse.
+type PathTransition struct {
+	Label   string
+	Inverse bool
+	To      int
+	Eps     bool
+}
+
+// NumStates returns the number of automaton states.
+func (p *PathExpr) NumStates() int { return len(p.a.edges) }
+
+// StartState returns the automaton's start state.
+func (p *PathExpr) StartState() int { return p.a.start }
+
+// FinalState returns the automaton's accepting state.
+func (p *PathExpr) FinalState() int { return p.a.final }
+
+// Transitions returns the outgoing transitions of a state.
+func (p *PathExpr) Transitions(state int) []PathTransition {
+	out := make([]PathTransition, 0, len(p.a.edges[state]))
+	for _, e := range p.a.edges[state] {
+		out = append(out, PathTransition{Label: e.label, Inverse: e.inverse, To: e.to, Eps: e.eps})
+	}
+	return out
+}
+
 // productState pairs a graph node with an automaton state.
 type productState struct {
 	node  model.NodeID
 	state int
+}
+
+// sortedStates returns the states of a set in ascending order, so product
+// searches expand automaton states in a deterministic order regardless of
+// map iteration.
+func sortedStates(states map[int]bool) []int {
+	out := make([]int, 0, len(states))
+	for s := range states {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // epsClosure expands a set of automaton states through epsilon edges.
@@ -238,6 +280,8 @@ func (a *nfa) epsClosure(states map[int]bool) {
 // Eval returns every node reachable from start by a path whose label word
 // matches the expression. It runs BFS on the product graph; each
 // (node, state) pair is visited once, so the cost is O(|V|·|Q| + |E|·|Q|).
+// Automaton states are expanded in ascending order, so the result order is
+// deterministic whenever the graph's Neighbors order is.
 func (p *PathExpr) Eval(g model.Graph, start model.NodeID) ([]model.NodeID, error) {
 	if _, err := g.Node(start); err != nil {
 		return nil, err
@@ -249,7 +293,7 @@ func (p *PathExpr) Eval(g model.Graph, start model.NodeID) ([]model.NodeID, erro
 	visited := map[productState]bool{}
 	var queue []productState
 	push := func(n model.NodeID, states map[int]bool) {
-		for s := range states {
+		for _, s := range sortedStates(states) {
 			ps := productState{n, s}
 			if !visited[ps] {
 				visited[ps] = true
@@ -287,7 +331,7 @@ func (p *PathExpr) Eval(g model.Graph, start model.NodeID) ([]model.NodeID, erro
 				}
 				next := map[int]bool{ae.to: true}
 				a.epsClosure(next)
-				for s := range next {
+				for _, s := range sortedStates(next) {
 					ps := productState{n.ID, s}
 					if !visited[ps] {
 						visited[ps] = true

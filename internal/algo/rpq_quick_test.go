@@ -5,45 +5,17 @@ import (
 	"testing"
 	"testing/quick"
 
+	"gdbm/internal/algo/algotest"
 	"gdbm/internal/memgraph"
 	"gdbm/internal/model"
 )
 
-// randomDAG builds an acyclic graph: edges only go from lower to higher
-// node index, labels drawn from {a, b, c}.
-func randomDAG(rng *rand.Rand, n, m int) (*memgraph.Graph, []model.NodeID) {
-	g := memgraph.New()
-	ids := make([]model.NodeID, n)
-	for i := range ids {
-		ids[i], _ = g.AddNode("V", nil)
-	}
-	labels := []string{"a", "b", "c"}
-	for i := 0; i < m; i++ {
-		u := rng.Intn(n - 1)
-		v := u + 1 + rng.Intn(n-u-1)
-		g.AddEdge(labels[rng.Intn(len(labels))], ids[u], ids[v], nil)
-	}
-	return g, ids
-}
-
-// randomExpr produces a small random path expression over {a, b, c}.
-func randomExpr(rng *rand.Rand, depth int) string {
-	if depth <= 0 {
-		return []string{"a", "b", "c"}[rng.Intn(3)]
-	}
-	switch rng.Intn(5) {
-	case 0:
-		return randomExpr(rng, depth-1) + "/" + randomExpr(rng, depth-1)
-	case 1:
-		return "(" + randomExpr(rng, depth-1) + "|" + randomExpr(rng, depth-1) + ")"
-	case 2:
-		return "(" + randomExpr(rng, depth-1) + ")*"
-	case 3:
-		return "(" + randomExpr(rng, depth-1) + ")?"
-	default:
-		return []string{"a", "b", "c"}[rng.Intn(3)]
-	}
-}
+// The DAG and expression generators live in algotest so the parallel-kernel
+// equivalence properties (internal/algo/par) can reuse them.
+var (
+	randomDAG  = algotest.RandomDAG
+	randomExpr = algotest.RandomExpr
+)
 
 // Property: on acyclic graphs the product-automaton evaluation and the
 // naive simple-path evaluation agree for arbitrary expressions (every

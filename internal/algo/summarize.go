@@ -22,7 +22,7 @@ func Degrees(g model.Graph, dir model.Direction) (DegreeStats, error) {
 	stats := DegreeStats{Min: math.MaxInt}
 	n := 0
 	var iterErr error
-	g.Nodes(func(node model.Node) bool {
+	err := g.Nodes(func(node model.Node) bool {
 		d, err := g.Degree(node.ID, dir)
 		if err != nil {
 			iterErr = err
@@ -38,6 +38,9 @@ func Degrees(g model.Graph, dir model.Direction) (DegreeStats, error) {
 		n++
 		return true
 	})
+	if err != nil {
+		return DegreeStats{}, err
+	}
 	if iterErr != nil {
 		return DegreeStats{}, iterErr
 	}
@@ -76,7 +79,7 @@ func Eccentricity(g model.Graph, start model.NodeID, dir model.Direction) (int, 
 func Diameter(g model.Graph, dir model.Direction) (int, error) {
 	max := 0
 	var iterErr error
-	g.Nodes(func(n model.Node) bool {
+	err := g.Nodes(func(n model.Node) bool {
 		ecc, err := Eccentricity(g, n.ID, dir)
 		if err != nil {
 			iterErr = err
@@ -87,6 +90,9 @@ func Diameter(g model.Graph, dir model.Direction) (int, error) {
 		}
 		return true
 	})
+	if err != nil {
+		return 0, err
+	}
 	if iterErr != nil {
 		return 0, iterErr
 	}
@@ -152,6 +158,26 @@ func (a *Aggregator) Add(v model.Value) {
 	}
 	if a.max.IsNull() || v.Compare(a.max) > 0 {
 		a.max = v
+	}
+}
+
+// Kind returns the aggregate the folder computes.
+func (a *Aggregator) Kind() AggKind { return a.kind }
+
+// Merge folds another aggregator of the same kind into a, as if every value
+// added to other had been added to a after a's own values. Count, min and
+// max merge exactly; sums merge by adding the partial sums, so a chunked
+// fold is bit-identical to the sequential fold whenever partial sums are
+// exact (integers), and equal up to float association otherwise.
+func (a *Aggregator) Merge(other *Aggregator) {
+	a.count += other.count
+	a.nonNull += other.nonNull
+	a.sum += other.sum
+	if !other.min.IsNull() && (a.min.IsNull() || other.min.Compare(a.min) < 0) {
+		a.min = other.min
+	}
+	if !other.max.IsNull() && (a.max.IsNull() || other.max.Compare(a.max) > 0) {
+		a.max = other.max
 	}
 }
 

@@ -35,6 +35,7 @@ const (
 	Reasoner      Capability = "Reasoner"
 	Transactional Capability = "Transactional"
 	Persistent    Capability = "Persistent"
+	Concurrent    Capability = "Concurrent"
 )
 
 // All lists the capability vocabulary in deterministic order.
@@ -42,6 +43,7 @@ func All() []Capability {
 	return []Capability{
 		Loader, GraphAPI, HyperAPI, Querier,
 		SchemaHolder, Reasoner, Transactional, Persistent,
+		Concurrent,
 	}
 }
 
@@ -52,6 +54,12 @@ type Profile struct {
 	// Allowed is the set of capability interfaces the archetype's paper
 	// profile permits. Anything outside it is a capdecl violation.
 	Allowed []Capability
+	// DiskOnly marks archetypes that live solely in external memory
+	// (Table I blanks their main-memory column): construction requires
+	// Options.Dir. Harnesses consult this instead of hard-coding engine
+	// names, so newly disk-only engines keep benching against the right
+	// storage.
+	DiskOnly bool
 	// Library marks shared substrate packages that live under
 	// internal/engines/ but are not archetypes themselves; capdecl does
 	// not constrain them.
@@ -74,17 +82,19 @@ func (p Profile) Allows(c Capability) bool {
 var Profiles = map[string]Profile{
 	// AllegroGraph: RDF store with SPARQL (Tables II+V query language),
 	// RDFS++ reasoning (Table V), disk persistence (Table I external
-	// memory) and a graph API.
+	// memory) and a graph API. A multi-user server per Section II, hence
+	// Concurrent.
 	"gdbm/internal/engines/triplestore": {
 		Row:     "AllegroGraph",
-		Allowed: []Capability{Loader, GraphAPI, Querier, SchemaHolder, Reasoner, Persistent},
+		Allowed: []Capability{Loader, GraphAPI, Querier, SchemaHolder, Reasoner, Persistent, Concurrent},
 	},
 	// DEX: bitmap-backed attributed multigraph, API-only operation
 	// (Table II blanks DDL/DML/QL), node/relation types with types
-	// checking (Tables IV+VI), external memory (Table I).
+	// checking (Tables IV+VI), external memory (Table I). Shared-session
+	// graph management library, hence Concurrent.
 	"gdbm/internal/engines/bitmapdb": {
 		Row:     "DEX",
-		Allowed: []Capability{Loader, GraphAPI, SchemaHolder, Persistent},
+		Allowed: []Capability{Loader, GraphAPI, SchemaHolder, Persistent, Concurrent},
 	},
 	// Filament: schema-free pull-style API over a relational backend
 	// (Table I backend storage); no language, no schema (Tables II, IV).
@@ -93,10 +103,12 @@ var Profiles = map[string]Profile{
 		Allowed: []Capability{Loader, GraphAPI, Persistent},
 	},
 	// G-Store: queries only through its language (Table V blanks the API
-	// column), DDL in the language (Table II), paged external memory.
+	// column), DDL in the language (Table II), paged external memory —
+	// external memory *only*, so construction requires a data directory.
 	"gdbm/internal/engines/gstore": {
-		Row:     "G-Store",
-		Allowed: []Capability{Loader, Querier, SchemaHolder, Persistent},
+		Row:      "G-Store",
+		Allowed:  []Capability{Loader, Querier, SchemaHolder, Persistent},
+		DiskOnly: true,
 	},
 	// HyperGraphDB: hypergraph model (Table III), typed atoms (Table IV
 	// node/relation types), key-value backend storage (Table I). The
@@ -106,18 +118,21 @@ var Profiles = map[string]Profile{
 		Allowed: []Capability{Loader, HyperAPI, SchemaHolder, Persistent},
 	},
 	// InfiniteGraph: distributed attributed graph, API operation, typed
-	// nodes/relations (Table IV), external memory.
+	// nodes/relations (Table IV), external memory. Built for concurrent
+	// distributed traversal, hence Concurrent.
 	"gdbm/internal/engines/infinigraph": {
 		Row:     "InfiniteGraph",
-		Allowed: []Capability{Loader, GraphAPI, SchemaHolder, Persistent},
+		Allowed: []Capability{Loader, GraphAPI, SchemaHolder, Persistent, Concurrent},
 	},
 	// Neo4j: schema-free network model — Table IV blanks every schema
 	// column and Table II blanks DDL, so SchemaHolder is forbidden; the
 	// Cypher-like gql is the Table V "in development" partial query
 	// language; transactions per the survey's Section II component list.
+	// Concurrent: the survey's Section II component list gives Neo4j the
+	// full database-engine stack, transactions included.
 	"gdbm/internal/engines/neograph": {
 		Row:     "Neo4j",
-		Allowed: []Capability{Loader, GraphAPI, Querier, Transactional, Persistent},
+		Allowed: []Capability{Loader, GraphAPI, Querier, Transactional, Persistent, Concurrent},
 	},
 	// Sones: main-memory only (Table I blanks external memory, so
 	// Persistent is forbidden), GraphQL-style language with DDL, object
@@ -136,6 +151,27 @@ var Profiles = map[string]Profile{
 	// compose; they are not archetypes and carry no paper profile.
 	"gdbm/internal/engines/propcore": {Library: true},
 	"gdbm/internal/engines/suite":    {Library: true},
+}
+
+// ForEngine returns the profile of the engine registered under name (the
+// engine.Register name, which matches the last path element of its package).
+func ForEngine(name string) (Profile, bool) {
+	p, ok := Profiles["gdbm/internal/engines/"+name]
+	return p, ok
+}
+
+// NeedsDir reports whether the named engine is external-memory only and so
+// must be opened with Options.Dir set.
+func NeedsDir(name string) bool {
+	p, ok := ForEngine(name)
+	return ok && p.DiskOnly
+}
+
+// AllowsDir reports whether the named engine can use a data directory at
+// all, i.e. its profile permits the Persistent capability.
+func AllowsDir(name string) bool {
+	p, ok := ForEngine(name)
+	return ok && p.Allows(Persistent)
 }
 
 // Rows returns the registered engine package paths sorted by survey row.

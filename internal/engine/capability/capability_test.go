@@ -38,6 +38,9 @@ func implementedBy(e engine.Engine) map[capability.Capability]bool {
 	if _, ok := e.(engine.Persistent); ok {
 		caps[capability.Persistent] = true
 	}
+	if _, ok := e.(engine.Concurrent); ok {
+		caps[capability.Concurrent] = true
+	}
 	return caps
 }
 
@@ -93,6 +96,93 @@ func TestImplementedWithinAllowed(t *testing.T) {
 		if e.SurveyRow() != prof.Row {
 			t.Errorf("%s: SurveyRow() = %q, registry says %q", name, e.SurveyRow(), prof.Row)
 		}
+		if err := e.Close(); err != nil {
+			t.Errorf("%s: close: %v", name, err)
+		}
+	}
+}
+
+// TestDirRequirementsMatchProfiles pins the DiskOnly flag to observable
+// construction behavior, so harnesses can trust capability.NeedsDir instead
+// of hard-coding engine names: disk-only archetypes must refuse to open
+// without a data directory, everything else must open without one, and
+// profiles that forbid Persistent must reject a directory.
+func TestDirRequirementsMatchProfiles(t *testing.T) {
+	for _, pkg := range capability.Rows() {
+		name := path.Base(pkg)
+		prof := capability.Profiles[pkg]
+		if prof.DiskOnly && !prof.Allows(capability.Persistent) {
+			t.Errorf("%s: DiskOnly profile must allow Persistent", name)
+		}
+		if p, ok := capability.ForEngine(name); !ok || p.Row != prof.Row {
+			t.Errorf("%s: ForEngine lookup failed or disagrees with Profiles", name)
+		}
+		if capability.NeedsDir(name) != prof.DiskOnly {
+			t.Errorf("%s: NeedsDir = %v, profile DiskOnly = %v", name, capability.NeedsDir(name), prof.DiskOnly)
+		}
+		if capability.AllowsDir(name) != prof.Allows(capability.Persistent) {
+			t.Errorf("%s: AllowsDir disagrees with the Persistent allowance", name)
+		}
+		e, err := engine.Open(name, engine.Options{})
+		if prof.DiskOnly {
+			if err == nil {
+				e.Close()
+				t.Errorf("%s: DiskOnly but opens without a data directory", name)
+			}
+		} else {
+			if err != nil {
+				t.Errorf("%s: not DiskOnly but fails to open without a directory: %v", name, err)
+			} else {
+				e.Close()
+			}
+		}
+		e, err = engine.Open(name, engine.Options{Dir: t.TempDir()})
+		if prof.Allows(capability.Persistent) {
+			if err != nil {
+				t.Errorf("%s: profile allows Persistent but a data directory is rejected: %v", name, err)
+			} else {
+				e.Close()
+			}
+		} else if err == nil {
+			e.Close()
+			t.Errorf("%s: profile forbids Persistent but a data directory is accepted", name)
+		}
+	}
+}
+
+// TestConcurrentSnapshotContract exercises the read-concurrency surface of
+// every engine whose profile allows Concurrent: AcquireSnapshot must return
+// a usable view and an idempotent release.
+func TestConcurrentSnapshotContract(t *testing.T) {
+	for _, pkg := range capability.Rows() {
+		name := path.Base(pkg)
+		prof := capability.Profiles[pkg]
+		if !prof.Allows(capability.Concurrent) {
+			continue
+		}
+		e := openEngine(t, name)
+		c, ok := e.(engine.Concurrent)
+		if !ok {
+			t.Errorf("%s: profile allows Concurrent but engine.Concurrent is not implemented", name)
+			e.Close()
+			continue
+		}
+		if l, ok := e.(engine.Loader); ok {
+			if _, err := l.LoadNode("thing", nil); err != nil {
+				t.Fatalf("%s: seed: %v", name, err)
+			}
+		}
+		g, release, err := c.AcquireSnapshot()
+		if err != nil {
+			t.Errorf("%s: AcquireSnapshot: %v", name, err)
+			e.Close()
+			continue
+		}
+		if g.Order() < 1 {
+			t.Errorf("%s: snapshot misses the seeded node", name)
+		}
+		release()
+		release() // must be a no-op the second time
 		if err := e.Close(); err != nil {
 			t.Errorf("%s: close: %v", name, err)
 		}

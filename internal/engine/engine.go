@@ -147,6 +147,16 @@ type Persistent interface {
 	Flush() error
 }
 
+// Concurrent is implemented by engines the survey profiles as concurrent-
+// capable servers (systems shipped with a transaction/concurrency story,
+// Section II): their read path may be shared by many goroutines at once,
+// and the parallel query kernels of internal/algo/par fan traversals out
+// across it. AcquireSnapshot follows the model.Snapshotter contract; the
+// returned view must be safe for unsynchronized concurrent readers.
+type Concurrent interface {
+	AcquireSnapshot() (model.Graph, model.ReleaseFunc, error)
+}
+
 // Options configures engine construction.
 type Options struct {
 	// Dir is the data directory for disk-backed engines; empty selects a

@@ -8,11 +8,13 @@
 package infinigraph
 
 import (
+	"context"
 	"hash/fnv"
 	"path/filepath"
 	"sync"
 
 	"gdbm/internal/algo"
+	"gdbm/internal/algo/par"
 	"gdbm/internal/constraint"
 	"gdbm/internal/engine"
 	"gdbm/internal/index"
@@ -255,10 +257,14 @@ func (db *DB) SetEdgeProp(id model.EdgeID, key string, v model.Value) error {
 	if !ok {
 		return model.EdgeNotFound(id)
 	}
-	if e.Props == nil {
-		e.Props = model.Properties{}
+	// Copy-on-write: Neighbors/Edges hand out record copies sharing the old
+	// map past the read lock, so the map must be replaced, not mutated.
+	props := e.Props.Clone()
+	if props == nil {
+		props = model.Properties{}
 	}
-	e.Props[key] = v
+	props[key] = v
+	e.Props = props
 	return nil
 }
 
@@ -511,7 +517,12 @@ func (db *DB) Essentials() engine.Essentials {
 			return algo.EdgesAdjacent(db, e1, e2)
 		},
 		KNeighborhood: func(n model.NodeID, k int) ([]model.NodeID, error) {
-			return algo.Neighborhood(db, n, k, model.Both)
+			g, release, err := db.AcquireSnapshot()
+			if err != nil {
+				return nil, err
+			}
+			defer release()
+			return par.Neighborhood(context.Background(), g, n, k, model.Both, par.Options{})
 		},
 		FixedLengthPaths: func(from, to model.NodeID, length int) ([]algo.Path, error) {
 			return algo.FixedLengthPaths(db, from, to, length, model.Out, 0)
@@ -520,9 +531,23 @@ func (db *DB) Essentials() engine.Essentials {
 			return algo.ShortestPath(db, from, to, model.Out)
 		},
 		Summarization: func(kind algo.AggKind, label, prop string) (model.Value, error) {
-			return algo.AggregateNodeProp(db, label, prop, kind)
+			g, release, err := db.AcquireSnapshot()
+			if err != nil {
+				return model.Null(), err
+			}
+			defer release()
+			return par.AggregateNodeProp(context.Background(), g, label, prop, kind, par.Options{})
 		},
 	}
+}
+
+// AcquireSnapshot implements engine.Concurrent (the model.Snapshotter
+// contract) at the live isolation level: the store itself is the view —
+// every read takes the shard lock and copies records out, so any number of
+// goroutines may traverse concurrently, mirroring InfiniteGraph's
+// distributed concurrent-traversal design.
+func (db *DB) AcquireSnapshot() (model.Graph, model.ReleaseFunc, error) {
+	return db, func() {}, nil
 }
 
 // LoadNode implements engine.Loader, declaring unseen types first.

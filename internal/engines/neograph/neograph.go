@@ -8,10 +8,12 @@
 package neograph
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 
 	"gdbm/internal/algo"
+	"gdbm/internal/algo/par"
 	"gdbm/internal/engine"
 	"gdbm/internal/engines/propcore"
 	"gdbm/internal/index"
@@ -136,7 +138,12 @@ func (db *DB) Essentials() engine.Essentials {
 			return algo.EdgesAdjacent(db.Core, e1, e2)
 		},
 		KNeighborhood: func(n model.NodeID, k int) ([]model.NodeID, error) {
-			return algo.Neighborhood(db.Core, n, k, model.Both)
+			g, release, err := db.AcquireSnapshot()
+			if err != nil {
+				return nil, err
+			}
+			defer release()
+			return par.Neighborhood(context.Background(), g, n, k, model.Both, par.Options{})
 		},
 		FixedLengthPaths: func(from, to model.NodeID, length int) ([]algo.Path, error) {
 			return algo.FixedLengthPaths(db.Core, from, to, length, model.Out, 0)
@@ -145,9 +152,25 @@ func (db *DB) Essentials() engine.Essentials {
 			return algo.ShortestPath(db.Core, from, to, model.Out)
 		},
 		Summarization: func(kind algo.AggKind, label, prop string) (model.Value, error) {
-			return algo.AggregateNodeProp(db.Core, label, prop, kind)
+			g, release, err := db.AcquireSnapshot()
+			if err != nil {
+				return model.Null(), err
+			}
+			defer release()
+			return par.AggregateNodeProp(context.Background(), g, label, prop, kind, par.Options{})
 		},
 	}
+}
+
+// AcquireSnapshot implements engine.Concurrent (the model.Snapshotter
+// contract). Main-memory instances return a frozen deep copy of the store;
+// disk-backed instances return the live kv-backed graph, whose reads are
+// internally synchronized (live isolation).
+func (db *DB) AcquireSnapshot() (model.Graph, model.ReleaseFunc, error) {
+	if mg, ok := db.Core.Graph().(*memgraph.Graph); ok {
+		return mg.Snapshot(), func() {}, nil
+	}
+	return db.Core.Graph(), func() {}, nil
 }
 
 // Update implements engine.Transactional for main-memory instances: fn's

@@ -9,6 +9,7 @@ import (
 
 	"gdbm/internal/algo"
 	"gdbm/internal/engine"
+	"gdbm/internal/engine/capability"
 	"gdbm/internal/model"
 
 	_ "gdbm/internal/engines/bitmapdb"
@@ -29,7 +30,7 @@ func openAll(t *testing.T) map[string]engine.Engine {
 	out := map[string]engine.Engine{}
 	for _, name := range engine.Names() {
 		opts := engine.Options{}
-		if name == "gstore" {
+		if capability.NeedsDir(name) {
 			opts.Dir = t.TempDir()
 		}
 		e, err := engine.Open(name, opts)

@@ -9,12 +9,14 @@
 package triplestore
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"strings"
 	"sync"
 
 	"gdbm/internal/algo"
+	"gdbm/internal/algo/par"
 	"gdbm/internal/engine"
 	"gdbm/internal/engines/propcore"
 	"gdbm/internal/index"
@@ -316,13 +318,23 @@ func (db *DB) Essentials() engine.Essentials {
 			return algo.EdgesAdjacent(db.Core, e1, e2)
 		},
 		KNeighborhood: func(n model.NodeID, k int) ([]model.NodeID, error) {
-			return algo.Neighborhood(db.Core, n, k, model.Both)
+			g, release, err := db.AcquireSnapshot()
+			if err != nil {
+				return nil, err
+			}
+			defer release()
+			return par.Neighborhood(context.Background(), g, n, k, model.Both, par.Options{})
 		},
 		Summarization: func(kind algo.AggKind, label, prop string) (model.Value, error) {
 			// In the triple model a "label" is a type statement, not a
 			// node label: filter subjects by an outgoing type edge.
 			if label == "" {
-				return algo.AggregateNodeProp(db.Core, "", prop, kind)
+				g, release, err := db.AcquireSnapshot()
+				if err != nil {
+					return model.Null(), err
+				}
+				defer release()
+				return par.AggregateNodeProp(context.Background(), g, "", prop, kind, par.Options{})
 			}
 			typeTerm, ok := db.TermID(label)
 			if !ok {
@@ -357,6 +369,17 @@ func (db *DB) Essentials() engine.Essentials {
 			return agg.Result(), nil
 		},
 	}
+}
+
+// AcquireSnapshot implements engine.Concurrent (the model.Snapshotter
+// contract). Main-memory instances return a frozen deep copy; disk-backed
+// instances return the live kv-backed graph (live isolation — its reads
+// are internally synchronized).
+func (db *DB) AcquireSnapshot() (model.Graph, model.ReleaseFunc, error) {
+	if mg, ok := db.Core.Graph().(*memgraph.Graph); ok {
+		return mg.Snapshot(), func() {}, nil
+	}
+	return db.Core.Graph(), func() {}, nil
 }
 
 // LoadNode implements engine.Loader: property-graph nodes become terms; the

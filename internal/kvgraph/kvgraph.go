@@ -16,15 +16,19 @@ package kvgraph
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"gdbm/internal/model"
 	"gdbm/internal/storage/kv"
 )
 
-// Graph is a property graph stored in a kv.Store. It is safe for concurrent
-// use to the extent the underlying store is; the stores in this repository
-// are internally synchronized.
+// Graph is a property graph stored in a kv.Store. Reads are safe for
+// concurrent use because the stores in this repository are internally
+// synchronized; mutations additionally serialize on a graph-level mutex —
+// each is a multi-key read-modify-write sequence (id allocation, record,
+// adjacency entries) that per-key store locking alone cannot keep atomic.
 type Graph struct {
+	mu sync.Mutex // serializes mutations
 	st kv.Store
 }
 
@@ -137,6 +141,8 @@ func decodeEdgeRecord(id model.EdgeID, data []byte) (model.Edge, error) {
 
 // AddNode implements model.MutableGraph.
 func (g *Graph) AddNode(label string, props model.Properties) (model.NodeID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	id, err := g.nextID("M!n")
 	if err != nil {
 		return 0, err
@@ -153,6 +159,8 @@ func (g *Graph) AddNode(label string, props model.Properties) (model.NodeID, err
 
 // AddEdge implements model.MutableGraph.
 func (g *Graph) AddEdge(label string, from, to model.NodeID, props model.Properties) (model.EdgeID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if _, err := g.Node(from); err != nil {
 		return 0, err
 	}
@@ -208,6 +216,8 @@ func (g *Graph) Edge(id model.EdgeID) (model.Edge, error) {
 
 // RemoveNode implements model.MutableGraph; incident edges are removed too.
 func (g *Graph) RemoveNode(id model.NodeID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if _, err := g.Node(id); err != nil {
 		return err
 	}
@@ -230,7 +240,7 @@ func (g *Graph) RemoveNode(id model.NodeID) error {
 		return err
 	}
 	for _, eid := range eids {
-		if err := g.RemoveEdge(eid); err != nil {
+		if err := g.removeEdgeLocked(eid); err != nil {
 			return err
 		}
 	}
@@ -240,6 +250,12 @@ func (g *Graph) RemoveNode(id model.NodeID) error {
 
 // RemoveEdge implements model.MutableGraph.
 func (g *Graph) RemoveEdge(id model.EdgeID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.removeEdgeLocked(id)
+}
+
+func (g *Graph) removeEdgeLocked(id model.EdgeID) error {
 	e, err := g.Edge(id)
 	if err != nil {
 		return err
@@ -258,6 +274,8 @@ func (g *Graph) RemoveEdge(id model.EdgeID) error {
 
 // SetNodeProp implements model.MutableGraph.
 func (g *Graph) SetNodeProp(id model.NodeID, key string, v model.Value) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	n, err := g.Node(id)
 	if err != nil {
 		return err
@@ -275,6 +293,8 @@ func (g *Graph) SetNodeProp(id model.NodeID, key string, v model.Value) error {
 
 // SetEdgeProp implements model.MutableGraph.
 func (g *Graph) SetEdgeProp(id model.EdgeID, key string, v model.Value) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	e, err := g.Edge(id)
 	if err != nil {
 		return err

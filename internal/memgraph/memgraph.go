@@ -152,7 +152,9 @@ func (g *Graph) Edge(id model.EdgeID) (model.Edge, error) {
 	return *e, nil
 }
 
-// SetNodeProp sets one property on a node.
+// SetNodeProp sets one property on a node. The property map is replaced,
+// not mutated: readers hold record copies that share the old map beyond the
+// read lock, so an in-place write would race with them.
 func (g *Graph) SetNodeProp(id model.NodeID, key string, v model.Value) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -160,14 +162,17 @@ func (g *Graph) SetNodeProp(id model.NodeID, key string, v model.Value) error {
 	if !ok {
 		return model.NodeNotFound(id)
 	}
-	if n.Props == nil {
-		n.Props = model.Properties{}
+	props := n.Props.Clone()
+	if props == nil {
+		props = model.Properties{}
 	}
-	n.Props[key] = v
+	props[key] = v
+	n.Props = props
 	return nil
 }
 
-// SetEdgeProp sets one property on an edge.
+// SetEdgeProp sets one property on an edge, with the same copy-on-write
+// discipline as SetNodeProp.
 func (g *Graph) SetEdgeProp(id model.EdgeID, key string, v model.Value) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -175,10 +180,12 @@ func (g *Graph) SetEdgeProp(id model.EdgeID, key string, v model.Value) error {
 	if !ok {
 		return model.EdgeNotFound(id)
 	}
-	if e.Props == nil {
-		e.Props = model.Properties{}
+	props := e.Props.Clone()
+	if props == nil {
+		props = model.Properties{}
 	}
-	e.Props[key] = v
+	props[key] = v
+	e.Props = props
 	return nil
 }
 

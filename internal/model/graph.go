@@ -122,6 +122,30 @@ type Graph interface {
 	Degree(id NodeID, dir Direction) (int, error)
 }
 
+// ReleaseFunc returns resources pinned by an acquired snapshot. It must be
+// called exactly once when the caller is done with the view; calling it
+// more than once is a no-op for the implementations in this repository.
+type ReleaseFunc func()
+
+// Snapshotter is the read-concurrency contract of stores that can expose a
+// read view to many goroutines at once. AcquireSnapshot returns a Graph
+// that is safe for unsynchronized use by any number of concurrent readers
+// until released. Isolation is implementation-defined at one of two levels,
+// which implementations must document:
+//
+//   - frozen: a point-in-time copy, unaffected by later mutations (the
+//     main-memory stores, via a deep copy);
+//   - live: the store itself, where every Graph method observes an atomic
+//     committed state but successive calls may see later writes (the
+//     disk-backed stores, whose pages are internally latched).
+//
+// The parallel query kernels (internal/algo/par) require only the weaker,
+// live level; their determinism guarantee — results identical to the
+// sequential kernels — holds on any snapshot not mutated mid-kernel.
+type Snapshotter interface {
+	AcquireSnapshot() (Graph, ReleaseFunc, error)
+}
+
 // MutableGraph extends Graph with update operations.
 type MutableGraph interface {
 	Graph

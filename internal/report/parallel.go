@@ -1,0 +1,205 @@
+package report
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"gdbm/internal/algo"
+	"gdbm/internal/algo/par"
+	"gdbm/internal/gen"
+	"gdbm/internal/memgraph"
+	"gdbm/internal/model"
+	"gdbm/internal/storage/vfs"
+)
+
+// ParallelResult is one (kernel, workers) measurement of the parallel
+// kernel sweep. Workers 0 is the sequential internal/algo baseline the
+// speedups are relative to.
+type ParallelResult struct {
+	Kernel  string  `json:"kernel"`
+	Workers int     `json:"workers"`
+	NsPerOp int64   `json:"ns_per_op"`
+	Speedup float64 `json:"speedup_vs_sequential"`
+}
+
+// ParallelSweep is the full run, with enough environment detail that a
+// reader can judge the numbers: on a single-core container the parallel
+// kernels cannot beat the sequential baseline, and the JSON must say so
+// rather than pretend.
+type ParallelSweep struct {
+	Nodes      int              `json:"nodes"`
+	Degree     int              `json:"degree"`
+	Seed       int64            `json:"seed"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"numcpu"`
+	Note       string           `json:"note"`
+	Results    []ParallelResult `json:"results"`
+}
+
+type memSink struct{ g *memgraph.Graph }
+
+func (s memSink) LoadNode(label string, props model.Properties) (model.NodeID, error) {
+	return s.g.AddNode(label, props)
+}
+func (s memSink) LoadEdge(label string, from, to model.NodeID, props model.Properties) (model.EdgeID, error) {
+	return s.g.AddEdge(label, from, to, props)
+}
+
+// parallelKernels maps kernel name to a (sequential, parallel) pair over
+// the shared R-MAT fixture. Each function runs one full operation.
+func parallelKernels(g *memgraph.Graph, ids []model.NodeID, pe *algo.PathExpr, pat *algo.Pattern) map[string][2]func(opt par.Options) error {
+	ctx := context.Background()
+	start := ids[0]
+	return map[string][2]func(opt par.Options) error{
+		"bfs": {
+			func(par.Options) error {
+				return algo.BFS(g, start, model.Both, func(model.NodeID, int) bool { return true })
+			},
+			func(opt par.Options) error {
+				return par.BFS(ctx, g, start, model.Both, opt, func(model.NodeID, int) bool { return true })
+			},
+		},
+		"rpq": {
+			func(par.Options) error { _, err := pe.Eval(g, start); return err },
+			func(opt par.Options) error { _, err := par.EvalPath(ctx, pe, g, start, opt); return err },
+		},
+		"pattern": {
+			func(par.Options) error { _, err := algo.FindMatches(g, pat, 0); return err },
+			func(opt par.Options) error { _, err := par.FindMatches(ctx, g, pat, 0, opt); return err },
+		},
+		"aggregate": {
+			func(par.Options) error { _, err := algo.AggregateNodeProp(g, "N", "idx", algo.AggSum); return err },
+			func(opt par.Options) error {
+				_, err := par.AggregateNodeProp(ctx, g, "N", "idx", algo.AggSum, opt)
+				return err
+			},
+		},
+		"degrees": {
+			func(par.Options) error { _, err := algo.Degrees(g, model.Both); return err },
+			func(opt par.Options) error { _, err := par.Degrees(ctx, g, model.Both, opt); return err },
+		},
+	}
+}
+
+func timeOp(fn func() error) (int64, error) {
+	// Warm once, then time the best of three runs to damp scheduler noise.
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	best := int64(1<<63 - 1)
+	for trial := 0; trial < 3; trial++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if ns := time.Since(start).Nanoseconds(); ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// RunParallelSweep builds an R-MAT property graph in memory and times every
+// parallel kernel against its sequential baseline across worker counts.
+func RunParallelSweep(nodes, degree int, seed int64, workerCounts []int) (*ParallelSweep, error) {
+	g := memgraph.New()
+	ids, err := gen.Generate(gen.Spec{Kind: gen.RMAT, Nodes: nodes, EdgesPerNode: degree, Seed: seed}, memSink{g})
+	if err != nil {
+		return nil, err
+	}
+	// Give the aggregate kernel something numeric to fold.
+	for i, id := range ids {
+		if err := g.SetNodeProp(id, "idx", model.Int(int64(i))); err != nil {
+			return nil, err
+		}
+	}
+	pe, err := algo.CompilePathExpr("link/link")
+	if err != nil {
+		return nil, err
+	}
+	pat, err := algo.NewPattern(
+		[]algo.PatternNode{{Var: "x", Label: "N"}, {Var: "y", Label: "N"}},
+		[]algo.PatternEdge{{From: 0, To: 1, Label: "link"}},
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	sweep := &ParallelSweep{
+		Nodes:      nodes,
+		Degree:     degree,
+		Seed:       seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "speedup is parallel vs sequential wall time on this host; " +
+			"with GOMAXPROCS=1 the parallel kernels pay coordination overhead " +
+			"and cannot exceed 1.0 — rerun on a multi-core host for scaling",
+		Results: []ParallelResult{},
+	}
+	kernels := parallelKernels(g, ids, pe, pat)
+	for _, name := range []string{"bfs", "rpq", "pattern", "aggregate", "degrees"} {
+		pair := kernels[name]
+		seqNs, err := timeOp(func() error { return pair[0](par.Options{}) })
+		if err != nil {
+			return nil, fmt.Errorf("%s sequential: %w", name, err)
+		}
+		sweep.Results = append(sweep.Results, ParallelResult{
+			Kernel: name, Workers: 0, NsPerOp: seqNs, Speedup: 1,
+		})
+		for _, w := range workerCounts {
+			pool := par.New(w)
+			opt := par.Options{Workers: w, Threshold: 1, Pool: pool}
+			parNs, err := timeOp(func() error { return pair[1](opt) })
+			pool.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s workers=%d: %w", name, w, err)
+			}
+			sweep.Results = append(sweep.Results, ParallelResult{
+				Kernel:  name,
+				Workers: w,
+				NsPerOp: parNs,
+				Speedup: float64(seqNs) / float64(parNs),
+			})
+		}
+	}
+	return sweep, nil
+}
+
+// WriteParallelJSON writes the sweep to path through the vfs seam.
+func WriteParallelJSON(fsys vfs.FS, path string, sweep *ParallelSweep) error {
+	data, err := json.MarshalIndent(sweep, "", "  ")
+	if err != nil {
+		return err
+	}
+	f, w, err := vfs.Create(fsys, path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RenderParallel prints the sweep as a worker-count table per kernel.
+func RenderParallel(w interface{ Write([]byte) (int, error) }, sweep *ParallelSweep) {
+	fmt.Fprintf(w, "parallel kernel sweep: R-MAT n=%d degree=%d seed=%d (GOMAXPROCS=%d, NumCPU=%d)\n\n",
+		sweep.Nodes, sweep.Degree, sweep.Seed, sweep.GoMaxProcs, sweep.NumCPU)
+	kernel := ""
+	for _, r := range sweep.Results {
+		if r.Kernel != kernel {
+			kernel = r.Kernel
+			fmt.Fprintf(w, "%s\n", kernel)
+		}
+		label := fmt.Sprintf("workers=%d", r.Workers)
+		if r.Workers == 0 {
+			label = "sequential"
+		}
+		fmt.Fprintf(w, "  %-12s %12v/op   %5.2fx\n", label, time.Duration(r.NsPerOp).Round(time.Microsecond), r.Speedup)
+	}
+	fmt.Fprintf(w, "\n%s\n", sweep.Note)
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"gdbm/internal/engine"
+	"gdbm/internal/engine/capability"
 
 	_ "gdbm/internal/engines/bitmapdb"
 	_ "gdbm/internal/engines/filamentdb"
@@ -23,7 +24,7 @@ func openEngines(t *testing.T) []engine.Engine {
 	var out []engine.Engine
 	for _, name := range engine.Names() {
 		opts := engine.Options{}
-		if name == "gstore" {
+		if capability.NeedsDir(name) {
 			opts.Dir = t.TempDir()
 		}
 		e, err := engine.Open(name, opts)
@@ -125,7 +126,7 @@ func TestTableVIIIHasSixRows(t *testing.T) {
 func TestPerfSweepRuns(t *testing.T) {
 	open := func(name string) (engine.Engine, error) {
 		opts := engine.Options{}
-		if name == "gstore" {
+		if capability.NeedsDir(name) {
 			opts.Dir = t.TempDir()
 		}
 		return engine.Open(name, opts)
