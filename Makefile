@@ -1,6 +1,8 @@
 GO ?= go
+COVER_FLOOR ?= 45.0
+FUZZTIME ?= 10s
 
-.PHONY: build test vet lint race race-storage race-kernels bench ci
+.PHONY: build test vet lint race race-storage race-kernels bench cover fuzz-smoke ci
 
 # Tier-1 verification: everything builds, every test passes.
 build:
@@ -37,9 +39,34 @@ race-storage:
 race-kernels:
 	$(GO) test -race ./internal/algo/... ./internal/engines/...
 
-# Parallel kernel sweep; records honest per-host numbers (GOMAXPROCS and
-# NumCPU are in the JSON, speedup needs a multi-core host).
+# Parallel kernel sweep and cold/warm cache sweep; both record honest
+# per-host numbers (the parallel JSON carries GOMAXPROCS/NumCPU, the cache
+# JSON carries the budget and hit/miss ledgers).
 bench:
 	$(GO) run ./cmd/gdbbench -parallel -table none -out BENCH_parallel.json
+	$(GO) run ./cmd/gdbbench -cache -table none -out BENCH_cache.json
 
-ci: lint test race race-kernels
+# Per-package coverage with a floor: any tested package below COVER_FLOOR
+# fails the build. Packages without tests, command mains and examples are
+# exempt — adding the first test to a package puts it on the hook.
+cover:
+	$(GO) test -cover ./... | awk -v floor=$(COVER_FLOOR) ' \
+		{ print } \
+		$$1 != "ok" { next } \
+		$$2 ~ /^gdbm\/(cmd|examples)\// { next } \
+		/\[no statements\]/ { next } \
+		/coverage:/ { \
+			pct = ""; \
+			for (i = 1; i <= NF; i++) if ($$i == "coverage:") { pct = $$(i+1); sub(/%.*/, "", pct) } \
+			if (pct != "" && pct + 0 < floor) { bad = bad "\n  " $$2 " " pct "% < " floor "%" } \
+		} \
+		END { if (bad != "") { printf "coverage floor violations:%s\n", bad; exit 1 } }'
+
+# Short deterministic fuzz pass over every fuzz target; long enough to
+# catch regressions of previously-found crashers, short enough for ci.
+# go test allows -fuzz for one package per invocation, hence two runs.
+fuzz-smoke:
+	$(GO) test ./internal/query/ -run '^$$' -fuzz FuzzParseQuery -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/format/ -run '^$$' -fuzz FuzzFormatRoundTrip -fuzztime $(FUZZTIME)
+
+ci: lint test race race-kernels cover fuzz-smoke

@@ -9,6 +9,7 @@
 //	gdbbench -perf -nodes 10000    # performance sweep (HPC-SGAB style)
 //	gdbbench -parallel -table none # parallel kernel sweep
 //	gdbbench -parallel -out BENCH_parallel.json -table none
+//	gdbbench -cache -out BENCH_cache.json -table none
 package main
 
 import (
@@ -29,21 +30,23 @@ func main() {
 	diff := flag.Bool("diff", false, "print the cell-by-cell diff against the paper's matrices")
 	perf := flag.Bool("perf", false, "run the performance sweep")
 	parallel := flag.Bool("parallel", false, "run the parallel kernel sweep")
+	cacheSweep := flag.Bool("cache", false, "run the cold/warm cache sweep")
+	cacheBytes := flag.Int64("cachebytes", 4<<20, "total cache budget per engine for -cache")
 	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel")
-	out := flag.String("out", "", "write the -parallel sweep as JSON to this file")
+	out := flag.String("out", "", "write the -parallel or -cache sweep as JSON to this file")
 	nodes := flag.Int("nodes", 2000, "perf sweep graph size (nodes)")
 	degree := flag.Int("degree", 4, "perf sweep edges per node")
 	seed := flag.Int64("seed", 42, "workload seed")
 	dir := flag.String("dir", "", "data directory for disk-backed engines (default: temp)")
 	flag.Parse()
 
-	if err := run(*table, *diff, *perf, *parallel, *workers, *out, *nodes, *degree, *seed, *dir); err != nil {
+	if err := run(*table, *diff, *perf, *parallel, *cacheSweep, *cacheBytes, *workers, *out, *nodes, *degree, *seed, *dir); err != nil {
 		fmt.Fprintln(os.Stderr, "gdbbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table string, diff, perf, parallel bool, workers, out string, nodes, degree int, seed int64, dir string) error {
+func run(table string, diff, perf, parallel, cacheSweep bool, cacheBytes int64, workers, out string, nodes, degree int, seed int64, dir string) error {
 	if dir == "" {
 		tmp, err := vfs.OSFS.TempDir("gdbbench")
 		if err != nil {
@@ -152,6 +155,32 @@ func run(table string, diff, perf, parallel bool, workers, out string, nodes, de
 		gdbm.RenderParallel(os.Stdout, sweep)
 		if out != "" {
 			if err := gdbm.WriteParallelJSON(vfs.OSFS, out, sweep); err != nil {
+				return err
+			}
+			fmt.Println("wrote", out)
+		}
+	}
+
+	if cacheSweep {
+		open := func(name string, budget int64) (gdbm.Engine, error) {
+			d := filepath.Join(dir, fmt.Sprintf("cache-%s-%d", name, budget))
+			if err := vfs.OSFS.RemoveAll(d); err != nil {
+				return nil, err
+			}
+			if err := vfs.OSFS.MkdirAll(d); err != nil {
+				return nil, err
+			}
+			return gdbm.Open(name, gdbm.Options{Dir: d, CacheBytes: budget})
+		}
+		// The three disk-backed engines whose cached configuration the
+		// differential harness proves observationally identical.
+		sweep, err := gdbm.RunCacheSweep(open, []string{"neograph", "vertexkv", "gstore"}, nodes, degree, seed, cacheBytes)
+		if err != nil {
+			return err
+		}
+		gdbm.RenderCache(os.Stdout, sweep)
+		if out != "" {
+			if err := gdbm.WriteCacheJSON(vfs.OSFS, out, sweep); err != nil {
 				return err
 			}
 			fmt.Println("wrote", out)

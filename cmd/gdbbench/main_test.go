@@ -9,19 +9,19 @@ import (
 )
 
 func TestRunTablesAndDiff(t *testing.T) {
-	if err := run("all", true, false, false, "", "", 0, 0, 1, t.TempDir()); err != nil {
+	if err := run("all", true, false, false, false, 0, "", "", 0, 0, 1, t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleTable(t *testing.T) {
-	if err := run("7", false, false, false, "", "", 0, 0, 1, t.TempDir()); err != nil {
+	if err := run("7", false, false, false, false, 0, "", "", 0, 0, 1, t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPerfSweepSmall(t *testing.T) {
-	if err := run("none", false, true, false, "", "", 300, 2, 1, t.TempDir()); err != nil {
+	if err := run("none", false, true, false, false, 0, "", "", 300, 2, 1, t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -29,7 +29,7 @@ func TestRunPerfSweepSmall(t *testing.T) {
 func TestRunParallelSweepSmall(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "bench.json")
-	if err := run("none", false, false, true, "1,2", out, 300, 2, 1, dir); err != nil {
+	if err := run("none", false, false, true, false, 0, "1,2", out, 300, 2, 1, dir); err != nil {
 		t.Fatal(err)
 	}
 	f, err := vfs.OSFS.OpenFile(out)
@@ -45,6 +45,31 @@ func TestRunParallelSweepSmall(t *testing.T) {
 	n, _ := r.Read(buf)
 	body := string(buf[:n])
 	for _, want := range []string{`"gomaxprocs"`, `"kernel": "bfs"`, `"workers": 2`, `"speedup_vs_sequential"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("JSON missing %s:\n%s", want, body)
+		}
+	}
+}
+
+func TestRunCacheSweepSmall(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "cache.json")
+	if err := run("none", false, false, false, true, 1<<20, "", out, 300, 2, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	f, err := vfs.OSFS.OpenFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := vfs.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{`"cache_bytes"`, `"kernel": "khood"`, `"warm_speedup_vs_uncached"`, `"tier"`} {
 		if !strings.Contains(body, want) {
 			t.Errorf("JSON missing %s:\n%s", want, body)
 		}

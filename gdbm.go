@@ -273,6 +273,19 @@ var RenderParallel = report.RenderParallel
 // vfs seam.
 var WriteParallelJSON = report.WriteParallelJSON
 
+// CacheSweep is the cold/warm cache benchmark result set.
+type CacheSweep = report.CacheSweep
+
+// RunCacheSweep times identical query passes against cached and uncached
+// engine configurations (uncached / cold / warm).
+var RunCacheSweep = report.RunCacheSweep
+
+// RenderCache prints a cache sweep.
+var RenderCache = report.RenderCache
+
+// WriteCacheJSON writes a cache sweep as JSON through the vfs seam.
+var WriteCacheJSON = report.WriteCacheJSON
+
 // PastLanguages returns the executable Table VIII profiles.
 func PastLanguages() []*PastLanguage { return pastql.Languages() }
 

@@ -44,6 +44,23 @@ func NewPattern(nodes []PatternNode, edges []PatternEdge) (*Pattern, error) {
 	return &Pattern{nodes: nodes, edges: edges}, nil
 }
 
+// String renders the pattern deterministically (property maps print in
+// sorted key order), so equal patterns render equal — result caches use the
+// rendering as a fingerprint component.
+func (p *Pattern) String() string {
+	var b []byte
+	for i, n := range p.nodes {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = fmt.Appendf(b, "(%s:%s %s)", n.Var, n.Label, n.Props)
+	}
+	for _, e := range p.edges {
+		b = fmt.Appendf(b, " [%d-%s>%d]", e.From, e.Label, e.To)
+	}
+	return string(b)
+}
+
 // Match is one embedding of the pattern: variable name to data node.
 type Match map[string]model.NodeID
 

@@ -1,0 +1,56 @@
+package cache
+
+import "gdbm/internal/model"
+
+// AdjEntry is one decoded adjacency record: the incident edge and the node
+// at its far end, exactly as the storage layer would decode them.
+type AdjEntry struct {
+	Edge model.Edge
+	Node model.Node
+}
+
+type adjKey struct {
+	epoch uint64
+	node  model.NodeID
+	dir   model.Direction
+}
+
+// Adjacency memoizes decoded neighbor lists per (epoch, node, direction).
+// The store owning it follows the Epoch publication protocol: look up at
+// the current epoch, and Put only under an epoch observed stable across
+// the whole decode. Entries are shared between hits — callers must clone
+// any mutable parts (property maps) before handing records out.
+type Adjacency struct {
+	c *Clock[adjKey, []AdjEntry]
+}
+
+// NewAdjacency returns an adjacency cache bounded by budget bytes; a
+// non-positive budget disables it.
+func NewAdjacency(budget int64) *Adjacency {
+	return &Adjacency{c: NewClock[adjKey, []AdjEntry](budget, adjCost)}
+}
+
+// adjCost estimates the resident size of one neighbor list. It prices the
+// record headers, labels and a flat per-property charge; exactness does
+// not matter, only that the budget bounds memory within a small factor.
+func adjCost(_ adjKey, entries []AdjEntry) int64 {
+	cost := int64(64) // key + slice header
+	for _, e := range entries {
+		cost += 96 + int64(len(e.Edge.Label)) + int64(len(e.Node.Label))
+		cost += 48 * int64(len(e.Edge.Props)+len(e.Node.Props))
+	}
+	return cost
+}
+
+// Get returns the neighbor list cached for (epoch, node, dir).
+func (a *Adjacency) Get(epoch uint64, node model.NodeID, dir model.Direction) ([]AdjEntry, bool) {
+	return a.c.Get(adjKey{epoch, node, dir})
+}
+
+// Put caches a decoded neighbor list under (epoch, node, dir).
+func (a *Adjacency) Put(epoch uint64, node model.NodeID, dir model.Direction, entries []AdjEntry) {
+	a.c.Put(adjKey{epoch, node, dir}, entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (a *Adjacency) Stats() Stats { return a.c.Stats() }

@@ -1,0 +1,91 @@
+package cache
+
+// Ring is the bare CLOCK eviction policy, without storage, locking or a
+// byte budget: it tracks which keys exist and which were recently touched,
+// and picks victims with the second-chance sweep. The pager's buffer pool
+// uses it to choose eviction victims while keeping dirty-page write-back —
+// which can fail, and must retain payloads for retried flushes — under its
+// own lock and error handling.
+//
+// Ring is NOT safe for concurrent use; the owner must serialize calls.
+type Ring[K comparable] struct {
+	pos   map[K]int
+	slots []ringSlot[K]
+	free  []int
+	hand  int
+}
+
+type ringSlot[K comparable] struct {
+	key  K
+	ref  bool
+	live bool
+}
+
+// NewRing returns an empty policy ring.
+func NewRing[K comparable]() *Ring[K] {
+	return &Ring[K]{pos: map[K]int{}}
+}
+
+// Note records that k was just used: inserted if new, marked referenced if
+// already tracked.
+func (r *Ring[K]) Note(k K) {
+	if i, ok := r.pos[k]; ok {
+		r.slots[i].ref = true
+		return
+	}
+	var i int
+	if n := len(r.free); n > 0 {
+		i = r.free[n-1]
+		r.free = r.free[:n-1]
+	} else {
+		r.slots = append(r.slots, ringSlot[K]{})
+		i = len(r.slots) - 1
+	}
+	r.slots[i] = ringSlot[K]{key: k, ref: true, live: true}
+	r.pos[k] = i
+}
+
+// Victim removes and returns the next eviction victim: the first key the
+// hand reaches whose reference bit is clear (referenced keys get a second
+// chance). Returns false when the ring is empty.
+func (r *Ring[K]) Victim() (K, bool) {
+	var zero K
+	if len(r.pos) == 0 {
+		return zero, false
+	}
+	for scanned := 0; scanned < 2*len(r.slots); scanned++ {
+		i := r.hand
+		r.hand = (r.hand + 1) % len(r.slots)
+		s := &r.slots[i]
+		if !s.live {
+			continue
+		}
+		if s.ref {
+			s.ref = false
+			continue
+		}
+		k := s.key
+		r.dropSlot(i)
+		return k, true
+	}
+	return zero, false
+}
+
+// Remove untracks k, reporting whether it was tracked.
+func (r *Ring[K]) Remove(k K) bool {
+	i, ok := r.pos[k]
+	if ok {
+		r.dropSlot(i)
+	}
+	return ok
+}
+
+func (r *Ring[K]) dropSlot(i int) {
+	delete(r.pos, r.slots[i].key)
+	var zero ringSlot[K]
+	r.slots[i] = zero
+	r.free = append(r.free, i)
+}
+
+// Len returns the number of tracked keys.
+func (r *Ring[K]) Len() int { return len(r.pos) }

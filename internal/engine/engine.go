@@ -170,6 +170,27 @@ type Options struct {
 	// means the real filesystem; the crash-recovery harness passes a
 	// vfs.FaultFS to test durability under injected failures.
 	FS vfs.FS
+	// CacheBytes is the engine's total cache budget in bytes. Zero disables
+	// caching entirely (beyond the pager's fixed PoolPages buffer pool);
+	// when positive, disk-backed engines split it across the page cache,
+	// the adjacency cache and the query-result cache. Cached and uncached
+	// configurations must be observationally identical — the differential
+	// harness in internal/enginetest/diff enforces this.
+	CacheBytes int64
+}
+
+// SplitCacheBudget divides an engine's CacheBytes across the three cache
+// tiers: half to the page cache, a quarter each to the adjacency and
+// query-result caches. Engines without one of the tiers fold its share into
+// the page cache.
+func SplitCacheBudget(total int64) (page, adj, results int64) {
+	if total <= 0 {
+		return 0, 0, 0
+	}
+	page = total / 2
+	adj = total / 4
+	results = total - page - adj
+	return page, adj, results
 }
 
 // Factory constructs an engine.

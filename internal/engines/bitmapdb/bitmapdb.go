@@ -12,6 +12,7 @@ import (
 
 	"gdbm/internal/algo"
 	"gdbm/internal/algo/par"
+	"gdbm/internal/cache"
 	"gdbm/internal/constraint"
 	"gdbm/internal/engine"
 	"gdbm/internal/engines/propcore"
@@ -31,21 +32,35 @@ func init() {
 // DB is the engine instance.
 type DB struct {
 	*propcore.Core
-	labels *index.Bitmap
-	disk   *kv.Disk
+	labels  *index.Bitmap
+	disk    *kv.Disk
+	kg      *kvgraph.Graph // non-nil in the disk-backed configuration
+	results *cache.Results // nil when CacheBytes is zero or main-memory
 }
 
 // New opens a bitmapdb instance. Label and property lookups run through
-// bitmap indexes — the structure DEX is named for here.
+// bitmap indexes — the structure DEX is named for here. A positive
+// Options.CacheBytes splits the budget across the page, adjacency and
+// query-result caches (disk-backed configuration only).
 func New(opts engine.Options) (*DB, error) {
 	db := &DB{}
 	if opts.Dir != "" {
-		d, err := kv.OpenDiskFS(opts.FS, filepath.Join(opts.Dir, "bitmapdb.pg"), opts.PoolPages)
+		pageB, adjB, resB := engine.SplitCacheBudget(opts.CacheBytes)
+		d, err := kv.OpenDiskWith(filepath.Join(opts.Dir, "bitmapdb.pg"), kv.DiskOptions{
+			PoolPages: opts.PoolPages, CacheBytes: pageB, FS: opts.FS,
+		})
 		if err != nil {
 			return nil, err
 		}
 		db.disk = d
-		db.Core = propcore.New(kvgraph.New(d))
+		db.kg = kvgraph.New(d)
+		if adjB > 0 {
+			db.kg.EnableAdjacencyCache(adjB)
+		}
+		if resB > 0 {
+			db.results = cache.NewResults(resB)
+		}
+		db.Core = propcore.New(db.kg)
 	} else {
 		db.Core = propcore.New(memgraph.New())
 	}
@@ -126,6 +141,32 @@ func (db *DB) Features() engine.Features {
 // Essentials implements engine.Engine: DEX's API composes every essential
 // query class except regular simple paths and pattern matching.
 func (db *DB) Essentials() engine.Essentials {
+	es := db.essentials()
+	if db.results == nil {
+		return es
+	}
+	return engine.CachedEssentials(db.Name(), es, db.results, db.kg.Epoch)
+}
+
+// CacheStats implements engine.CacheStatser; main-memory instances report
+// no tiers.
+func (db *DB) CacheStats() map[string]cache.Stats {
+	out := map[string]cache.Stats{}
+	if db.disk != nil {
+		out["page"] = db.disk.CacheStats()
+	}
+	if db.kg != nil {
+		if s, ok := db.kg.AdjacencyStats(); ok {
+			out["adjacency"] = s
+		}
+	}
+	if db.results != nil {
+		out["results"] = db.results.Stats()
+	}
+	return out
+}
+
+func (db *DB) essentials() engine.Essentials {
 	return engine.Essentials{
 		NodeAdjacency: func(a, b model.NodeID) (bool, error) {
 			return algo.Adjacent(db.Core, a, b, model.Both)
@@ -190,4 +231,5 @@ var (
 	_ engine.GraphAPI     = (*DB)(nil)
 	_ engine.SchemaHolder = (*DB)(nil)
 	_ engine.Loader       = (*DB)(nil)
+	_ engine.CacheStatser = (*DB)(nil)
 )

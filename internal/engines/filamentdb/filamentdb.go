@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"gdbm/internal/algo"
+	"gdbm/internal/cache"
 	"gdbm/internal/engine"
 	"gdbm/internal/kvgraph"
 	"gdbm/internal/model"
@@ -26,19 +27,48 @@ func init() {
 // graph is embedded: the engine is its own API surface.
 type DB struct {
 	*kvgraph.Graph
-	disk *kv.Disk
+	disk    *kv.Disk
+	results *cache.Results // nil when CacheBytes is zero
 }
 
-// New opens a filamentdb instance.
+// New opens a filamentdb instance. A positive Options.CacheBytes splits the
+// budget across the page, adjacency and query-result caches.
 func New(opts engine.Options) (*DB, error) {
+	pageB, adjB, resB := engine.SplitCacheBudget(opts.CacheBytes)
+	db := &DB{}
 	if opts.Dir == "" {
-		return &DB{Graph: kvgraph.New(kv.NewMemory())}, nil
+		db.Graph = kvgraph.New(kv.NewMemory())
+	} else {
+		d, err := kv.OpenDiskWith(filepath.Join(opts.Dir, "filament.pg"), kv.DiskOptions{
+			PoolPages: opts.PoolPages, CacheBytes: pageB, FS: opts.FS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		db.Graph, db.disk = kvgraph.New(d), d
 	}
-	d, err := kv.OpenDiskFS(opts.FS, filepath.Join(opts.Dir, "filament.pg"), opts.PoolPages)
-	if err != nil {
-		return nil, err
+	if adjB > 0 {
+		db.Graph.EnableAdjacencyCache(adjB)
 	}
-	return &DB{Graph: kvgraph.New(d), disk: d}, nil
+	if resB > 0 {
+		db.results = cache.NewResults(resB)
+	}
+	return db, nil
+}
+
+// CacheStats implements engine.CacheStatser.
+func (db *DB) CacheStats() map[string]cache.Stats {
+	out := map[string]cache.Stats{}
+	if db.disk != nil {
+		out["page"] = db.disk.CacheStats()
+	}
+	if s, ok := db.Graph.AdjacencyStats(); ok {
+		out["adjacency"] = s
+	}
+	if db.results != nil {
+		out["results"] = db.results.Stats()
+	}
+	return out
 }
 
 // IndexedNodes implements plan.Source: Filament's Table I row has no index
@@ -69,6 +99,10 @@ func (db *DB) Features() engine.Features {
 // Essentials implements engine.Engine: adjacency, k-neighborhood and
 // summarization per its Table VII row.
 func (db *DB) Essentials() engine.Essentials {
+	return engine.CachedEssentials(db.Name(), db.essentials(), db.results, db.Graph.Epoch)
+}
+
+func (db *DB) essentials() engine.Essentials {
 	return engine.Essentials{
 		NodeAdjacency: func(a, b model.NodeID) (bool, error) {
 			return algo.Adjacent(db.Graph, a, b, model.Both)
@@ -112,7 +146,8 @@ func (db *DB) Close() error {
 }
 
 var (
-	_ engine.Engine   = (*DB)(nil)
-	_ engine.Loader   = (*DB)(nil)
-	_ engine.GraphAPI = (*DB)(nil)
+	_ engine.Engine       = (*DB)(nil)
+	_ engine.Loader       = (*DB)(nil)
+	_ engine.GraphAPI     = (*DB)(nil)
+	_ engine.CacheStatser = (*DB)(nil)
 )

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 
 	"gdbm/internal/algo"
+	"gdbm/internal/cache"
 	"gdbm/internal/engine"
 	"gdbm/internal/kvgraph"
 	"gdbm/internal/model"
@@ -27,22 +28,46 @@ func init() {
 
 // DB is the engine instance.
 type DB struct {
-	g      *kvgraph.Graph
-	disk   *kv.Disk
-	schema *model.Schema
+	g       *kvgraph.Graph
+	disk    *kv.Disk
+	schema  *model.Schema
+	results *cache.Results // nil when CacheBytes is zero
 }
 
 // New opens a gstore. Options.Dir is required: the archetype is external-
-// memory only.
+// memory only. A positive Options.CacheBytes splits the budget across the
+// page, adjacency and query-result caches.
 func New(opts engine.Options) (*DB, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("gstore: the G-Store archetype requires a data directory (external memory only, Table I)")
 	}
-	d, err := kv.OpenDiskFS(opts.FS, filepath.Join(opts.Dir, "gstore.pg"), opts.PoolPages)
+	pageB, adjB, resB := engine.SplitCacheBudget(opts.CacheBytes)
+	d, err := kv.OpenDiskWith(filepath.Join(opts.Dir, "gstore.pg"), kv.DiskOptions{
+		PoolPages: opts.PoolPages, CacheBytes: pageB, FS: opts.FS,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &DB{g: kvgraph.New(d), disk: d, schema: model.NewSchema()}, nil
+	db := &DB{g: kvgraph.New(d), disk: d, schema: model.NewSchema()}
+	if adjB > 0 {
+		db.g.EnableAdjacencyCache(adjB)
+	}
+	if resB > 0 {
+		db.results = cache.NewResults(resB)
+	}
+	return db, nil
+}
+
+// CacheStats implements engine.CacheStatser.
+func (db *DB) CacheStats() map[string]cache.Stats {
+	out := map[string]cache.Stats{"page": db.disk.CacheStats()}
+	if s, ok := db.g.AdjacencyStats(); ok {
+		out["adjacency"] = s
+	}
+	if db.results != nil {
+		out["results"] = db.results.Stats()
+	}
+	return out
 }
 
 // Schema implements engine.SchemaHolder (the DDL surface of its language).
@@ -54,9 +79,14 @@ func (db *DB) Graph() model.MutableGraph { return db.g }
 // LanguageName implements engine.Querier.
 func (db *DB) LanguageName() string { return "gsql" }
 
-// Query implements engine.Querier.
+// Query implements engine.Querier. Read statements (SELECT) are memoized
+// in the query-result cache at the current graph epoch.
 func (db *DB) Query(stmt string) (*plan.Result, error) {
-	return gsql.Exec(stmt, gsqlSurface{db})
+	exec := func() (*plan.Result, error) { return gsql.Exec(stmt, gsqlSurface{db}) }
+	if !engine.ReadOnlyStmt(stmt, "SELECT") {
+		return exec()
+	}
+	return engine.CachedQuery(db.results, db.g.Epoch, db.Name(), "gsql", stmt, exec)
 }
 
 type gsqlSurface struct{ db *DB }
@@ -113,6 +143,10 @@ func (db *DB) Features() engine.Features {
 // instructions (PATH, NEIGHBORS, REACH), so all five composable classes of
 // its Table VII row route through Query.
 func (db *DB) Essentials() engine.Essentials {
+	return engine.CachedEssentials(db.Name(), db.essentials(), db.results, db.g.Epoch)
+}
+
+func (db *DB) essentials() engine.Essentials {
 	return engine.Essentials{
 		NodeAdjacency: func(a, b model.NodeID) (bool, error) {
 			return algo.Adjacent(db.g, a, b, model.Both)
@@ -161,7 +195,8 @@ func (db *DB) Flush() error { return db.disk.Flush() }
 func (db *DB) Close() error { return db.disk.Close() }
 
 var (
-	_ engine.Engine  = (*DB)(nil)
-	_ engine.Querier = (*DB)(nil)
-	_ engine.Loader  = (*DB)(nil)
+	_ engine.Engine       = (*DB)(nil)
+	_ engine.Querier      = (*DB)(nil)
+	_ engine.Loader       = (*DB)(nil)
+	_ engine.CacheStatser = (*DB)(nil)
 )

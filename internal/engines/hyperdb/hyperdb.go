@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 
 	"gdbm/internal/algo"
+	"gdbm/internal/cache"
 	"gdbm/internal/engine"
 	"gdbm/internal/index"
 	"gdbm/internal/memgraph"
@@ -48,7 +49,11 @@ func New(opts engine.Options) (*DB, error) {
 		return nil, err
 	}
 	if opts.Dir != "" {
-		d, err := kv.OpenDiskFS(opts.FS, filepath.Join(opts.Dir, "hyperdb.pg"), opts.PoolPages)
+		// The hypergraph itself is main memory with a persisted atom log;
+		// CacheBytes funds the log store's page cache alone.
+		d, err := kv.OpenDiskWith(filepath.Join(opts.Dir, "hyperdb.pg"), kv.DiskOptions{
+			PoolPages: opts.PoolPages, CacheBytes: opts.CacheBytes, FS: opts.FS,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -60,6 +65,16 @@ func New(opts engine.Options) (*DB, error) {
 		}
 	}
 	return db, nil
+}
+
+// CacheStats implements engine.CacheStatser; in-memory instances report no
+// tiers.
+func (db *DB) CacheStats() map[string]cache.Stats {
+	out := map[string]cache.Stats{}
+	if db.disk != nil {
+		out["page"] = db.disk.CacheStats()
+	}
+	return out
 }
 
 // replay loads persisted atoms from the backend log into memory.
@@ -359,9 +374,10 @@ func readString(b []byte) (string, []byte, error) {
 }
 
 var (
-	_ engine.Engine   = (*DB)(nil)
-	_ engine.HyperAPI = hyperAPI{}
-	_ engine.Loader   = (*DB)(nil)
+	_ engine.Engine       = (*DB)(nil)
+	_ engine.CacheStatser = (*DB)(nil)
+	_ engine.HyperAPI     = hyperAPI{}
+	_ engine.Loader       = (*DB)(nil)
 )
 
 // hyperAPI adapts DB to engine.HyperAPI.

@@ -15,6 +15,7 @@ import (
 
 	"gdbm/internal/algo"
 	"gdbm/internal/algo/par"
+	"gdbm/internal/cache"
 	"gdbm/internal/constraint"
 	"gdbm/internal/engine"
 	"gdbm/internal/index"
@@ -80,7 +81,11 @@ func New(opts engine.Options) (*DB, error) {
 	}
 	db.cons.Add(constraint.Types{Schema: db.schema})
 	if opts.Dir != "" {
-		d, err := kv.OpenDiskFS(opts.FS, filepath.Join(opts.Dir, "infinigraph.pg"), opts.PoolPages)
+		// The working graph is sharded main memory; only the spill mirror
+		// reads pages back, so CacheBytes funds the page cache alone.
+		d, err := kv.OpenDiskWith(filepath.Join(opts.Dir, "infinigraph.pg"), kv.DiskOptions{
+			PoolPages: opts.PoolPages, CacheBytes: opts.CacheBytes, FS: opts.FS,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -88,6 +93,16 @@ func New(opts engine.Options) (*DB, error) {
 		db.spill = kvgraph.New(d)
 	}
 	return db, nil
+}
+
+// CacheStats implements engine.CacheStatser; in-memory instances report no
+// tiers.
+func (db *DB) CacheStats() map[string]cache.Stats {
+	out := map[string]cache.Stats{}
+	if db.disk != nil {
+		out["page"] = db.disk.CacheStats()
+	}
+	return out
 }
 
 // AddIdentity installs an identity constraint.
@@ -579,7 +594,8 @@ func (db *DB) Close() error {
 }
 
 var (
-	_ engine.Engine   = (*DB)(nil)
-	_ engine.GraphAPI = (*DB)(nil)
-	_ engine.Loader   = (*DB)(nil)
+	_ engine.Engine       = (*DB)(nil)
+	_ engine.CacheStatser = (*DB)(nil)
+	_ engine.GraphAPI     = (*DB)(nil)
+	_ engine.Loader       = (*DB)(nil)
 )

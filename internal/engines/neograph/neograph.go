@@ -14,6 +14,7 @@ import (
 
 	"gdbm/internal/algo"
 	"gdbm/internal/algo/par"
+	"gdbm/internal/cache"
 	"gdbm/internal/engine"
 	"gdbm/internal/engines/propcore"
 	"gdbm/internal/index"
@@ -35,21 +36,35 @@ func init() {
 // DB is the engine instance.
 type DB struct {
 	*propcore.Core
-	disk *kv.Disk
+	disk    *kv.Disk
+	kg      *kvgraph.Graph // non-nil in the disk-backed configuration
+	results *cache.Results // nil when CacheBytes is zero or main-memory
 }
 
 // New opens a neograph instance. With Options.Dir set, data lives in a
 // disk-backed store (the "native disk-based storage manager"); otherwise in
-// main memory.
+// main memory. A positive Options.CacheBytes splits the budget across the
+// page, adjacency and query-result caches; the latter two need the
+// kv-layered graph's epoch, so they apply to disk-backed instances only.
 func New(opts engine.Options) (*DB, error) {
 	db := &DB{}
 	if opts.Dir != "" {
-		d, err := kv.OpenDiskFS(opts.FS, filepath.Join(opts.Dir, "neograph.pg"), opts.PoolPages)
+		pageB, adjB, resB := engine.SplitCacheBudget(opts.CacheBytes)
+		d, err := kv.OpenDiskWith(filepath.Join(opts.Dir, "neograph.pg"), kv.DiskOptions{
+			PoolPages: opts.PoolPages, CacheBytes: pageB, FS: opts.FS,
+		})
 		if err != nil {
 			return nil, err
 		}
 		db.disk = d
-		db.Core = propcore.New(kvgraph.New(d))
+		db.kg = kvgraph.New(d)
+		if adjB > 0 {
+			db.kg.EnableAdjacencyCache(adjB)
+		}
+		if resB > 0 {
+			db.results = cache.NewResults(resB)
+		}
+		db.Core = propcore.New(db.kg)
 	} else {
 		db.Core = propcore.New(memgraph.New())
 	}
@@ -121,15 +136,47 @@ func (db *DB) Features() engine.Features {
 // LanguageName implements engine.Querier.
 func (db *DB) LanguageName() string { return "gql" }
 
-// Query implements engine.Querier with the Cypher-like language.
+// Query implements engine.Querier with the Cypher-like language. On
+// disk-backed instances with a cache budget, read statements (MATCH) are
+// memoized at the current graph epoch.
 func (db *DB) Query(stmt string) (*plan.Result, error) {
-	return gql.Exec(stmt, db.Core)
+	exec := func() (*plan.Result, error) { return gql.Exec(stmt, db.Core) }
+	if db.results == nil || !engine.ReadOnlyStmt(stmt, "MATCH") {
+		return exec()
+	}
+	return engine.CachedQuery(db.results, db.kg.Epoch, db.Name(), "gql", stmt, exec)
+}
+
+// CacheStats implements engine.CacheStatser; main-memory instances report
+// no tiers.
+func (db *DB) CacheStats() map[string]cache.Stats {
+	out := map[string]cache.Stats{}
+	if db.disk != nil {
+		out["page"] = db.disk.CacheStats()
+	}
+	if db.kg != nil {
+		if s, ok := db.kg.AdjacencyStats(); ok {
+			out["adjacency"] = s
+		}
+	}
+	if db.results != nil {
+		out["results"] = db.results.Stats()
+	}
+	return out
 }
 
 // Essentials implements engine.Engine: the Neo4j archetype's traversal
 // framework composes adjacency, neighborhoods, fixed-length and shortest
 // paths, and summarization.
 func (db *DB) Essentials() engine.Essentials {
+	es := db.essentials()
+	if db.results == nil {
+		return es
+	}
+	return engine.CachedEssentials(db.Name(), es, db.results, db.kg.Epoch)
+}
+
+func (db *DB) essentials() engine.Essentials {
 	return engine.Essentials{
 		NodeAdjacency: func(a, b model.NodeID) (bool, error) {
 			return algo.Adjacent(db.Core, a, b, model.Both)
@@ -210,8 +257,9 @@ func (db *DB) Close() error {
 }
 
 var (
-	_ engine.Engine   = (*DB)(nil)
-	_ engine.GraphAPI = (*DB)(nil)
-	_ engine.Querier  = (*DB)(nil)
-	_ engine.Loader   = (*DB)(nil)
+	_ engine.Engine       = (*DB)(nil)
+	_ engine.GraphAPI     = (*DB)(nil)
+	_ engine.Querier      = (*DB)(nil)
+	_ engine.Loader       = (*DB)(nil)
+	_ engine.CacheStatser = (*DB)(nil)
 )

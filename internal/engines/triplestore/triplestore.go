@@ -17,6 +17,7 @@ import (
 
 	"gdbm/internal/algo"
 	"gdbm/internal/algo/par"
+	"gdbm/internal/cache"
 	"gdbm/internal/engine"
 	"gdbm/internal/engines/propcore"
 	"gdbm/internal/index"
@@ -38,22 +39,36 @@ func init() {
 // DB is the engine instance.
 type DB struct {
 	*propcore.Core
-	mu    sync.Mutex
-	terms map[string]model.NodeID // lexical form -> term node
-	rules []reason.Rule
-	disk  *kv.Disk
+	mu      sync.Mutex
+	terms   map[string]model.NodeID // lexical form -> term node
+	rules   []reason.Rule
+	disk    *kv.Disk
+	kg      *kvgraph.Graph // non-nil in the disk-backed configuration
+	results *cache.Results // nil when CacheBytes is zero or main-memory
 }
 
-// New opens a triplestore.
+// New opens a triplestore. A positive Options.CacheBytes splits the budget
+// across the page, adjacency and query-result caches (disk-backed
+// configuration only).
 func New(opts engine.Options) (*DB, error) {
 	db := &DB{terms: make(map[string]model.NodeID), rules: reason.RDFS()}
 	if opts.Dir != "" {
-		d, err := kv.OpenDiskFS(opts.FS, filepath.Join(opts.Dir, "triples.pg"), opts.PoolPages)
+		pageB, adjB, resB := engine.SplitCacheBudget(opts.CacheBytes)
+		d, err := kv.OpenDiskWith(filepath.Join(opts.Dir, "triples.pg"), kv.DiskOptions{
+			PoolPages: opts.PoolPages, CacheBytes: pageB, FS: opts.FS,
+		})
 		if err != nil {
 			return nil, err
 		}
 		db.disk = d
-		db.Core = propcore.New(kvgraph.New(d))
+		db.kg = kvgraph.New(d)
+		if adjB > 0 {
+			db.kg.EnableAdjacencyCache(adjB)
+		}
+		if resB > 0 {
+			db.results = cache.NewResults(resB)
+		}
+		db.Core = propcore.New(db.kg)
 		// Rebuild the term dictionary from persisted nodes.
 		err = db.Core.Nodes(func(n model.Node) bool {
 			if v, ok := n.Props.Get("value").AsString(); ok {
@@ -219,6 +234,10 @@ func (db *DB) Query(stmt string) (*plan.Result, error) {
 	if strings.HasPrefix(strings.ToUpper(trimmed), "INSERT DATA") {
 		return db.insertData(trimmed)
 	}
+	if db.results != nil && engine.ReadOnlyStmt(trimmed, "SELECT", "ASK") {
+		return engine.CachedQuery(db.results, db.kg.Epoch, db.Name(), "sparqlish", trimmed,
+			func() (*plan.Result, error) { return sparqlish.Run(stmt, db.Core) })
+	}
 	return sparqlish.Run(stmt, db.Core)
 }
 
@@ -310,6 +329,32 @@ func (db *DB) Features() engine.Features {
 // adjacency, k-neighborhood and aggregate summarization. Path utilities are
 // not part of its query surface (Table VII row).
 func (db *DB) Essentials() engine.Essentials {
+	es := db.essentials()
+	if db.results == nil {
+		return es
+	}
+	return engine.CachedEssentials(db.Name(), es, db.results, db.kg.Epoch)
+}
+
+// CacheStats implements engine.CacheStatser; main-memory instances report
+// no tiers.
+func (db *DB) CacheStats() map[string]cache.Stats {
+	out := map[string]cache.Stats{}
+	if db.disk != nil {
+		out["page"] = db.disk.CacheStats()
+	}
+	if db.kg != nil {
+		if s, ok := db.kg.AdjacencyStats(); ok {
+			out["adjacency"] = s
+		}
+	}
+	if db.results != nil {
+		out["results"] = db.results.Stats()
+	}
+	return out
+}
+
+func (db *DB) essentials() engine.Essentials {
 	return engine.Essentials{
 		NodeAdjacency: func(a, b model.NodeID) (bool, error) {
 			return algo.Adjacent(db.Core, a, b, model.Both)
@@ -451,8 +496,9 @@ func (db *DB) Close() error {
 }
 
 var (
-	_ engine.Engine   = (*DB)(nil)
-	_ engine.Querier  = (*DB)(nil)
-	_ engine.Reasoner = (*DB)(nil)
-	_ engine.Loader   = (*DB)(nil)
+	_ engine.Engine       = (*DB)(nil)
+	_ engine.Querier      = (*DB)(nil)
+	_ engine.Reasoner     = (*DB)(nil)
+	_ engine.Loader       = (*DB)(nil)
+	_ engine.CacheStatser = (*DB)(nil)
 )

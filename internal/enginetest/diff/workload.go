@@ -1,0 +1,154 @@
+// Package diff is the differential-testing substrate for the caching layer
+// and the engine fleet. One seeded workload — interleaved mutations and the
+// essential query classes of Table VII — is replayed against two instances
+// (a cached and an uncached twin of the same engine, or an engine against
+// the in-memory oracle), and every rendered answer must match byte for
+// byte. Failures always log the seed so a run is replayable with
+// -seed=<n>.
+package diff
+
+import "math/rand"
+
+// OpKind enumerates workload operations. Mutations interleave with all
+// four essential query classes (adjacency, neighborhood, paths,
+// summarization) so cache invalidation is exercised between every pair of
+// reads.
+type OpKind int
+
+const (
+	OpAddNode OpKind = iota
+	OpAddEdge
+	OpRemoveEdge
+	OpRemoveNode
+	OpSetNodeProp
+	OpFlush
+	OpQueryAdjacency
+	OpQueryKNeighborhood
+	OpQueryFixedPaths
+	OpQueryShortest
+	OpQuerySummarize
+)
+
+// Op is one workload step. Node and edge references are workload indexes
+// (dense, allocation-ordered), not engine ids: each instance maintains its
+// own index-to-id mapping, so the same workload drives engines with
+// different id spaces.
+type Op struct {
+	Kind OpKind
+	// A, B reference nodes by workload index (OpAddEdge endpoints, query
+	// arguments, OpSetNodeProp/OpRemoveNode target).
+	A, B int
+	// E references an edge by workload index (OpRemoveEdge).
+	E int
+	// K is the neighborhood depth or path length.
+	K int
+	// Label is the node/edge label (mutations) or the summarized label.
+	Label string
+	// Prop and Val carry OpSetNodeProp's assignment.
+	Prop string
+	Val  int64
+}
+
+// nodeLabels keeps the label alphabet small so summarization queries hit
+// populated groups.
+var nodeLabels = []string{"person", "place", "thing"}
+
+var edgeLabels = []string{"knows", "near", "owns"}
+
+// Generate derives a deterministic workload of n ops from seed. It
+// simulates the graph structure as it generates, so every reference is
+// valid at execution time (edges are only removed once, endpoints exist,
+// queries target live nodes).
+func Generate(seed int64, n int) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	var ops []Op
+	var liveNodes []int // workload indexes of live nodes
+	type sedge struct {
+		idx, from, to int
+	}
+	var liveEdges []sedge
+	nextNode, nextEdge := 0, 0
+
+	addNode := func() {
+		ops = append(ops, Op{
+			Kind:  OpAddNode,
+			Label: nodeLabels[rng.Intn(len(nodeLabels))],
+			Prop:  "rank",
+			Val:   int64(rng.Intn(100)),
+		})
+		liveNodes = append(liveNodes, nextNode)
+		nextNode++
+	}
+	// Seed a small base so early queries have something to traverse.
+	for i := 0; i < 8; i++ {
+		addNode()
+	}
+
+	pickNode := func() int { return liveNodes[rng.Intn(len(liveNodes))] }
+
+	for len(ops) < n {
+		switch r := rng.Intn(100); {
+		case r < 14:
+			addNode()
+		case r < 34:
+			if len(liveNodes) < 2 {
+				addNode()
+				continue
+			}
+			from, to := pickNode(), pickNode()
+			ops = append(ops, Op{
+				Kind: OpAddEdge, A: from, B: to,
+				Label: edgeLabels[rng.Intn(len(edgeLabels))],
+			})
+			liveEdges = append(liveEdges, sedge{idx: nextEdge, from: from, to: to})
+			nextEdge++
+		case r < 40:
+			if len(liveEdges) == 0 {
+				continue
+			}
+			i := rng.Intn(len(liveEdges))
+			ops = append(ops, Op{Kind: OpRemoveEdge, E: liveEdges[i].idx})
+			liveEdges = append(liveEdges[:i], liveEdges[i+1:]...)
+		case r < 44:
+			// Keep the graph from emptying out; node removal cascades to
+			// incident edges in the structural simulation exactly as the
+			// kvgraph contract specifies.
+			if len(liveNodes) <= 4 {
+				continue
+			}
+			i := rng.Intn(len(liveNodes))
+			victim := liveNodes[i]
+			ops = append(ops, Op{Kind: OpRemoveNode, A: victim})
+			liveNodes = append(liveNodes[:i], liveNodes[i+1:]...)
+			kept := liveEdges[:0]
+			for _, e := range liveEdges {
+				if e.from != victim && e.to != victim {
+					kept = append(kept, e)
+				}
+			}
+			liveEdges = kept
+		case r < 52:
+			ops = append(ops, Op{
+				Kind: OpSetNodeProp, A: pickNode(),
+				Prop: "rank", Val: int64(rng.Intn(100)),
+			})
+		case r < 55:
+			ops = append(ops, Op{Kind: OpFlush})
+		case r < 68:
+			ops = append(ops, Op{Kind: OpQueryAdjacency, A: pickNode(), B: pickNode()})
+		case r < 80:
+			ops = append(ops, Op{Kind: OpQueryKNeighborhood, A: pickNode(), K: 1 + rng.Intn(3)})
+		case r < 88:
+			ops = append(ops, Op{Kind: OpQueryFixedPaths, A: pickNode(), B: pickNode(), K: 1 + rng.Intn(3)})
+		case r < 94:
+			ops = append(ops, Op{Kind: OpQueryShortest, A: pickNode(), B: pickNode()})
+		default:
+			ops = append(ops, Op{
+				Kind:  OpQuerySummarize,
+				Label: nodeLabels[rng.Intn(len(nodeLabels))],
+				Prop:  "rank",
+			})
+		}
+	}
+	return ops
+}

@@ -195,7 +195,9 @@ func WriteNTriples(w io.Writer, src TripleSource) error {
 }
 
 func term(t string) string {
-	if strings.ContainsAny(t, " \t\"") {
+	// Quote anything that cannot survive inside <...> on one line: the
+	// closing delimiter, whitespace, quotes, and line breaks.
+	if strings.ContainsAny(t, " \t\"<>\n\r") {
 		return strconv.Quote(t)
 	}
 	return "<" + t + ">"

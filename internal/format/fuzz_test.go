@@ -1,0 +1,90 @@
+package format
+
+import (
+	"bytes"
+	"testing"
+
+	"gdbm/internal/model"
+)
+
+// sinkReader adapts the imported element lists back to the export side's
+// graphReader so a parsed document can be re-exported.
+type sinkReader struct{ memLoader }
+
+func (s *sinkReader) Nodes(fn func(model.Node) bool) error {
+	for _, n := range s.NodesList {
+		if !fn(n) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (s *sinkReader) Edges(fn func(model.Edge) bool) error {
+	for _, e := range s.EdgesList {
+		if !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// FuzzFormatRoundTrip feeds arbitrary bytes to the GraphML and N-Triples
+// readers. Rejections are fine; what must hold is that nothing panics and
+// that any accepted document reaches a fixed point after one normalizing
+// round trip: export(import(export(import(x)))) == export(import(x)).
+func FuzzFormatRoundTrip(f *testing.F) {
+	f.Add([]byte(`<graphml><graph edgedefault="directed">` +
+		`<node id="n1" label="Person"><data key="d0">ada</data></node>` +
+		`<node id="n2"/><edge source="n1" target="n2" label="knows"/>` +
+		`</graph><key id="d0" for="node" attr.name="name" attr.type="string"/></graphml>`))
+	f.Add([]byte("<a> <b> <c> .\n# comment\n<a> <b> \"lit\" .\n"))
+	f.Add([]byte("<graphml><graph><node id=\"x\"/><edge source=\"x\" target=\"y\"/></graph></graphml>"))
+	f.Add([]byte("\x00\xff<<>>"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var first sinkReader
+		if _, _, err := ReadGraphML(bytes.NewReader(data), &first); err == nil {
+			var out1 bytes.Buffer
+			if err := WriteGraphML(&out1, &first); err != nil {
+				t.Fatalf("exporting an accepted GraphML document failed: %v", err)
+			}
+			var second sinkReader
+			if _, _, err := ReadGraphML(bytes.NewReader(out1.Bytes()), &second); err != nil {
+				t.Fatalf("re-importing our own GraphML failed: %v\n%s", err, out1.Bytes())
+			}
+			if len(second.NodesList) != len(first.NodesList) || len(second.EdgesList) != len(first.EdgesList) {
+				t.Fatalf("GraphML round trip changed counts: %d/%d -> %d/%d",
+					len(first.NodesList), len(first.EdgesList), len(second.NodesList), len(second.EdgesList))
+			}
+			var out2 bytes.Buffer
+			if err := WriteGraphML(&out2, &second); err != nil {
+				t.Fatalf("second GraphML export failed: %v", err)
+			}
+			if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+				t.Fatalf("GraphML not a fixed point after one round trip:\n--- first\n%s\n--- second\n%s", out1.Bytes(), out2.Bytes())
+			}
+		}
+
+		var tfirst tripleBuf
+		if _, err := ReadNTriples(bytes.NewReader(data), &tfirst); err == nil {
+			var out1 bytes.Buffer
+			if err := WriteNTriples(&out1, &tfirst); err != nil {
+				t.Fatalf("exporting accepted N-Triples failed: %v", err)
+			}
+			var tsecond tripleBuf
+			if _, err := ReadNTriples(bytes.NewReader(out1.Bytes()), &tsecond); err != nil {
+				t.Fatalf("re-importing our own N-Triples failed: %v\n%s", err, out1.Bytes())
+			}
+			if len(tsecond.triples) != len(tfirst.triples) {
+				t.Fatalf("N-Triples round trip changed count: %d -> %d", len(tfirst.triples), len(tsecond.triples))
+			}
+			var out2 bytes.Buffer
+			if err := WriteNTriples(&out2, &tsecond); err != nil {
+				t.Fatalf("second N-Triples export failed: %v", err)
+			}
+			if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+				t.Fatalf("N-Triples not a fixed point:\n--- first\n%s\n--- second\n%s", out1.Bytes(), out2.Bytes())
+			}
+		}
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 
+	"gdbm/internal/cache"
 	"gdbm/internal/model"
 	"gdbm/internal/storage/kv"
 )
@@ -27,13 +28,44 @@ import (
 // synchronized; mutations additionally serialize on a graph-level mutex —
 // each is a multi-key read-modify-write sequence (id allocation, record,
 // adjacency entries) that per-key store locking alone cannot keep atomic.
+//
+// Every mutation bumps the graph epoch twice (entry and exit, under mu).
+// The optional adjacency cache memoizes decoded neighbor lists keyed on
+// that epoch, publishing an entry only when the epoch stayed stable across
+// the decode; see the cache.Epoch contract. Engines key their query-result
+// caches on Epoch() under the same rule.
 type Graph struct {
-	mu sync.Mutex // serializes mutations
-	st kv.Store
+	mu    sync.Mutex // serializes mutations
+	st    kv.Store
+	epoch cache.Epoch
+	adj   *cache.Adjacency // nil: adjacency caching disabled
 }
 
 // New wraps a kv store as a graph.
 func New(st kv.Store) *Graph { return &Graph{st: st} }
+
+// EnableAdjacencyCache turns on memoization of decoded neighbor lists,
+// bounded by budget bytes. Call before sharing the graph; a non-positive
+// budget leaves caching off.
+func (g *Graph) EnableAdjacencyCache(budget int64) {
+	if budget > 0 {
+		g.adj = cache.NewAdjacency(budget)
+	}
+}
+
+// Epoch returns the graph's current version. It changes (at least) twice
+// per mutation; a value observed identical before and after a read-only
+// computation proves no mutation overlapped it.
+func (g *Graph) Epoch() uint64 { return g.epoch.Current() }
+
+// AdjacencyStats returns the adjacency-cache counters; ok is false when
+// the cache is disabled.
+func (g *Graph) AdjacencyStats() (s cache.Stats, ok bool) {
+	if g.adj == nil {
+		return cache.Stats{}, false
+	}
+	return g.adj.Stats(), true
+}
 
 // Store exposes the underlying store (for flushing/closing by the owner).
 func (g *Graph) Store() kv.Store { return g.st }
@@ -143,6 +175,8 @@ func decodeEdgeRecord(id model.EdgeID, data []byte) (model.Edge, error) {
 func (g *Graph) AddNode(label string, props model.Properties) (model.NodeID, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.epoch.Bump()
+	defer g.epoch.Bump()
 	id, err := g.nextID("M!n")
 	if err != nil {
 		return 0, err
@@ -161,6 +195,8 @@ func (g *Graph) AddNode(label string, props model.Properties) (model.NodeID, err
 func (g *Graph) AddEdge(label string, from, to model.NodeID, props model.Properties) (model.EdgeID, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.epoch.Bump()
+	defer g.epoch.Bump()
 	if _, err := g.Node(from); err != nil {
 		return 0, err
 	}
@@ -218,6 +254,8 @@ func (g *Graph) Edge(id model.EdgeID) (model.Edge, error) {
 func (g *Graph) RemoveNode(id model.NodeID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.epoch.Bump()
+	defer g.epoch.Bump()
 	if _, err := g.Node(id); err != nil {
 		return err
 	}
@@ -252,6 +290,8 @@ func (g *Graph) RemoveNode(id model.NodeID) error {
 func (g *Graph) RemoveEdge(id model.EdgeID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.epoch.Bump()
+	defer g.epoch.Bump()
 	return g.removeEdgeLocked(id)
 }
 
@@ -276,6 +316,8 @@ func (g *Graph) removeEdgeLocked(id model.EdgeID) error {
 func (g *Graph) SetNodeProp(id model.NodeID, key string, v model.Value) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.epoch.Bump()
+	defer g.epoch.Bump()
 	n, err := g.Node(id)
 	if err != nil {
 		return err
@@ -295,6 +337,8 @@ func (g *Graph) SetNodeProp(id model.NodeID, key string, v model.Value) error {
 func (g *Graph) SetEdgeProp(id model.EdgeID, key string, v model.Value) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.epoch.Bump()
+	defer g.epoch.Bump()
 	e, err := g.Edge(id)
 	if err != nil {
 		return err
@@ -381,38 +425,78 @@ func (g *Graph) Edges(fn func(model.Edge) bool) error {
 	return nil
 }
 
+// adjEntriesDir returns the decoded adjacency list for a single direction
+// (model.Out or model.In), consulting the adjacency cache when enabled.
+// Cached entries are shared between hits; callers must clone mutable parts
+// (property maps) before handing records out.
+func (g *Graph) adjEntriesDir(id model.NodeID, dir model.Direction) ([]cache.AdjEntry, error) {
+	var epoch uint64
+	if g.adj != nil {
+		epoch = g.epoch.Current()
+		if ents, ok := g.adj.Get(epoch, id, dir); ok {
+			return ents, nil
+		}
+	}
+	prefix := "o!"
+	if dir == model.In {
+		prefix = "i!"
+	}
+	// Materialize the adjacency entries before fetching records: the
+	// store's scan holds its internal lock, so nested Get calls from the
+	// callback would self-deadlock.
+	type entry struct {
+		eid model.EdgeID
+		far model.NodeID
+	}
+	var raw []entry
+	err := g.st.Scan(append(u64key(prefix, uint64(id)), '!'), func(k, v []byte) bool {
+		raw = append(raw, entry{
+			eid: model.EdgeID(binary.BigEndian.Uint64(k[len(k)-8:])),
+			far: model.NodeID(binary.BigEndian.Uint64(v)),
+		})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	ents := make([]cache.AdjEntry, 0, len(raw))
+	for _, it := range raw {
+		e, err := g.Edge(it.eid)
+		if err != nil {
+			return nil, err
+		}
+		far, err := g.Node(it.far)
+		if err != nil {
+			return nil, err
+		}
+		ents = append(ents, cache.AdjEntry{Edge: e, Node: far})
+	}
+	// Publish only if no mutation overlapped the decode: a changed epoch
+	// means the list may mix pre- and post-mutation records, and an entry
+	// keyed on the old epoch could serve that mix to later readers.
+	if g.adj != nil && g.epoch.Current() == epoch {
+		g.adj.Put(epoch, id, dir, ents)
+	}
+	return ents, nil
+}
+
 // Neighbors implements model.Graph.
 func (g *Graph) Neighbors(id model.NodeID, dir model.Direction, fn func(model.Edge, model.Node) bool) error {
 	if _, err := g.Node(id); err != nil {
 		return err
 	}
-	// Materialize the adjacency entries before fetching records: the
-	// store's scan holds its internal lock, so nested Get calls from the
-	// callback would self-deadlock.
-	emit := func(prefix string) (bool, error) {
-		type entry struct {
-			eid model.EdgeID
-			far model.NodeID
-		}
-		var entries []entry
-		err := g.st.Scan(append(u64key(prefix, uint64(id)), '!'), func(k, v []byte) bool {
-			entries = append(entries, entry{
-				eid: model.EdgeID(binary.BigEndian.Uint64(k[len(k)-8:])),
-				far: model.NodeID(binary.BigEndian.Uint64(v)),
-			})
-			return true
-		})
+	emit := func(d model.Direction) (bool, error) {
+		ents, err := g.adjEntriesDir(id, d)
 		if err != nil {
 			return false, err
 		}
-		for _, it := range entries {
-			e, err := g.Edge(it.eid)
-			if err != nil {
-				return false, err
-			}
-			far, err := g.Node(it.far)
-			if err != nil {
-				return false, err
+		for _, it := range ents {
+			e, far := it.Edge, it.Node
+			if g.adj != nil {
+				// Entries may be shared with the cache; callbacks own
+				// what they receive, so detach the mutable maps.
+				e.Props = e.Props.Clone()
+				far.Props = far.Props.Clone()
 			}
 			if !fn(e, far) {
 				return true, nil
@@ -421,13 +505,13 @@ func (g *Graph) Neighbors(id model.NodeID, dir model.Direction, fn func(model.Ed
 		return false, nil
 	}
 	if dir == model.Out || dir == model.Both {
-		stopped, err := emit("o!")
+		stopped, err := emit(model.Out)
 		if err != nil || stopped {
 			return err
 		}
 	}
 	if dir == model.In || dir == model.Both {
-		if _, err := emit("i!"); err != nil {
+		if _, err := emit(model.In); err != nil {
 			return err
 		}
 	}

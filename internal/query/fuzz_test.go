@@ -1,0 +1,38 @@
+package query_test
+
+import (
+	"testing"
+
+	"gdbm/internal/query"
+	"gdbm/internal/query/gql"
+	"gdbm/internal/query/sparqlish"
+)
+
+// FuzzParseQuery drives every parser in the query stack — the shared
+// expression grammar, the Cypher-like gql and the SPARQL-like sparqlish —
+// over one byte stream. Errors are the expected outcome for most inputs;
+// the target exists to prove no input panics a parser or hangs the lexer.
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		`MATCH (a:Person {name: 'ada'})-[:knows]->(b) RETURN b.name AS b`,
+		`MATCH (p:Person) WHERE p.age > 30 RETURN p.name AS name ORDER BY name`,
+		`MATCH (a:Person {name: 'ada'}), (b:Person {name: 'bob'}) CREATE (a)-[:knows {since: 2019}]->(b)`,
+		`MATCH (b)<-[:knows]-(a:Person {name: 'ada'}) RETURN b.name AS b`,
+		`SELECT ?name WHERE { ?x <type> "person" . ?x <name> ?name . }`,
+		`SELECT DISTINCT ?n WHERE { ?x <name> ?n . FILTER (?n != "Bob") } ORDER BY ?n LIMIT 1`,
+		`ASK { <ada> <knows> ?o . }`,
+		`INSERT DATA { <ada> <knows> <bob> . }`,
+		`a.age + 1 >= 2 * (3 - b.rank) AND NOT (a.name = 'x' OR b.ok)`,
+		`'unterminated`,
+		"\x00\xff(((((",
+		``,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		// Results and errors are irrelevant; panics and hangs are the bugs.
+		query.ParseExprString(input)
+		gql.Parse(input)
+		sparqlish.Parse(input)
+	})
+}

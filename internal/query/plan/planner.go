@@ -244,6 +244,22 @@ type Result struct {
 	Rows [][]model.Value
 }
 
+// Clone returns an independent copy (values themselves are immutable).
+// Result caches store and serve clones so callers may mutate what they get.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	c := &Result{Cols: append([]string(nil), r.Cols...)}
+	if r.Rows != nil {
+		c.Rows = make([][]model.Value, len(r.Rows))
+		for i, row := range r.Rows {
+			c.Rows[i] = append([]model.Value(nil), row...)
+		}
+	}
+	return c
+}
+
 // Collect runs an operator tree and materializes the output rows under the
 // given column order.
 func Collect(op Op, src Source, cols []string) (*Result, error) {

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gdbm/internal/engine"
+	"gdbm/internal/storage/vfs"
+
+	_ "gdbm/internal/engines/neograph"
+	_ "gdbm/internal/engines/vertexkv"
+)
+
+func TestCacheSweepRuns(t *testing.T) {
+	open := func(name string, cacheBytes int64) (engine.Engine, error) {
+		return engine.Open(name, engine.Options{Dir: t.TempDir(), CacheBytes: cacheBytes})
+	}
+	sweep, err := RunCacheSweep(open, []string{"neograph", "vertexkv"}, 300, 2, 7, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.CacheBytes != 1<<20 || sweep.Nodes != 300 {
+		t.Fatalf("sweep header: %+v", sweep)
+	}
+	kernels := map[string]int{}
+	anySpeedup := false
+	for _, r := range sweep.Results {
+		kernels[r.Kernel]++
+		if r.UncachedNs <= 0 || r.ColdNs <= 0 || r.WarmNs <= 0 {
+			t.Errorf("non-positive timing: %+v", r)
+		}
+		if r.WarmSpeedup > 1 {
+			anySpeedup = true
+		}
+	}
+	// Both engines expose khood, adjacency and summarization.
+	for _, k := range []string{"khood", "adjacency", "summarize"} {
+		if kernels[k] != 2 {
+			t.Errorf("kernel %s measured %d times, want 2", k, kernels[k])
+		}
+	}
+	if !anySpeedup {
+		t.Error("no kernel shows a warm-hit speedup over the uncached baseline")
+	}
+	for _, name := range []string{"neograph", "vertexkv"} {
+		var hits uint64
+		for _, s := range sweep.Stats[name] {
+			hits += s.Hits
+		}
+		if hits == 0 {
+			t.Errorf("%s: sweep recorded zero cache hits", name)
+		}
+	}
+
+	var buf bytes.Buffer
+	RenderCache(&buf, sweep)
+	for _, want := range []string{"cache sweep", "khood", "uncached", "warm"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render misses %q:\n%s", want, buf.String())
+		}
+	}
+
+	fs := vfs.NewFaultFS()
+	if err := WriteCacheJSON(fs, "bench.json", sweep); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.OpenFile("bench.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	var back CacheSweep
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("written JSON does not parse: %v", err)
+	}
+	if len(back.Results) != len(sweep.Results) {
+		t.Fatalf("JSON round trip lost results: %d != %d", len(back.Results), len(sweep.Results))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"gdbm/internal/cache"
 	"gdbm/internal/storage/btree"
 	"gdbm/internal/storage/pager"
 	"gdbm/internal/storage/vfs"
@@ -130,6 +131,17 @@ type Disk struct {
 	owns   bool
 }
 
+// DiskOptions configures OpenDiskWith.
+type DiskOptions struct {
+	// PoolPages bounds the pager's buffer pool in pages (zero = default).
+	PoolPages int
+	// CacheBytes bounds the buffer pool in bytes; when positive it
+	// overrides PoolPages (see pager.Options.CacheBytes).
+	CacheBytes int64
+	// FS is the filesystem the page file lives on; nil means the real one.
+	FS vfs.FS
+}
+
 // OpenDisk opens (or creates) a disk store in its own page file at path on
 // the real filesystem.
 func OpenDisk(path string, poolPages int) (*Disk, error) {
@@ -139,7 +151,12 @@ func OpenDisk(path string, poolPages int) (*Disk, error) {
 // OpenDiskFS is OpenDisk over an explicit filesystem (nil means the real
 // one); crash tests pass a vfs.FaultFS.
 func OpenDiskFS(fsys vfs.FS, path string, poolPages int) (*Disk, error) {
-	pg, err := pager.Open(path, pager.Options{PoolPages: poolPages, FS: fsys})
+	return OpenDiskWith(path, DiskOptions{PoolPages: poolPages, FS: fsys})
+}
+
+// OpenDiskWith is OpenDiskFS with the full option set.
+func OpenDiskWith(path string, o DiskOptions) (*Disk, error) {
+	pg, err := pager.Open(path, pager.Options{PoolPages: o.PoolPages, CacheBytes: o.CacheBytes, FS: o.FS})
 	if err != nil {
 		return nil, err
 	}
@@ -185,6 +202,9 @@ func (d *Disk) Len() int { return d.tree.Len() }
 
 // Flush persists buffered pages.
 func (d *Disk) Flush() error { return d.pg.Flush() }
+
+// CacheStats returns the underlying pager's buffer-pool counters.
+func (d *Disk) CacheStats() cache.Stats { return d.pg.CacheStats() }
 
 // Close implements Store.
 func (d *Disk) Close() error {

@@ -7,6 +7,12 @@
 // CRC32 checksum validated on read, so torn or corrupted pages surface as
 // errors instead of silent damage.
 //
+// The buffer pool is a fixed-budget page cache with CLOCK (second-chance)
+// replacement: Options.CacheBytes bounds it in bytes (Options.PoolPages in
+// pages, for callers that think in frames). Victim selection is the
+// cache.Ring policy; write-back of dirty victims and their retention across
+// failed syncs stay here, under the pager's lock.
+//
 // Durability contract: Flush returns nil only after every buffered write has
 // been written AND fsynced. Dirty bits are cleared only once the sync
 // succeeds, and dirty pages evicted between syncs are retained in a side
@@ -22,6 +28,7 @@ import (
 	"sort"
 	"sync"
 
+	"gdbm/internal/cache"
 	"gdbm/internal/storage/vfs"
 )
 
@@ -44,8 +51,6 @@ type frame struct {
 	id    PageID
 	data  []byte // PayloadSize bytes
 	dirty bool
-	// LRU links.
-	prev, next *frame
 }
 
 // Pager manages a page file with a fixed-capacity write-back buffer pool.
@@ -54,10 +59,9 @@ type Pager struct {
 	f        vfs.File
 	capacity int
 	frames   map[PageID]*frame
-	lruHead  *frame // most recently used
-	lruTail  *frame // least recently used
-	pages    uint32 // total pages in file, including page 0
-	freeHead PageID // head of the free page list, 0 if none
+	policy   *cache.Ring[PageID] // CLOCK victim selection over frames
+	pages    uint32              // total pages in file, including page 0
+	freeHead PageID              // head of the free page list, 0 if none
 	closed   bool
 
 	// pendingEvict holds payloads of dirty frames evicted since the last
@@ -70,14 +74,18 @@ type Pager struct {
 	syncFailed bool
 
 	// Stats for the buffer-pool ablation benchmark.
-	hits   uint64
-	misses uint64
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 // Options configures Open.
 type Options struct {
 	// PoolPages is the buffer pool capacity in pages. Zero means 256.
 	PoolPages int
+	// CacheBytes is the buffer pool budget in bytes; when positive it
+	// overrides PoolPages with CacheBytes/PageSize frames (minimum 1).
+	CacheBytes int64
 	// FS is the filesystem to open the page file on. Nil means the real
 	// filesystem.
 	FS vfs.FS
@@ -87,6 +95,12 @@ type Options struct {
 func Open(path string, opts Options) (*Pager, error) {
 	if opts.PoolPages <= 0 {
 		opts.PoolPages = 256
+	}
+	if opts.CacheBytes > 0 {
+		opts.PoolPages = int(opts.CacheBytes / PageSize)
+		if opts.PoolPages < 1 {
+			opts.PoolPages = 1
+		}
 	}
 	if opts.FS == nil {
 		opts.FS = vfs.OS()
@@ -99,6 +113,7 @@ func Open(path string, opts Options) (*Pager, error) {
 		f:            f,
 		capacity:     opts.PoolPages,
 		frames:       make(map[PageID]*frame, opts.PoolPages),
+		policy:       cache.NewRing[PageID](),
 		pendingEvict: map[PageID][]byte{},
 	}
 	size, err := f.Size()
@@ -255,7 +270,7 @@ func (p *Pager) Write(id PageID, payload []byte) error {
 func (p *Pager) loadLocked(id PageID) ([]byte, error) {
 	if fr, ok := p.frames[id]; ok {
 		p.hits++
-		p.touch(fr)
+		p.policy.Note(id)
 		return fr.data, nil
 	}
 	p.misses++
@@ -275,7 +290,7 @@ func (p *Pager) storeLocked(id PageID, payload []byte) error {
 	if fr, ok := p.frames[id]; ok {
 		copy(fr.data, payload)
 		fr.dirty = true
-		p.touch(fr)
+		p.policy.Note(id)
 		return nil
 	}
 	fr := &frame{id: id, data: append([]byte(nil), payload...), dirty: true}
@@ -284,12 +299,16 @@ func (p *Pager) storeLocked(id PageID, payload []byte) error {
 
 func (p *Pager) insertFrame(fr *frame) error {
 	for len(p.frames) >= p.capacity {
-		victim := p.lruTail
-		if victim == nil {
+		vid, ok := p.policy.Victim()
+		if !ok {
 			break
 		}
+		victim := p.frames[vid]
 		if victim.dirty {
 			if err := p.writeRaw(victim.id, victim.data); err != nil {
+				// Keep the victim in the pool; re-track it so the policy
+				// and frame map stay consistent for a retry.
+				p.policy.Note(vid)
 				return err
 			}
 			// The write is in the OS cache but not yet synced; keep the
@@ -297,46 +316,12 @@ func (p *Pager) insertFrame(fr *frame) error {
 			// it (the frame is leaving the pool).
 			p.pendingEvict[victim.id] = append([]byte(nil), victim.data...)
 		}
-		p.unlink(victim)
 		delete(p.frames, victim.id)
+		p.evictions++
 	}
 	p.frames[fr.id] = fr
-	p.pushFront(fr)
+	p.policy.Note(fr.id)
 	return nil
-}
-
-func (p *Pager) touch(fr *frame) {
-	if p.lruHead == fr {
-		return
-	}
-	p.unlink(fr)
-	p.pushFront(fr)
-}
-
-func (p *Pager) pushFront(fr *frame) {
-	fr.prev = nil
-	fr.next = p.lruHead
-	if p.lruHead != nil {
-		p.lruHead.prev = fr
-	}
-	p.lruHead = fr
-	if p.lruTail == nil {
-		p.lruTail = fr
-	}
-}
-
-func (p *Pager) unlink(fr *frame) {
-	if fr.prev != nil {
-		fr.prev.next = fr.next
-	} else if p.lruHead == fr {
-		p.lruHead = fr.next
-	}
-	if fr.next != nil {
-		fr.next.prev = fr.prev
-	} else if p.lruTail == fr {
-		p.lruTail = fr.prev
-	}
-	fr.prev, fr.next = nil, nil
 }
 
 // Flush writes all dirty frames and syncs the file. It returns nil only
@@ -409,6 +394,20 @@ func (p *Pager) Stats() (hits, misses uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.hits, p.misses
+}
+
+// CacheStats returns the buffer pool counters as a cache layer snapshot.
+func (p *Pager) CacheStats() cache.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return cache.Stats{
+		Hits:        p.hits,
+		Misses:      p.misses,
+		Evictions:   p.evictions,
+		Entries:     len(p.frames),
+		UsedBytes:   int64(len(p.frames)) * PageSize,
+		BudgetBytes: int64(p.capacity) * PageSize,
+	}
 }
 
 // SyncFailed reports whether the most recent sync attempt failed (and the
