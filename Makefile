@@ -2,7 +2,7 @@ GO ?= go
 COVER_FLOOR ?= 45.0
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint race race-storage race-kernels bench cover fuzz-smoke ci
+.PHONY: build test vet lint race race-storage race-kernels race-obs bench cover fuzz-smoke ci
 
 # Tier-1 verification: everything builds, every test passes.
 build:
@@ -15,8 +15,8 @@ vet:
 	$(GO) vet ./...
 
 # Static invariants: stock go vet plus the repo's own gdbvet suite
-# (vfsonly, syncerr, capdecl, lockdiscipline) driven through the
-# -vettool protocol. See DESIGN.md "Static invariants".
+# (vfsonly, syncerr, capdecl, lockdiscipline, obsctx) driven through
+# the -vettool protocol. See DESIGN.md "Static invariants".
 bin/gdbvet: FORCE
 	$(GO) build -o $@ ./cmd/gdbvet
 
@@ -38,6 +38,12 @@ race-storage:
 # parallel substrate touches.
 race-kernels:
 	$(GO) test -race ./internal/algo/... ./internal/engines/...
+
+# The observability substrate and its differential twins under the race
+# detector: concurrent counter/span traffic plus the trace-on/off and
+# observed/unobserved byte-identity proofs.
+race-obs:
+	$(GO) test -race ./internal/obs/... ./internal/report/... ./internal/enginetest/diff/...
 
 # Parallel kernel sweep and cold/warm cache sweep; both record honest
 # per-host numbers (the parallel JSON carries GOMAXPROCS/NumCPU, the cache
@@ -69,4 +75,4 @@ fuzz-smoke:
 	$(GO) test ./internal/query/ -run '^$$' -fuzz FuzzParseQuery -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/format/ -run '^$$' -fuzz FuzzFormatRoundTrip -fuzztime $(FUZZTIME)
 
-ci: lint test race race-kernels cover fuzz-smoke
+ci: lint test race race-kernels race-obs cover fuzz-smoke

@@ -10,6 +10,8 @@
 //	gdbbench -parallel -table none # parallel kernel sweep
 //	gdbbench -parallel -out BENCH_parallel.json -table none
 //	gdbbench -cache -out BENCH_cache.json -table none
+//	gdbbench -trace -table none    # traced query sweep (per-query spans)
+//	gdbbench -trace -slowlog slow.log -slowms 1 -table none
 package main
 
 import (
@@ -19,34 +21,119 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"gdbm"
 	"gdbm/internal/engine/capability"
+	"gdbm/internal/obs"
 	"gdbm/internal/storage/vfs"
 )
 
-func main() {
-	table := flag.String("table", "all", "table to regenerate: 1..8 or 'all' or 'none'")
-	diff := flag.Bool("diff", false, "print the cell-by-cell diff against the paper's matrices")
-	perf := flag.Bool("perf", false, "run the performance sweep")
-	parallel := flag.Bool("parallel", false, "run the parallel kernel sweep")
-	cacheSweep := flag.Bool("cache", false, "run the cold/warm cache sweep")
-	cacheBytes := flag.Int64("cachebytes", 4<<20, "total cache budget per engine for -cache")
-	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel")
-	out := flag.String("out", "", "write the -parallel or -cache sweep as JSON to this file")
-	nodes := flag.Int("nodes", 2000, "perf sweep graph size (nodes)")
-	degree := flag.Int("degree", 4, "perf sweep edges per node")
-	seed := flag.Int64("seed", 42, "workload seed")
-	dir := flag.String("dir", "", "data directory for disk-backed engines (default: temp)")
-	flag.Parse()
+// benchConfig is the parsed flag set. Keeping it a value makes the flag
+// matrix testable without re-parsing argv.
+type benchConfig struct {
+	table      string
+	diff       bool
+	perf       bool
+	parallel   bool
+	cacheSweep bool
+	trace      bool
+	cacheBytes int64
+	workers    string
+	out        string
+	nodes      int
+	degree     int
+	seed       int64
+	dir        string
+	dirSet     bool   // -dir was given explicitly
+	engines    string // comma-separated subset for -perf/-trace; "" = all
+	slowlog    string
+	slowms     int
+}
 
-	if err := run(*table, *diff, *perf, *parallel, *cacheSweep, *cacheBytes, *workers, *out, *nodes, *degree, *seed, *dir); err != nil {
+func main() {
+	var cfg benchConfig
+	flag.StringVar(&cfg.table, "table", "all", "table to regenerate: 1..8 or 'all' or 'none'")
+	flag.BoolVar(&cfg.diff, "diff", false, "print the cell-by-cell diff against the paper's matrices")
+	flag.BoolVar(&cfg.perf, "perf", false, "run the performance sweep")
+	flag.BoolVar(&cfg.parallel, "parallel", false, "run the parallel kernel sweep")
+	flag.BoolVar(&cfg.cacheSweep, "cache", false, "run the cold/warm cache sweep")
+	flag.BoolVar(&cfg.trace, "trace", false, "run the traced query sweep (per-query spans)")
+	flag.Int64Var(&cfg.cacheBytes, "cachebytes", 4<<20, "total cache budget per engine for -cache")
+	flag.StringVar(&cfg.workers, "workers", "1,2,4,8", "comma-separated worker counts for -parallel")
+	flag.StringVar(&cfg.out, "out", "", "write the -parallel, -cache or -trace sweep as JSON to this file")
+	flag.IntVar(&cfg.nodes, "nodes", 2000, "perf sweep graph size (nodes)")
+	flag.IntVar(&cfg.degree, "degree", 4, "perf sweep edges per node")
+	flag.Int64Var(&cfg.seed, "seed", 42, "workload seed")
+	flag.StringVar(&cfg.dir, "dir", "", "data directory for disk-backed engines (default: temp)")
+	flag.StringVar(&cfg.engines, "engines", "", "comma-separated engines for -perf/-trace (default: all)")
+	flag.StringVar(&cfg.slowlog, "slowlog", "", "with -trace: append slow-query records to this file")
+	flag.IntVar(&cfg.slowms, "slowms", 0, "with -slowlog: record only traces at or above this wall time in ms")
+	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dir" {
+			cfg.dirSet = true
+		}
+	})
+
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "gdbbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table string, diff, perf, parallel, cacheSweep bool, cacheBytes int64, workers, out string, nodes, degree int, seed int64, dir string) error {
+// validateFlags rejects inconsistent flag combinations before any
+// directory is created or any engine warms up, and resolves the engine
+// subset for -perf/-trace. In particular, explicitly naming an
+// external-memory-only engine (capability.NeedsDir) without an explicit
+// -dir is an error: silently benching a disk-only archetype against a
+// throwaway temp directory misreports what was measured.
+func validateFlags(cfg benchConfig) ([]string, error) {
+	all := gdbm.Engines()
+	names := all
+	if cfg.engines != "" {
+		names = nil
+		known := map[string]bool{}
+		for _, n := range all {
+			known[n] = true
+		}
+		for _, part := range strings.Split(cfg.engines, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			if !known[part] {
+				return nil, fmt.Errorf("unknown engine %q in -engines (have: %s)", part, strings.Join(all, ", "))
+			}
+			names = append(names, part)
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("-engines lists no engines")
+		}
+		for _, n := range names {
+			if capability.NeedsDir(n) && !cfg.dirSet {
+				return nil, fmt.Errorf("engine %q is external-memory only (Table I): naming it in -engines requires an explicit -dir", n)
+			}
+		}
+	}
+	if cfg.slowlog != "" && !cfg.trace {
+		return nil, fmt.Errorf("-slowlog only applies to the traced sweep: add -trace")
+	}
+	if cfg.slowms != 0 && cfg.slowlog == "" {
+		return nil, fmt.Errorf("-slowms only applies to a slow-query log: add -slowlog")
+	}
+	if cfg.slowms < 0 {
+		return nil, fmt.Errorf("-slowms must be non-negative, got %d", cfg.slowms)
+	}
+	return names, nil
+}
+
+func run(cfg benchConfig) error {
+	names, err := validateFlags(cfg)
+	if err != nil {
+		return err
+	}
+	dir := cfg.dir
 	if dir == "" {
 		tmp, err := vfs.OSFS.TempDir("gdbbench")
 		if err != nil {
@@ -80,7 +167,7 @@ func run(table string, diff, perf, parallel, cacheSweep bool, cacheBytes int64, 
 		return engines, cleanup, nil
 	}
 
-	if table != "none" {
+	if cfg.table != "none" {
 		engines, cleanup, err := openAll()
 		if err != nil {
 			return err
@@ -95,13 +182,13 @@ func run(table string, diff, perf, parallel, cacheSweep bool, cacheBytes int64, 
 			"5": "V", "6": "VI", "7": "VII", "8": "VIII",
 		}
 		for _, t := range tables {
-			if table != "all" && want[table] != t.ID {
+			if cfg.table != "all" && want[cfg.table] != t.ID {
 				continue
 			}
 			if err := t.Render(os.Stdout); err != nil {
 				return err
 			}
-			if diff {
+			if cfg.diff {
 				mismatches := gdbm.DiffWithPaper(t)
 				if len(mismatches) == 0 {
 					if t.ID == "VIII" {
@@ -118,8 +205,8 @@ func run(table string, diff, perf, parallel, cacheSweep bool, cacheBytes int64, 
 		}
 	}
 
-	if perf {
-		fmt.Printf("performance sweep: R-MAT n=%d, degree=%d, seed=%d\n\n", nodes, degree, seed)
+	if cfg.perf {
+		fmt.Printf("performance sweep: R-MAT n=%d, degree=%d, seed=%d\n\n", cfg.nodes, cfg.degree, cfg.seed)
 		open := func(name string) (gdbm.Engine, error) {
 			opts := gdbm.Options{}
 			// vertexkv is benched in its disk-backed configuration by
@@ -136,32 +223,32 @@ func run(table string, diff, perf, parallel, cacheSweep bool, cacheBytes int64, 
 			}
 			return gdbm.Open(name, opts)
 		}
-		results, err := gdbm.RunPerf(open, gdbm.Engines(), nodes, degree, seed)
+		results, err := gdbm.RunPerf(open, names, cfg.nodes, cfg.degree, cfg.seed)
 		if err != nil {
 			return err
 		}
 		gdbm.RenderPerf(os.Stdout, results)
 	}
 
-	if parallel {
-		counts, err := parseWorkers(workers)
+	if cfg.parallel {
+		counts, err := parseWorkers(cfg.workers)
 		if err != nil {
 			return err
 		}
-		sweep, err := gdbm.RunParallelSweep(nodes, degree, seed, counts)
+		sweep, err := gdbm.RunParallelSweep(cfg.nodes, cfg.degree, cfg.seed, counts)
 		if err != nil {
 			return err
 		}
 		gdbm.RenderParallel(os.Stdout, sweep)
-		if out != "" {
-			if err := gdbm.WriteParallelJSON(vfs.OSFS, out, sweep); err != nil {
+		if cfg.out != "" {
+			if err := gdbm.WriteParallelJSON(vfs.OSFS, cfg.out, sweep); err != nil {
 				return err
 			}
-			fmt.Println("wrote", out)
+			fmt.Println("wrote", cfg.out)
 		}
 	}
 
-	if cacheSweep {
+	if cfg.cacheSweep {
 		open := func(name string, budget int64) (gdbm.Engine, error) {
 			d := filepath.Join(dir, fmt.Sprintf("cache-%s-%d", name, budget))
 			if err := vfs.OSFS.RemoveAll(d); err != nil {
@@ -174,16 +261,58 @@ func run(table string, diff, perf, parallel, cacheSweep bool, cacheBytes int64, 
 		}
 		// The three disk-backed engines whose cached configuration the
 		// differential harness proves observationally identical.
-		sweep, err := gdbm.RunCacheSweep(open, []string{"neograph", "vertexkv", "gstore"}, nodes, degree, seed, cacheBytes)
+		sweep, err := gdbm.RunCacheSweep(open, []string{"neograph", "vertexkv", "gstore"}, cfg.nodes, cfg.degree, cfg.seed, cfg.cacheBytes)
 		if err != nil {
 			return err
 		}
 		gdbm.RenderCache(os.Stdout, sweep)
-		if out != "" {
-			if err := gdbm.WriteCacheJSON(vfs.OSFS, out, sweep); err != nil {
+		if cfg.out != "" {
+			if err := gdbm.WriteCacheJSON(vfs.OSFS, cfg.out, sweep); err != nil {
 				return err
 			}
-			fmt.Println("wrote", out)
+			fmt.Println("wrote", cfg.out)
+		}
+	}
+
+	if cfg.trace {
+		var slow *gdbm.SlowLog
+		if cfg.slowlog != "" {
+			s, err := gdbm.OpenSlowLog(vfs.OSFS, cfg.slowlog, time.Duration(cfg.slowms)*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			slow = s
+		}
+		open := func(name string) (gdbm.Engine, *obs.Registry, error) {
+			reg := obs.NewRegistry()
+			opts := gdbm.Options{Metrics: reg}
+			if capability.NeedsDir(name) || name == "vertexkv" {
+				d := filepath.Join(dir, "trace-"+name)
+				if err := vfs.OSFS.RemoveAll(d); err != nil {
+					return nil, nil, err
+				}
+				if err := vfs.OSFS.MkdirAll(d); err != nil {
+					return nil, nil, err
+				}
+				opts.Dir = d
+			}
+			e, err := gdbm.Open(name, opts)
+			return e, reg, err
+		}
+		sweep, err := gdbm.RunTraceSweep(open, names, cfg.nodes, cfg.degree, cfg.seed, slow)
+		if err != nil {
+			slow.Close()
+			return err
+		}
+		if err := slow.Close(); err != nil {
+			return err
+		}
+		gdbm.RenderTrace(os.Stdout, sweep)
+		if cfg.out != "" {
+			if err := gdbm.WriteTraceJSON(vfs.OSFS, cfg.out, sweep); err != nil {
+				return err
+			}
+			fmt.Println("wrote", cfg.out)
 		}
 	}
 	return nil

@@ -8,31 +8,10 @@ import (
 	"gdbm/internal/storage/vfs"
 )
 
-func TestRunTablesAndDiff(t *testing.T) {
-	if err := run("all", true, false, false, false, 0, "", "", 0, 0, 1, t.TempDir()); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestRunSingleTable(t *testing.T) {
-	if err := run("7", false, false, false, false, 0, "", "", 0, 0, 1, t.TempDir()); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestRunPerfSweepSmall(t *testing.T) {
-	if err := run("none", false, true, false, false, 0, "", "", 300, 2, 1, t.TempDir()); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestRunParallelSweepSmall(t *testing.T) {
-	dir := t.TempDir()
-	out := filepath.Join(dir, "bench.json")
-	if err := run("none", false, false, true, false, 0, "1,2", out, 300, 2, 1, dir); err != nil {
-		t.Fatal(err)
-	}
-	f, err := vfs.OSFS.OpenFile(out)
+// readAll slurps a file written through the vfs seam.
+func readAll(t *testing.T, path string) string {
+	t.Helper()
+	f, err := vfs.OSFS.OpenFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,9 +20,39 @@ func TestRunParallelSweepSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf := make([]byte, 1<<16)
+	buf := make([]byte, 1<<18)
 	n, _ := r.Read(buf)
-	body := string(buf[:n])
+	return string(buf[:n])
+}
+
+func TestRunTablesAndDiff(t *testing.T) {
+	if err := run(benchConfig{table: "all", diff: true, seed: 1, dir: t.TempDir(), dirSet: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleTable(t *testing.T) {
+	if err := run(benchConfig{table: "7", seed: 1, dir: t.TempDir(), dirSet: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPerfSweepSmall(t *testing.T) {
+	cfg := benchConfig{table: "none", perf: true, nodes: 300, degree: 2, seed: 1, dir: t.TempDir(), dirSet: true}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelSweepSmall(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	cfg := benchConfig{table: "none", parallel: true, workers: "1,2", out: out,
+		nodes: 300, degree: 2, seed: 1, dir: dir, dirSet: true}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, out)
 	for _, want := range []string{`"gomaxprocs"`, `"kernel": "bfs"`, `"workers": 2`, `"speedup_vs_sequential"`} {
 		if !strings.Contains(body, want) {
 			t.Errorf("JSON missing %s:\n%s", want, body)
@@ -54,25 +63,81 @@ func TestRunParallelSweepSmall(t *testing.T) {
 func TestRunCacheSweepSmall(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "cache.json")
-	if err := run("none", false, false, false, true, 1<<20, "", out, 300, 2, 1, dir); err != nil {
+	cfg := benchConfig{table: "none", cacheSweep: true, cacheBytes: 1 << 20, out: out,
+		nodes: 300, degree: 2, seed: 1, dir: dir, dirSet: true}
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
-	f, err := vfs.OSFS.OpenFile(out)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f.Close()
-	r, err := vfs.NewReader(f)
-	if err != nil {
-		t.Fatal(err)
-	}
-	buf := make([]byte, 1<<16)
-	n, _ := r.Read(buf)
-	body := string(buf[:n])
+	body := readAll(t, out)
 	for _, want := range []string{`"cache_bytes"`, `"kernel": "khood"`, `"warm_speedup_vs_uncached"`, `"tier"`} {
 		if !strings.Contains(body, want) {
 			t.Errorf("JSON missing %s:\n%s", want, body)
 		}
+	}
+}
+
+func TestRunTraceSweepSmall(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.json")
+	slowlog := filepath.Join(dir, "slow.log")
+	cfg := benchConfig{table: "none", trace: true, out: out, slowlog: slowlog,
+		engines: "neograph,gstore,triplestore,sonesdb",
+		nodes:   300, degree: 2, seed: 1, dir: dir, dirSet: true}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, out)
+	for _, want := range []string{`"span_sum_ns"`, `"name": "query"`, `"engine": "gstore"`, `"engine": "sonesdb"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("trace JSON missing %s:\n%s", want, body)
+		}
+	}
+	// Threshold 0 records every traced query in the slow log.
+	log := readAll(t, slowlog)
+	if !strings.Contains(log, "trace=") || !strings.Contains(log, "span=query@0:") {
+		t.Errorf("slow log missing records:\n%s", log)
+	}
+}
+
+// TestValidateFlagMatrix pins the fail-fast contract: inconsistent flag
+// combinations must be rejected before any directory is created or any
+// engine warms up.
+func TestValidateFlagMatrix(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     benchConfig
+		wantErr string // substring; "" means the combo must validate
+	}{
+		{"defaults", benchConfig{table: "all"}, ""},
+		{"perf all engines tempdir", benchConfig{table: "none", perf: true}, ""},
+		{"named memory engines no dir", benchConfig{table: "none", perf: true, engines: "neograph,vertexkv"}, ""},
+		{"named disk-only engine no dir", benchConfig{table: "none", perf: true, engines: "gstore"}, "-dir"},
+		{"named disk-only engine with dir", benchConfig{table: "none", perf: true, engines: "gstore", dir: "/tmp/x", dirSet: true}, ""},
+		{"disk-only amid others no dir", benchConfig{table: "none", trace: true, engines: "neograph,gstore"}, "-dir"},
+		{"spaces trimmed", benchConfig{table: "none", perf: true, engines: " neograph , gstore ", dir: "/tmp/x", dirSet: true}, ""},
+		{"unknown engine", benchConfig{table: "none", perf: true, engines: "mongodb"}, "unknown engine"},
+		{"empty engine list", benchConfig{table: "none", perf: true, engines: " , "}, "no engines"},
+		{"slowlog without trace", benchConfig{table: "none", perf: true, slowlog: "s.log"}, "-trace"},
+		{"slowms without slowlog", benchConfig{table: "none", trace: true, slowms: 5}, "-slowlog"},
+		{"negative slowms", benchConfig{table: "none", trace: true, slowlog: "s.log", slowms: -1}, "non-negative"},
+		{"trace with slowlog", benchConfig{table: "none", trace: true, slowlog: "s.log", slowms: 5}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			names, err := validateFlags(tc.cfg)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags(%+v) = %v, want ok", tc.cfg, err)
+				}
+				if len(names) == 0 {
+					t.Fatalf("validateFlags(%+v) resolved no engines", tc.cfg)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateFlags(%+v) = %v, want error containing %q", tc.cfg, err, tc.wantErr)
+			}
+		})
 	}
 }
 

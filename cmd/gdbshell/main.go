@@ -6,16 +6,19 @@
 //
 //	gdbshell -engine neograph
 //	> MATCH (a)-[:knows]->(b) RETURN b.name AS n
-//	> \stats
+//	> :trace on
+//	> :stats
 //	> \draw 1
-//	> \quit
+//	> :quit
 //
-// Lines starting with \ are shell commands; everything else goes to the
-// engine's query language (for engines without one, the shell reports so).
+// Lines starting with \ or : are shell commands; everything else goes to
+// the engine's query language (for engines without one, the shell reports
+// so).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -38,7 +41,10 @@ func main() {
 	dir := flag.String("dir", "", "data directory for disk-backed engines")
 	flag.Parse()
 
-	opts := gdbm.Options{Dir: *dir}
+	// Every session gets a metrics registry so :stats can show the
+	// storage-tier counters; an idle registry costs nothing.
+	reg := gdbm.NewRegistry()
+	opts := gdbm.Options{Dir: *dir, Metrics: reg}
 	e, err := gdbm.Open(*name, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gdbshell:", err)
@@ -47,13 +53,22 @@ func main() {
 	defer e.Close()
 
 	fmt.Printf("gdbshell: %s (%s archetype). \\help for commands.\n", e.Name(), e.SurveyRow())
-	if err := repl(os.Stdin, os.Stdout, e); err != nil && err != io.EOF {
+	if err := repl(os.Stdin, os.Stdout, e, reg); err != nil && err != io.EOF {
 		fmt.Fprintln(os.Stderr, "gdbshell:", err)
 		os.Exit(1)
 	}
 }
 
-func repl(in io.Reader, out io.Writer, e gdbm.Engine) error {
+// shell is one REPL session's state: the engine, its metrics registry and
+// the tracing toggle (:trace on|off).
+type shell struct {
+	e       gdbm.Engine
+	reg     *gdbm.Registry
+	tracing bool
+}
+
+func repl(in io.Reader, out io.Writer, e gdbm.Engine, reg *gdbm.Registry) error {
+	sh := &shell{e: e, reg: reg}
 	sc := bufio.NewScanner(in)
 	for {
 		fmt.Fprint(out, "> ")
@@ -65,8 +80,8 @@ func repl(in io.Reader, out io.Writer, e gdbm.Engine) error {
 		if line == "" {
 			continue
 		}
-		if strings.HasPrefix(line, "\\") {
-			quit, err := command(out, e, line)
+		if strings.HasPrefix(line, "\\") || strings.HasPrefix(line, ":") {
+			quit, err := sh.command(out, line)
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 			}
@@ -80,23 +95,48 @@ func repl(in io.Reader, out io.Writer, e gdbm.Engine) error {
 			fmt.Fprintf(out, "engine %s has no query language (API only, per its survey row); use \\stats, \\nodes, \\draw\n", e.Name())
 			continue
 		}
-		res, err := q.Query(line)
-		if err != nil {
-			fmt.Fprintln(out, "error:", err)
-			continue
-		}
-		printResult(out, res)
+		sh.query(out, q, line)
 	}
 }
 
-func command(out io.Writer, e gdbm.Engine, line string) (quit bool, err error) {
+// query dispatches one statement, tracing it when :trace is on. The trace
+// never changes the answer — it only adds a record line after the result.
+func (sh *shell) query(out io.Writer, q gdbm.Querier, line string) {
+	if !sh.tracing {
+		res, err := q.Query(line)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		printResult(out, res)
+		return
+	}
+	before := sh.reg.Counters()
+	tr := gdbm.NewTrace(line)
+	res, err := gdbm.QueryContext(gdbm.WithTrace(context.Background(), tr), q, line)
+	tr.Finish()
+	for k, v := range sh.reg.Counters() {
+		tr.Add(k, int64(v-before[k]))
+	}
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	printResult(out, res)
+	fmt.Fprintln(out, tr.Record())
+}
+
+func (sh *shell) command(out io.Writer, line string) (quit bool, err error) {
+	e := sh.e
 	fields := strings.Fields(line)
-	switch fields[0] {
-	case "\\quit", "\\q":
+	// \cmd and :cmd are interchangeable.
+	switch fields[0][1:] {
+	case "quit", "q":
 		return true, nil
-	case "\\help":
-		fmt.Fprintln(out, `commands:
-  \stats            graph order/size and degree statistics
+	case "help":
+		fmt.Fprintln(out, `commands (prefix with \ or :):
+  \stats            graph order/size, degree statistics and metric counters
+  \trace [on|off]   toggle per-query tracing (spans + counter deltas)
   \nodes [n]        list up to n nodes (default 10)
   \draw <id>        ASCII drawing of a node's neighborhood
   \save <file>      export the graph as GraphML
@@ -106,26 +146,50 @@ func command(out io.Writer, e gdbm.Engine, line string) (quit bool, err error) {
   \lang             the engine's query language name
   \quit             exit`)
 		return false, nil
-	case "\\lang":
+	case "lang":
 		if q, ok := e.(gdbm.Querier); ok {
 			fmt.Fprintln(out, q.LanguageName())
 		} else {
 			fmt.Fprintln(out, "(none — API only)")
 		}
 		return false, nil
-	case "\\stats":
-		g, ok := e.(gdbm.GraphAPI)
-		if !ok {
-			return false, fmt.Errorf("engine does not expose a binary graph API")
+	case "trace":
+		if len(fields) > 1 {
+			switch fields[1] {
+			case "on":
+				sh.tracing = true
+			case "off":
+				sh.tracing = false
+			default:
+				return false, fmt.Errorf("usage: \\trace [on|off]")
+			}
 		}
-		fmt.Fprintf(out, "order=%d size=%d\n", g.Order(), g.Size())
-		st, err := gdbm.Degrees(g, gdbm.Both)
-		if err != nil {
-			return false, err
+		if sh.tracing {
+			fmt.Fprintln(out, "tracing on")
+		} else {
+			fmt.Fprintln(out, "tracing off")
 		}
-		fmt.Fprintf(out, "degree min=%d max=%d avg=%.2f\n", st.Min, st.Max, st.Avg)
 		return false, nil
-	case "\\nodes":
+	case "stats":
+		shown := false
+		if g, ok := e.(gdbm.GraphAPI); ok {
+			fmt.Fprintf(out, "order=%d size=%d\n", g.Order(), g.Size())
+			st, err := gdbm.Degrees(g, gdbm.Both)
+			if err != nil {
+				return false, err
+			}
+			fmt.Fprintf(out, "degree min=%d max=%d avg=%.2f\n", st.Min, st.Max, st.Avg)
+			shown = true
+		}
+		if r := sh.reg.Render(); r != "" {
+			fmt.Fprintln(out, r)
+			shown = true
+		}
+		if !shown {
+			return false, fmt.Errorf("engine exposes neither a binary graph API nor metrics")
+		}
+		return false, nil
+	case "nodes":
 		g, ok := e.(gdbm.GraphAPI)
 		if !ok {
 			return false, fmt.Errorf("engine does not expose a binary graph API")
@@ -141,11 +205,11 @@ func command(out io.Writer, e gdbm.Engine, line string) (quit bool, err error) {
 			return n < limit
 		})
 		return false, nil
-	case "\\features":
+	case "features":
 		f := e.Features()
 		fmt.Fprintf(out, "%s reproduces the %q row; features: %+v\n", e.Name(), e.SurveyRow(), f)
 		return false, nil
-	case "\\save":
+	case "save":
 		if len(fields) < 2 {
 			return false, fmt.Errorf("usage: \\save <file>")
 		}
@@ -163,7 +227,7 @@ func command(out io.Writer, e gdbm.Engine, line string) (quit bool, err error) {
 		}
 		fmt.Fprintf(out, "wrote %s\n", fields[1])
 		return false, nil
-	case "\\load":
+	case "load":
 		if len(fields) < 2 {
 			return false, fmt.Errorf("usage: \\load <file>")
 		}
@@ -186,7 +250,7 @@ func command(out io.Writer, e gdbm.Engine, line string) (quit bool, err error) {
 		}
 		fmt.Fprintf(out, "loaded %d nodes, %d edges\n", nodes, edges)
 		return false, nil
-	case "\\reason":
+	case "reason":
 		r, ok := e.(gdbm.Reasoner)
 		if !ok {
 			return false, fmt.Errorf("engine %s has no reasoning facility (Table V)", e.Name())
@@ -197,7 +261,7 @@ func command(out io.Writer, e gdbm.Engine, line string) (quit bool, err error) {
 		}
 		fmt.Fprintf(out, "materialized %d inferred facts\n", n)
 		return false, nil
-	case "\\draw":
+	case "draw":
 		if len(fields) < 2 {
 			return false, fmt.Errorf("usage: \\draw <node-id>")
 		}
@@ -222,7 +286,6 @@ func draw(out io.Writer, g gdbm.GraphAPI, id gdbm.NodeID) error {
 		return err
 	}
 	fmt.Fprintf(out, "        [%d:%s]\n", center.ID, center.Label)
-	type line struct{ s string }
 	var lines []string
 	g.Neighbors(id, gdbm.Out, func(e gdbm.Edge, n gdbm.Node) bool {
 		lines = append(lines, fmt.Sprintf("          |--%s--> [%d:%s]", e.Label, n.ID, n.Label))

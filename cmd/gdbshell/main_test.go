@@ -11,7 +11,8 @@ import (
 
 func shellSession(t *testing.T, engine string, input string) string {
 	t.Helper()
-	opts := gdbm.Options{}
+	reg := gdbm.NewRegistry()
+	opts := gdbm.Options{Metrics: reg}
 	if capability.NeedsDir(engine) {
 		opts.Dir = t.TempDir()
 	}
@@ -21,7 +22,7 @@ func shellSession(t *testing.T, engine string, input string) string {
 	}
 	defer e.Close()
 	var out bytes.Buffer
-	if err := repl(strings.NewReader(input), &out, e); err != nil {
+	if err := repl(strings.NewReader(input), &out, e, reg); err != nil {
 		t.Fatal(err)
 	}
 	return out.String()
@@ -78,6 +79,61 @@ func TestShellAPIOnlyEngine(t *testing.T) {
 	out := shellSession(t, "vertexkv", "MATCH (a) RETURN a\n\\quit\n")
 	if !strings.Contains(out, "no query language") {
 		t.Errorf("API-only message missing:\n%s", out)
+	}
+}
+
+func TestShellColonPrefixAndTrace(t *testing.T) {
+	out := shellSession(t, "neograph", strings.Join([]string{
+		`CREATE (a:P {name: 'ada'})`,
+		`CREATE (b:P {name: 'bob'})`,
+		`MATCH (a:P {name: 'ada'}), (b:P {name: 'bob'}) CREATE (a)-[:knows]->(b)`,
+		`:trace on`,
+		`MATCH (x)-[:knows]->(y) RETURN y.name AS n`,
+		`:trace off`,
+		`:stats`,
+		`:quit`,
+	}, "\n"))
+	if !strings.Contains(out, "tracing on") || !strings.Contains(out, "tracing off") {
+		t.Errorf("trace toggle output:\n%s", out)
+	}
+	// The traced query still answers, then appends its one-line record
+	// with the dispatch-level "query" span.
+	if !strings.Contains(out, "bob") {
+		t.Errorf("traced query answer missing:\n%s", out)
+	}
+	if !strings.Contains(out, `trace="MATCH (x)-[:knows]->(y) RETURN y.name AS n"`) ||
+		!strings.Contains(out, "span=query@0:") {
+		t.Errorf("trace record missing:\n%s", out)
+	}
+	// :stats works via the colon prefix too.
+	if !strings.Contains(out, "order=2 size=1") {
+		t.Errorf("colon-prefixed stats missing:\n%s", out)
+	}
+}
+
+func TestShellStatsShowsDiskMetrics(t *testing.T) {
+	// A disk-backed engine routes reads through the instrumented pager and
+	// kvgraph layers, so :stats must surface non-trivial counters.
+	reg := gdbm.NewRegistry()
+	e, err := gdbm.Open("neograph", gdbm.Options{Dir: t.TempDir(), Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var out bytes.Buffer
+	input := "CREATE (a:P {name: 'ada'})\nMATCH (a:P) RETURN a.name AS n\n:stats\n:quit\n"
+	if err := repl(strings.NewReader(input), &out, e, reg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "counter kvgraph.node_reads") {
+		t.Errorf("disk metrics missing from :stats:\n%s", out.String())
+	}
+}
+
+func TestShellTraceRejectsBadMode(t *testing.T) {
+	out := shellSession(t, "neograph", ":trace sideways\n:quit\n")
+	if !strings.Contains(out, "usage:") {
+		t.Errorf("bad trace mode accepted:\n%s", out)
 	}
 }
 

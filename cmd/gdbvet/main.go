@@ -5,6 +5,7 @@
 //	syncerr         Sync/Append/Commit/Flush errors must be checked
 //	capdecl         engines implement only their survey-profile capabilities
 //	lockdiscipline  no lock copies, no Lock without same-function Unlock
+//	obsctx          StartSpan end functions must be called, never discarded
 //
 // It runs two ways:
 //
@@ -36,6 +37,7 @@ import (
 	"gdbm/internal/analysis/capdecl"
 	"gdbm/internal/analysis/load"
 	"gdbm/internal/analysis/lockdiscipline"
+	"gdbm/internal/analysis/obsctx"
 	"gdbm/internal/analysis/syncerr"
 	"gdbm/internal/analysis/vfsonly"
 )
@@ -46,6 +48,7 @@ var analyzers = []*analysis.Analyzer{
 	syncerr.Analyzer,
 	capdecl.Analyzer,
 	lockdiscipline.Analyzer,
+	obsctx.Analyzer,
 }
 
 func main() {

@@ -25,6 +25,7 @@ import (
 	"gdbm/internal/format"
 	"gdbm/internal/gen"
 	"gdbm/internal/model"
+	"gdbm/internal/obs"
 	"gdbm/internal/pastql"
 	"gdbm/internal/query/plan"
 	"gdbm/internal/report"
@@ -285,6 +286,50 @@ var RenderCache = report.RenderCache
 
 // WriteCacheJSON writes a cache sweep as JSON through the vfs seam.
 var WriteCacheJSON = report.WriteCacheJSON
+
+// Observability (see internal/obs and DESIGN.md "Observability contract").
+type (
+	// Registry hands out named metric collectors; wire one into an engine
+	// via Options.Metrics. A nil *Registry is "metrics off".
+	Registry = obs.Registry
+	// Trace accumulates the spans and counters of one query execution; a
+	// nil *Trace is "tracing off".
+	Trace = obs.Trace
+	// SlowLog appends slow-query records through the vfs seam; a nil
+	// *SlowLog observes nothing.
+	SlowLog = obs.SlowLog
+	// ContextQuerier is a Querier whose dispatch accepts a traced context.
+	ContextQuerier = engine.ContextQuerier
+)
+
+var (
+	// NewRegistry returns an empty metrics registry.
+	NewRegistry = obs.NewRegistry
+	// NewTrace starts a trace named after the work it times.
+	NewTrace = obs.New
+	// WithTrace returns a context carrying the trace.
+	WithTrace = obs.WithTrace
+	// TraceFromContext returns the context's trace (nil when tracing is off).
+	TraceFromContext = obs.FromContext
+	// OpenSlowLog opens (appending to) a slow-query log through the vfs seam.
+	OpenSlowLog = obs.OpenSlowLog
+	// QueryContext dispatches a statement to a Querier, threading the
+	// context's trace when the engine supports it.
+	QueryContext = engine.QueryContext
+)
+
+// TraceSweep is the traced-query benchmark report.
+type TraceSweep = report.TraceSweep
+
+// RunTraceSweep runs a traced read-only workload in each engine's query
+// language and reports per-query spans and counter deltas.
+var RunTraceSweep = report.RunTraceSweep
+
+// RenderTrace prints a trace sweep.
+var RenderTrace = report.RenderTrace
+
+// WriteTraceJSON writes a trace sweep as JSON through the vfs seam.
+var WriteTraceJSON = report.WriteTraceJSON
 
 // PastLanguages returns the executable Table VIII profiles.
 func PastLanguages() []*PastLanguage { return pastql.Languages() }

@@ -127,3 +127,46 @@ func (f *FlakyGraph) Degree(id model.NodeID, dir model.Direction) (int, error) {
 	}
 	return f.Graph.Degree(id, dir)
 }
+
+// FlakyMutable wraps a MutableGraph the way FlakyGraph wraps a Graph: the
+// read methods (Nodes, Edges, Neighbors, Degree) consume the shared budget
+// and fail with ErrInjected once it runs out, while mutations pass through
+// untouched. Engine-layer tests use it to drive a mutation path to a
+// precise read failure — e.g. the incident-edge scan inside a node removal.
+type FlakyMutable struct {
+	*FlakyGraph
+	m model.MutableGraph
+}
+
+// NewFlakyMutable wraps g with a read-failure budget.
+func NewFlakyMutable(g model.MutableGraph, budget int) *FlakyMutable {
+	return &FlakyMutable{FlakyGraph: NewFlaky(g, budget), m: g}
+}
+
+// AddNode implements model.MutableGraph, passing through.
+func (f *FlakyMutable) AddNode(label string, props model.Properties) (model.NodeID, error) {
+	return f.m.AddNode(label, props)
+}
+
+// AddEdge implements model.MutableGraph, passing through.
+func (f *FlakyMutable) AddEdge(label string, from, to model.NodeID, props model.Properties) (model.EdgeID, error) {
+	return f.m.AddEdge(label, from, to, props)
+}
+
+// RemoveNode implements model.MutableGraph, passing through.
+func (f *FlakyMutable) RemoveNode(id model.NodeID) error { return f.m.RemoveNode(id) }
+
+// RemoveEdge implements model.MutableGraph, passing through.
+func (f *FlakyMutable) RemoveEdge(id model.EdgeID) error { return f.m.RemoveEdge(id) }
+
+// SetNodeProp implements model.MutableGraph, passing through.
+func (f *FlakyMutable) SetNodeProp(id model.NodeID, key string, v model.Value) error {
+	return f.m.SetNodeProp(id, key, v)
+}
+
+// SetEdgeProp implements model.MutableGraph, passing through.
+func (f *FlakyMutable) SetEdgeProp(id model.EdgeID, key string, v model.Value) error {
+	return f.m.SetEdgeProp(id, key, v)
+}
+
+var _ model.MutableGraph = (*FlakyMutable)(nil)

@@ -21,6 +21,9 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
+
+	"gdbm/internal/obs"
 )
 
 // Pool is a bounded set of reusable worker goroutines. Work is submitted
@@ -75,10 +78,19 @@ func Default() *Pool {
 // the failure return immediately. Tasks that cannot be handed to an idle
 // worker run on the calling goroutine. When the parent context is
 // canceled, Map returns its error after the in-flight tasks drain.
+//
+// When ctx carries an obs.Trace, each task handed to a worker records its
+// queue wait (submit to start) in the "pool.queue_wait_ns" trace counter
+// and "pool.tasks" counts the handoffs; caller-run overflow tasks never
+// queue, so they contribute to neither. Worker-run tasks additionally
+// carry a pprof label set (obs.Profile) naming the trace, so CPU profiles
+// attribute pool samples to the query that scheduled them. With no trace
+// in ctx none of this runs — the fan-out path is unchanged.
 func (p *Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
+	tr := obs.FromContext(ctx)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -106,8 +118,18 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i in
 	for i := 0; i < n; i++ {
 		i := i
 		wg.Add(1)
+		task := func() { run(i) }
+		if tr != nil {
+			enqueued := time.Now()
+			task = func() {
+				tr.Add("pool.queue_wait_ns", time.Since(enqueued).Nanoseconds())
+				tr.Add("pool.tasks", 1)
+				obs.Profile(ctx, func(context.Context) { run(i) },
+					"pool", "map", "trace", tr.Name())
+			}
+		}
 		select {
-		case p.tasks <- func() { run(i) }:
+		case p.tasks <- task:
 		default:
 			run(i)
 		}

@@ -1,0 +1,97 @@
+// Package spanfix is an obsctx fixture; analysistest presents it under a
+// virtual import path inside internal/engines.
+package spanfix
+
+// trace mimics the span surface of the real obs.Trace.
+type trace struct{}
+
+func (*trace) StartSpan(name string) func() { return func() {} }
+
+// counter has a look-alike method whose result is not an end function;
+// it is outside the invariant and must not be convicted.
+type counter struct{}
+
+func (counter) StartSpan(name string) int { return 0 }
+
+func work() {}
+
+func finish(end func()) { end() }
+
+// Violations.
+
+func dropExpr(t *trace) {
+	t.StartSpan("parse") // want `StartSpan end function is discarded`
+}
+
+func dropBlank(t *trace) {
+	_ = t.StartSpan("plan") // want `assigned to the blank identifier`
+}
+
+func dropDefer(t *trace) {
+	defer t.StartSpan("exec") // want `defer runs StartSpan but discards its end function`
+}
+
+func dropGo(t *trace) {
+	go t.StartSpan("background") // want `go statement discards the StartSpan end function`
+}
+
+func neverEnded(t *trace) {
+	end := t.StartSpan("scan") // want `end function is never called`
+	work()
+	_ = end
+}
+
+// Allowed: ended on return, ended inline, or obligation handed off.
+
+func deferredEnd(t *trace) {
+	defer t.StartSpan("parse")()
+	work()
+}
+
+func boundThenDeferred(t *trace) {
+	end := t.StartSpan("exec")
+	defer end()
+	work()
+}
+
+func boundThenCalled(t *trace) {
+	end := t.StartSpan("scan")
+	work()
+	end()
+}
+
+func endedInClosure(t *trace) {
+	end := t.StartSpan("flush")
+	defer func() {
+		work()
+		end()
+	}()
+}
+
+func zeroWidth(t *trace) {
+	// Starting and immediately ending is pointless but sound.
+	t.StartSpan("tick")()
+}
+
+func handoffReturn(t *trace) func() {
+	// The caller owns the end; the value escapes.
+	return t.StartSpan("handoff")
+}
+
+func handoffArg(t *trace) {
+	end := t.StartSpan("handoff")
+	finish(end)
+}
+
+func notASpan(c counter) {
+	// Same name, wrong shape: no end function is produced.
+	c.StartSpan("nope")
+	n := c.StartSpan("nope")
+	_ = n
+}
+
+// The escape hatch with justification.
+
+func sanctioned(t *trace) {
+	t.StartSpan("leaky") //gdbvet:allow(obsctx): fixture demonstrating the suppression comment
+}

@@ -1,0 +1,161 @@
+package cache
+
+import "testing"
+
+// These tests pin the termination bound of the CLOCK sweeps under
+// reference-bit saturation: every resident entry "pinned" by a fresh
+// second chance while the cache sits at exactly its byte budget. The
+// sweep's 2*len(slots) bound guarantees one full pass to strip the
+// reference bits and a second to find a victim; without it, an all-
+// referenced ring would spin the hand forever.
+
+// fillToExactBudget inserts n entries of equal cost summing to exactly the
+// budget, then touches each so every reference bit is set.
+func fillToExactBudget(c *Clock[int, int], n int, cost int64) {
+	for i := 0; i < n; i++ {
+		c.Put(i, i)
+	}
+	for i := 0; i < n; i++ {
+		c.Get(i)
+	}
+}
+
+func TestClockPutTerminatesAtPinnedSaturation(t *testing.T) {
+	const n, cost = 8, 4
+	c := NewClock[int, int](n*cost, func(int, int) int64 { return cost })
+	fillToExactBudget(c, n, cost)
+	if s := c.Stats(); s.UsedBytes != s.BudgetBytes {
+		t.Fatalf("setup: used %d != budget %d", s.UsedBytes, s.BudgetBytes)
+	}
+
+	// Every entry is referenced and the budget has no slack: the insert
+	// must strip second chances and evict rather than spin.
+	c.Put(100, 100)
+	if _, ok := c.Get(100); !ok {
+		t.Fatal("new entry not admitted at pinned saturation")
+	}
+	s := c.Stats()
+	if s.UsedBytes > s.BudgetBytes {
+		t.Fatalf("budget exceeded after saturated insert: used %d > budget %d", s.UsedBytes, s.BudgetBytes)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("saturated insert recorded no eviction")
+	}
+}
+
+func TestClockRepeatedSaturatedInsertsTerminate(t *testing.T) {
+	const n, cost = 8, 4
+	c := NewClock[int, int](n*cost, func(int, int) int64 { return cost })
+	fillToExactBudget(c, n, cost)
+	// Each round re-references everything resident, then inserts; the
+	// cache never leaves saturation, so every insert exercises the
+	// all-referenced sweep.
+	for round := 0; round < 100; round++ {
+		for i := 0; i < n; i++ {
+			c.Get(i)
+		}
+		c.Put(1000+round, round)
+		if s := c.Stats(); s.UsedBytes > s.BudgetBytes {
+			t.Fatalf("round %d: used %d > budget %d", round, s.UsedBytes, s.BudgetBytes)
+		}
+	}
+}
+
+func TestClockWholeBudgetEntryEvictsSaturatedRing(t *testing.T) {
+	const n, cost = 4, 8
+	budget := int64(n * cost)
+	c := NewClock[int, int](budget, func(k, _ int) int64 {
+		switch {
+		case k >= 200:
+			return budget + 1 // over budget: must be refused
+		case k >= 100:
+			return budget // one entry worth the whole budget
+		}
+		return cost
+	})
+	fillToExactBudget(c, n, cost)
+
+	// Admitting a whole-budget entry from saturation must evict every
+	// pinned resident — n consecutive victim sweeps — and stop there.
+	c.Put(100, 1)
+	if _, ok := c.Get(100); !ok {
+		t.Fatal("whole-budget entry not admitted")
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len = %d after whole-budget insert, want 1", got)
+	}
+
+	// An entry over the budget is refused outright, leaving the cache
+	// untouched (no partial eviction spiral).
+	c.Put(200, 1)
+	if _, ok := c.Get(200); ok {
+		t.Fatal("over-budget entry admitted")
+	}
+	if _, ok := c.Get(100); !ok {
+		t.Fatal("refused insert evicted the resident entry")
+	}
+}
+
+func TestRingVictimTerminatesAllReferenced(t *testing.T) {
+	r := NewRing[int]()
+	const n = 16
+	for i := 0; i < n; i++ {
+		r.Note(i)
+	}
+	// All n keys carry fresh reference bits. Drain the ring: each Victim
+	// call must return within its two-sweep bound, and the ring must
+	// empty in exactly n victims.
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		k, ok := r.Victim()
+		if !ok {
+			t.Fatalf("Victim ran dry after %d of %d", i, n)
+		}
+		if seen[k] {
+			t.Fatalf("key %d evicted twice", k)
+		}
+		seen[k] = true
+	}
+	if _, ok := r.Victim(); ok {
+		t.Fatal("Victim found a key in an empty ring")
+	}
+}
+
+func TestRingVictimTerminatesWithDeadSlots(t *testing.T) {
+	r := NewRing[int]()
+	// Grow the slot array, then kill most of it so the sweep must step
+	// over dead slots; the bound counts them, so it still must reach the
+	// one live, referenced key within a single call.
+	for i := 0; i < 64; i++ {
+		r.Note(i)
+	}
+	for i := 0; i < 63; i++ {
+		r.Remove(i)
+	}
+	r.Note(63) // re-reference the survivor
+	k, ok := r.Victim()
+	if !ok || k != 63 {
+		t.Fatalf("Victim = %d, %v; want 63, true", k, ok)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("ring not empty after final victim: %d", r.Len())
+	}
+}
+
+func TestRingNoteAfterVictimReusesSlots(t *testing.T) {
+	// Interleave saturated Note/Victim cycles: the free list must recycle
+	// slots instead of growing the ring without bound.
+	r := NewRing[int]()
+	for i := 0; i < 8; i++ {
+		r.Note(i)
+	}
+	for cycle := 0; cycle < 1000; cycle++ {
+		if _, ok := r.Victim(); !ok {
+			t.Fatalf("cycle %d: ring ran dry at Len=%d", cycle, r.Len())
+		}
+		r.Note(1000 + cycle)
+	}
+	if got := len(r.slots); got > 16 {
+		t.Fatalf("slot array grew to %d under steady-state cycling, want <= 16", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"gdbm/internal/algo"
 	"gdbm/internal/model"
+	"gdbm/internal/obs"
 	"gdbm/internal/query/plan"
 	"gdbm/internal/storage/vfs"
 )
@@ -177,6 +178,10 @@ type Options struct {
 	// configurations must be observationally identical — the differential
 	// harness in internal/enginetest/diff enforces this.
 	CacheBytes int64
+	// Metrics, when non-nil, receives the engine's storage counters
+	// (pager.*, kvgraph.*; see internal/obs). Observed and unobserved
+	// configurations must be observationally identical.
+	Metrics *obs.Registry
 }
 
 // SplitCacheBudget divides an engine's CacheBytes across the three cache

@@ -1,0 +1,32 @@
+package engine
+
+import (
+	"context"
+
+	"gdbm/internal/obs"
+	"gdbm/internal/query/plan"
+)
+
+// ContextQuerier is implemented by Querier engines whose query path is
+// context-aware: QueryContext threads ctx (and any obs.Trace it carries)
+// through parse, planning and execution, so per-query spans cover the whole
+// pipeline. Query(stmt) must remain equivalent to
+// QueryContext(context.Background(), stmt).
+type ContextQuerier interface {
+	Querier
+	QueryContext(ctx context.Context, stmt string) (*plan.Result, error)
+}
+
+// QueryContext dispatches stmt on q, preferring the context-aware path when
+// the engine offers one. For plain Queriers the whole call is recorded as a
+// single "query" span on the trace in ctx (no-op when untraced), so traced
+// runs see per-query timing for every engine, even ones without granular
+// spans.
+func QueryContext(ctx context.Context, q Querier, stmt string) (*plan.Result, error) {
+	if cq, ok := q.(ContextQuerier); ok {
+		return cq.QueryContext(ctx, stmt)
+	}
+	end := obs.FromContext(ctx).StartSpan("query")
+	defer end()
+	return q.Query(stmt)
+}

@@ -47,13 +47,14 @@ func New(opts engine.Options) (*DB, error) {
 	if opts.Dir != "" {
 		pageB, adjB, resB := engine.SplitCacheBudget(opts.CacheBytes)
 		d, err := kv.OpenDiskWith(filepath.Join(opts.Dir, "bitmapdb.pg"), kv.DiskOptions{
-			PoolPages: opts.PoolPages, CacheBytes: pageB, FS: opts.FS,
+			PoolPages: opts.PoolPages, CacheBytes: pageB, FS: opts.FS, Metrics: opts.Metrics,
 		})
 		if err != nil {
 			return nil, err
 		}
 		db.disk = d
 		db.kg = kvgraph.New(d)
+		db.kg.SetMetrics(opts.Metrics)
 		if adjB > 0 {
 			db.kg.EnableAdjacencyCache(adjB)
 		}

@@ -7,6 +7,7 @@
 package gstore
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 
@@ -15,6 +16,7 @@ import (
 	"gdbm/internal/engine"
 	"gdbm/internal/kvgraph"
 	"gdbm/internal/model"
+	"gdbm/internal/obs"
 	"gdbm/internal/query/gsql"
 	"gdbm/internal/query/plan"
 	"gdbm/internal/storage/kv"
@@ -43,12 +45,13 @@ func New(opts engine.Options) (*DB, error) {
 	}
 	pageB, adjB, resB := engine.SplitCacheBudget(opts.CacheBytes)
 	d, err := kv.OpenDiskWith(filepath.Join(opts.Dir, "gstore.pg"), kv.DiskOptions{
-		PoolPages: opts.PoolPages, CacheBytes: pageB, FS: opts.FS,
+		PoolPages: opts.PoolPages, CacheBytes: pageB, FS: opts.FS, Metrics: opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
 	db := &DB{g: kvgraph.New(d), disk: d, schema: model.NewSchema()}
+	db.g.SetMetrics(opts.Metrics)
 	if adjB > 0 {
 		db.g.EnableAdjacencyCache(adjB)
 	}
@@ -82,7 +85,15 @@ func (db *DB) LanguageName() string { return "gsql" }
 // Query implements engine.Querier. Read statements (SELECT) are memoized
 // in the query-result cache at the current graph epoch.
 func (db *DB) Query(stmt string) (*plan.Result, error) {
-	exec := func() (*plan.Result, error) { return gsql.Exec(stmt, gsqlSurface{db}) }
+	return db.QueryContext(context.Background(), stmt)
+}
+
+// QueryContext implements engine.ContextQuerier: the whole dispatch is a
+// "query" span on the trace in ctx, with gsql's "exec" span nested inside
+// on cache misses. Tracing never changes the answer.
+func (db *DB) QueryContext(ctx context.Context, stmt string) (*plan.Result, error) {
+	defer obs.FromContext(ctx).StartSpan("query")()
+	exec := func() (*plan.Result, error) { return gsql.ExecCtx(ctx, stmt, gsqlSurface{db}) }
 	if !engine.ReadOnlyStmt(stmt, "SELECT") {
 		return exec()
 	}
@@ -195,8 +206,9 @@ func (db *DB) Flush() error { return db.disk.Flush() }
 func (db *DB) Close() error { return db.disk.Close() }
 
 var (
-	_ engine.Engine       = (*DB)(nil)
-	_ engine.Querier      = (*DB)(nil)
-	_ engine.Loader       = (*DB)(nil)
-	_ engine.CacheStatser = (*DB)(nil)
+	_ engine.Engine         = (*DB)(nil)
+	_ engine.Querier        = (*DB)(nil)
+	_ engine.ContextQuerier = (*DB)(nil)
+	_ engine.Loader         = (*DB)(nil)
+	_ engine.CacheStatser   = (*DB)(nil)
 )

@@ -52,7 +52,7 @@ func New(opts engine.Options) (*DB, error) {
 		// The hypergraph itself is main memory with a persisted atom log;
 		// CacheBytes funds the log store's page cache alone.
 		d, err := kv.OpenDiskWith(filepath.Join(opts.Dir, "hyperdb.pg"), kv.DiskOptions{
-			PoolPages: opts.PoolPages, CacheBytes: opts.CacheBytes, FS: opts.FS,
+			PoolPages: opts.PoolPages, CacheBytes: opts.CacheBytes, FS: opts.FS, Metrics: opts.Metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -128,14 +128,18 @@ func (db *DB) AddAtom(label string, props model.Properties) (model.NodeID, error
 		if v.IsNull() {
 			return 0, fmt.Errorf("hyperdb: %q atoms must set %q: %w", label, prop, model.ErrConstraint)
 		}
+		// A failed scan must not fall through to AddNode: it could admit a
+		// duplicate the identity check would have rejected.
 		dup := false
-		db.h.Nodes(func(o model.Node) bool {
+		if err := db.h.Nodes(func(o model.Node) bool {
 			if o.Label == label && o.Props.Get(prop).Equal(v) {
 				dup = true
 				return false
 			}
 			return true
-		})
+		}); err != nil {
+			return 0, err
+		}
 		if dup {
 			return 0, fmt.Errorf("hyperdb: duplicate identity %s=%v: %w", prop, v, model.ErrConstraint)
 		}
@@ -146,7 +150,9 @@ func (db *DB) AddAtom(label string, props model.Properties) (model.NodeID, error
 	}
 	db.idx.OnNodeWrite(model.Node{ID: id, Label: label, Props: props}, "", nil)
 	if db.backend != nil {
-		db.persistAtom(label, nil, props)
+		if err := db.persistAtom(label, nil, props); err != nil {
+			return 0, err
+		}
 	}
 	return id, nil
 }
@@ -158,15 +164,20 @@ func (db *DB) AddLink(label string, members []model.NodeID, props model.Properti
 		return 0, err
 	}
 	if db.backend != nil {
-		db.persistAtom(label, members, props)
+		if err := db.persistAtom(label, members, props); err != nil {
+			return 0, err
+		}
 	}
 	return id, nil
 }
 
-func (db *DB) persistAtom(label string, members []model.NodeID, props model.Properties) {
+// persistAtom appends one atom record to the backend log. A failed append
+// must surface: swallowing it would report the atom as durable when the log
+// no longer contains it.
+func (db *DB) persistAtom(label string, members []model.NodeID, props model.Properties) error {
 	db.seq++
 	key := []byte(fmt.Sprintf("a!%016x", db.seq))
-	db.backend.Put(key, encodeAtom(label, members, props))
+	return db.backend.Put(key, encodeAtom(label, members, props))
 }
 
 // Hypergraph exposes the structural read surface.

@@ -84,13 +84,14 @@ func New(opts engine.Options) (*DB, error) {
 		// The working graph is sharded main memory; only the spill mirror
 		// reads pages back, so CacheBytes funds the page cache alone.
 		d, err := kv.OpenDiskWith(filepath.Join(opts.Dir, "infinigraph.pg"), kv.DiskOptions{
-			PoolPages: opts.PoolPages, CacheBytes: opts.CacheBytes, FS: opts.FS,
+			PoolPages: opts.PoolPages, CacheBytes: opts.CacheBytes, FS: opts.FS, Metrics: opts.Metrics,
 		})
 		if err != nil {
 			return nil, err
 		}
 		db.disk = d
 		db.spill = kvgraph.New(d)
+		db.spill.SetMetrics(opts.Metrics)
 	}
 	return db, nil
 }
@@ -148,7 +149,11 @@ func (db *DB) AddNode(label string, props model.Properties) (model.NodeID, error
 	db.shardOf(id).nodes[id] = &model.Node{ID: id, Label: label, Props: props.Clone()}
 	db.idx.OnNodeWrite(model.Node{ID: id, Label: label, Props: props}, "", nil)
 	if db.spill != nil {
-		db.spill.AddNode(label, props)
+		// A failed mirror write must surface: swallowing it would leave the
+		// external-memory copy silently behind the working graph.
+		if _, err := db.spill.AddNode(label, props); err != nil {
+			return 0, err
+		}
 	}
 	return id, nil
 }

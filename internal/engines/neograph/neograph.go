@@ -21,6 +21,7 @@ import (
 	"gdbm/internal/kvgraph"
 	"gdbm/internal/memgraph"
 	"gdbm/internal/model"
+	"gdbm/internal/obs"
 	"gdbm/internal/query/gql"
 	"gdbm/internal/query/plan"
 	"gdbm/internal/storage/kv"
@@ -51,13 +52,14 @@ func New(opts engine.Options) (*DB, error) {
 	if opts.Dir != "" {
 		pageB, adjB, resB := engine.SplitCacheBudget(opts.CacheBytes)
 		d, err := kv.OpenDiskWith(filepath.Join(opts.Dir, "neograph.pg"), kv.DiskOptions{
-			PoolPages: opts.PoolPages, CacheBytes: pageB, FS: opts.FS,
+			PoolPages: opts.PoolPages, CacheBytes: pageB, FS: opts.FS, Metrics: opts.Metrics,
 		})
 		if err != nil {
 			return nil, err
 		}
 		db.disk = d
 		db.kg = kvgraph.New(d)
+		db.kg.SetMetrics(opts.Metrics)
 		if adjB > 0 {
 			db.kg.EnableAdjacencyCache(adjB)
 		}
@@ -140,7 +142,15 @@ func (db *DB) LanguageName() string { return "gql" }
 // disk-backed instances with a cache budget, read statements (MATCH) are
 // memoized at the current graph epoch.
 func (db *DB) Query(stmt string) (*plan.Result, error) {
-	exec := func() (*plan.Result, error) { return gql.Exec(stmt, db.Core) }
+	return db.QueryContext(context.Background(), stmt)
+}
+
+// QueryContext implements engine.ContextQuerier: the whole dispatch is a
+// "query" span on the trace in ctx, with gql's "parse"/"exec" spans nested
+// inside on cache misses. Tracing never changes the answer.
+func (db *DB) QueryContext(ctx context.Context, stmt string) (*plan.Result, error) {
+	defer obs.FromContext(ctx).StartSpan("query")()
+	exec := func() (*plan.Result, error) { return gql.ExecCtx(ctx, stmt, db.Core) }
 	if db.results == nil || !engine.ReadOnlyStmt(stmt, "MATCH") {
 		return exec()
 	}
@@ -257,9 +267,10 @@ func (db *DB) Close() error {
 }
 
 var (
-	_ engine.Engine       = (*DB)(nil)
-	_ engine.GraphAPI     = (*DB)(nil)
-	_ engine.Querier      = (*DB)(nil)
-	_ engine.Loader       = (*DB)(nil)
-	_ engine.CacheStatser = (*DB)(nil)
+	_ engine.Engine         = (*DB)(nil)
+	_ engine.GraphAPI       = (*DB)(nil)
+	_ engine.Querier        = (*DB)(nil)
+	_ engine.ContextQuerier = (*DB)(nil)
+	_ engine.Loader         = (*DB)(nil)
+	_ engine.CacheStatser   = (*DB)(nil)
 )

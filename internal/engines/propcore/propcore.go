@@ -130,11 +130,14 @@ func (c *Core) RemoveNode(id model.NodeID) error {
 		return err
 	}
 	// Incident edges cascade in the storage layer; drop their index
-	// entries first.
-	c.g.Neighbors(id, model.Both, func(e model.Edge, _ model.Node) bool {
+	// entries first. An iteration error must abort the removal: proceeding
+	// would leave index entries for edges the cascade is about to delete.
+	if err := c.g.Neighbors(id, model.Both, func(e model.Edge, _ model.Node) bool {
 		c.Idx.OnEdgeDelete(e)
 		return true
-	})
+	}); err != nil {
+		return err
+	}
 	if err := c.g.RemoveNode(id); err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 package sonesdb
 
 import (
+	"context"
 	"fmt"
 
 	"gdbm/internal/algo"
@@ -16,6 +17,7 @@ import (
 	"gdbm/internal/index"
 	"gdbm/internal/memgraph"
 	"gdbm/internal/model"
+	"gdbm/internal/obs"
 	"gdbm/internal/query/gsql"
 	"gdbm/internal/query/plan"
 )
@@ -87,7 +89,15 @@ func (db *DB) LanguageName() string { return "gsql" }
 
 // Query implements engine.Querier with the SQL-flavoured graph language.
 func (db *DB) Query(stmt string) (*plan.Result, error) {
-	return gsql.Exec(stmt, gsqlSurface{db})
+	return db.QueryContext(context.Background(), stmt)
+}
+
+// QueryContext implements engine.ContextQuerier: the whole dispatch is a
+// "query" span on the trace in ctx, with gsql's "exec" span nested inside.
+// Tracing never changes the answer.
+func (db *DB) QueryContext(ctx context.Context, stmt string) (*plan.Result, error) {
+	defer obs.FromContext(ctx).StartSpan("query")()
+	return gsql.ExecCtx(ctx, stmt, gsqlSurface{db})
 }
 
 // gsqlSurface adapts DB to gsql.Engine.
@@ -163,9 +173,10 @@ func (db *DB) Essentials() engine.Essentials {
 func (db *DB) Close() error { return nil }
 
 var (
-	_ engine.Engine       = (*DB)(nil)
-	_ engine.GraphAPI     = (*DB)(nil)
-	_ engine.Querier      = (*DB)(nil)
-	_ engine.SchemaHolder = (*DB)(nil)
-	_ engine.Loader       = (*DB)(nil)
+	_ engine.Engine         = (*DB)(nil)
+	_ engine.GraphAPI       = (*DB)(nil)
+	_ engine.Querier        = (*DB)(nil)
+	_ engine.ContextQuerier = (*DB)(nil)
+	_ engine.SchemaHolder   = (*DB)(nil)
+	_ engine.Loader         = (*DB)(nil)
 )

@@ -1,0 +1,41 @@
+package triplestore
+
+import (
+	"errors"
+	"testing"
+
+	"gdbm/internal/algo/algotest"
+	"gdbm/internal/engine"
+	"gdbm/internal/engines/propcore"
+	"gdbm/internal/model"
+)
+
+// TestAddTriplePropagatesScanError pins the fix for a swallowed-iterator
+// bug: AddTriple deduplicates by scanning the subject's outgoing edges and
+// used to ignore the scan's error, so a failed scan fell through to AddEdge
+// and could assert a statement twice.
+func TestAddTriplePropagatesScanError(t *testing.T) {
+	db, err := New(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.AddTriple("a", "p", "b"); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Count()
+
+	// Re-core the engine over a read-failing wrapper of the same graph. The
+	// term dictionary is already warm, so the next AddTriple's first graph
+	// read is the dedup scan.
+	mg := db.Core.Graph()
+	db.Core = propcore.New(algotest.NewFlakyMutable(mg.(model.MutableGraph), 0))
+
+	err = db.AddTriple("a", "p", "b")
+	if !errors.Is(err, algotest.ErrInjected) {
+		t.Fatalf("AddTriple over a failing dedup scan = %v, want ErrInjected", err)
+	}
+	if got := db.Count(); got != before {
+		t.Fatalf("statement count changed across a failed dedup scan: %d -> %d", before, got)
+	}
+}

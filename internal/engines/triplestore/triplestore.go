@@ -24,6 +24,7 @@ import (
 	"gdbm/internal/kvgraph"
 	"gdbm/internal/memgraph"
 	"gdbm/internal/model"
+	"gdbm/internal/obs"
 	"gdbm/internal/query/plan"
 	"gdbm/internal/query/sparqlish"
 	"gdbm/internal/reason"
@@ -55,13 +56,14 @@ func New(opts engine.Options) (*DB, error) {
 	if opts.Dir != "" {
 		pageB, adjB, resB := engine.SplitCacheBudget(opts.CacheBytes)
 		d, err := kv.OpenDiskWith(filepath.Join(opts.Dir, "triples.pg"), kv.DiskOptions{
-			PoolPages: opts.PoolPages, CacheBytes: pageB, FS: opts.FS,
+			PoolPages: opts.PoolPages, CacheBytes: pageB, FS: opts.FS, Metrics: opts.Metrics,
 		})
 		if err != nil {
 			return nil, err
 		}
 		db.disk = d
 		db.kg = kvgraph.New(d)
+		db.kg.SetMetrics(opts.Metrics)
 		if adjB > 0 {
 			db.kg.EnableAdjacencyCache(adjB)
 		}
@@ -89,14 +91,19 @@ func New(opts engine.Options) (*DB, error) {
 		return nil, err
 	}
 	if db.disk != nil {
-		// Re-index persisted terms.
+		// Re-index persisted terms. An iteration error means a partial
+		// index, which would silently drop rows from indexed scans.
 		idx, _ := db.Core.Idx.Get(index.Nodes, "value")
-		db.Core.Nodes(func(n model.Node) bool {
+		err := db.Core.Nodes(func(n model.Node) bool {
 			if v, ok := n.Props["value"]; ok {
 				idx.Add(v, uint64(n.ID))
 			}
 			return true
 		})
+		if err != nil {
+			db.disk.Close()
+			return nil, err
+		}
 	}
 	return db, nil
 }
@@ -134,15 +141,18 @@ func (db *DB) AddTriple(s, p, o string) error {
 	if err != nil {
 		return err
 	}
-	// Deduplicate identical statements.
+	// Deduplicate identical statements. A failed scan must not fall through
+	// to AddEdge: it could assert a duplicate the scan would have caught.
 	dup := false
-	db.Core.Neighbors(sid, model.Out, func(e model.Edge, n model.Node) bool {
+	if err := db.Core.Neighbors(sid, model.Out, func(e model.Edge, n model.Node) bool {
 		if e.Label == p && n.ID == oid {
 			dup = true
 			return false
 		}
 		return true
-	})
+	}); err != nil {
+		return err
+	}
 	if dup {
 		return nil
 	}
@@ -230,15 +240,23 @@ func (db *DB) LanguageName() string { return "sparqlish" }
 // surface also accepts INSERT DATA { <s> <p> <o> . ... } for DML and the
 // DDL no-ops typical of schema-free triple stores.
 func (db *DB) Query(stmt string) (*plan.Result, error) {
+	return db.QueryContext(context.Background(), stmt)
+}
+
+// QueryContext implements engine.ContextQuerier: the whole dispatch is a
+// "query" span on the trace in ctx, with sparqlish's "parse"/"exec" spans
+// nested inside on cache misses. Tracing never changes the answer.
+func (db *DB) QueryContext(ctx context.Context, stmt string) (*plan.Result, error) {
+	defer obs.FromContext(ctx).StartSpan("query")()
 	trimmed := strings.TrimSpace(stmt)
 	if strings.HasPrefix(strings.ToUpper(trimmed), "INSERT DATA") {
 		return db.insertData(trimmed)
 	}
 	if db.results != nil && engine.ReadOnlyStmt(trimmed, "SELECT", "ASK") {
 		return engine.CachedQuery(db.results, db.kg.Epoch, db.Name(), "sparqlish", trimmed,
-			func() (*plan.Result, error) { return sparqlish.Run(stmt, db.Core) })
+			func() (*plan.Result, error) { return sparqlish.RunCtx(ctx, stmt, db.Core) })
 	}
-	return sparqlish.Run(stmt, db.Core)
+	return sparqlish.RunCtx(ctx, stmt, db.Core)
 }
 
 // insertData parses INSERT DATA { <s> <p> <o> . ... }.
@@ -389,15 +407,19 @@ func (db *DB) essentials() engine.Essentials {
 				return model.Null(), nil
 			}
 			agg := algo.NewAggregator(kind)
+			var iterErr error
 			err := db.Core.Nodes(func(n model.Node) bool {
 				typed := false
-				db.Core.Neighbors(n.ID, model.Out, func(e model.Edge, far model.Node) bool {
+				if err := db.Core.Neighbors(n.ID, model.Out, func(e model.Edge, far model.Node) bool {
 					if e.Label == "type" && far.ID == typeTerm {
 						typed = true
 						return false
 					}
 					return true
-				})
+				}); err != nil {
+					iterErr = err
+					return false
+				}
 				if !typed {
 					return true
 				}
@@ -408,6 +430,9 @@ func (db *DB) essentials() engine.Essentials {
 				}
 				return true
 			})
+			if iterErr != nil {
+				return model.Null(), iterErr
+			}
 			if err != nil {
 				return model.Null(), err
 			}
@@ -467,15 +492,18 @@ func (db *DB) LoadEdge(label string, from, to model.NodeID, props model.Properti
 	if err := db.AddTriple(s, label, o); err != nil {
 		return 0, err
 	}
-	// Return the id of the just-added (or pre-existing) statement edge.
+	// Return the id of the just-added (or pre-existing) statement edge. A
+	// failed scan must not return the zero EdgeID as if it were a real id.
 	var eid model.EdgeID
-	db.Core.Neighbors(from, model.Out, func(e model.Edge, n model.Node) bool {
+	if err := db.Core.Neighbors(from, model.Out, func(e model.Edge, n model.Node) bool {
 		if e.Label == label && n.ID == to {
 			eid = e.ID
 			return false
 		}
 		return true
-	})
+	}); err != nil {
+		return 0, err
+	}
 	return eid, nil
 }
 
@@ -496,9 +524,10 @@ func (db *DB) Close() error {
 }
 
 var (
-	_ engine.Engine       = (*DB)(nil)
-	_ engine.Querier      = (*DB)(nil)
-	_ engine.Reasoner     = (*DB)(nil)
-	_ engine.Loader       = (*DB)(nil)
-	_ engine.CacheStatser = (*DB)(nil)
+	_ engine.Engine         = (*DB)(nil)
+	_ engine.Querier        = (*DB)(nil)
+	_ engine.ContextQuerier = (*DB)(nil)
+	_ engine.Reasoner       = (*DB)(nil)
+	_ engine.Loader         = (*DB)(nil)
+	_ engine.CacheStatser   = (*DB)(nil)
 )

@@ -41,13 +41,14 @@ func New(opts engine.Options) (*DB, error) {
 		db.Graph = kvgraph.New(kv.NewMemory())
 	} else {
 		d, err := kv.OpenDiskWith(filepath.Join(opts.Dir, "vertexkv.pg"), kv.DiskOptions{
-			PoolPages: opts.PoolPages, CacheBytes: pageB, FS: opts.FS,
+			PoolPages: opts.PoolPages, CacheBytes: pageB, FS: opts.FS, Metrics: opts.Metrics,
 		})
 		if err != nil {
 			return nil, err
 		}
 		db.Graph, db.disk = kvgraph.New(d), d
 	}
+	db.Graph.SetMetrics(opts.Metrics)
 	if adjB > 0 {
 		db.Graph.EnableAdjacencyCache(adjB)
 	}

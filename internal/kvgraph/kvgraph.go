@@ -20,6 +20,7 @@ import (
 
 	"gdbm/internal/cache"
 	"gdbm/internal/model"
+	"gdbm/internal/obs"
 	"gdbm/internal/storage/kv"
 )
 
@@ -39,6 +40,9 @@ type Graph struct {
 	st    kv.Store
 	epoch cache.Epoch
 	adj   *cache.Adjacency // nil: adjacency caching disabled
+
+	// Observability counters; nil-safe no-ops until SetMetrics.
+	mNodeReads, mEdgeReads, mAdjScans *obs.Counter
 }
 
 // New wraps a kv store as a graph.
@@ -51,6 +55,15 @@ func (g *Graph) EnableAdjacencyCache(budget int64) {
 	if budget > 0 {
 		g.adj = cache.NewAdjacency(budget)
 	}
+}
+
+// SetMetrics routes the graph's counters (kvgraph.node_reads,
+// kvgraph.edge_reads, kvgraph.adj_scans) into r. Call before sharing the
+// graph, alongside EnableAdjacencyCache.
+func (g *Graph) SetMetrics(r *obs.Registry) {
+	g.mNodeReads = r.Counter("kvgraph.node_reads")
+	g.mEdgeReads = r.Counter("kvgraph.edge_reads")
+	g.mAdjScans = r.Counter("kvgraph.adj_scans")
 }
 
 // Epoch returns the graph's current version. It changes (at least) twice
@@ -228,6 +241,7 @@ func (g *Graph) AddEdge(label string, from, to model.NodeID, props model.Propert
 
 // Node implements model.Graph.
 func (g *Graph) Node(id model.NodeID) (model.Node, error) {
+	g.mNodeReads.Inc()
 	raw, ok, err := g.st.Get(u64key("n!", uint64(id)))
 	if err != nil {
 		return model.Node{}, err
@@ -240,6 +254,7 @@ func (g *Graph) Node(id model.NodeID) (model.Node, error) {
 
 // Edge implements model.Graph.
 func (g *Graph) Edge(id model.EdgeID) (model.Edge, error) {
+	g.mEdgeReads.Inc()
 	raw, ok, err := g.st.Get(u64key("e!", uint64(id)))
 	if err != nil {
 		return model.Edge{}, err
@@ -437,6 +452,7 @@ func (g *Graph) adjEntriesDir(id model.NodeID, dir model.Direction) ([]cache.Adj
 			return ents, nil
 		}
 	}
+	g.mAdjScans.Inc()
 	prefix := "o!"
 	if dir == model.In {
 		prefix = "i!"

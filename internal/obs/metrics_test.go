@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Get-or-create races against increments on purpose.
+				r.Counter("queries").Inc()
+				r.Gauge("depth").Add(1)
+				r.Histogram("lat").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("queries").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("depth").Value(); got != workers*per {
+		t.Fatalf("gauge = %d, want %d", got, workers*per)
+	}
+	if got := r.Histogram("lat").Snapshot().Count; got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name must return the same counter")
+	}
+	if r.Counter("a") == r.Counter("b") {
+		t.Fatal("distinct names must return distinct counters")
+	}
+	if r.Histogram("h") != r.Histogram("h", 1, 2, 3) {
+		t.Fatal("later Histogram calls must return the existing histogram")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucket rule: bucket i counts
+// bounds[i-1] < v <= bounds[i], with one overflow bucket past the end.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]int64{10, 100, 1000})
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {9, 0}, {10, 0}, // at the bound -> that bucket
+		{11, 1}, {100, 1},
+		{101, 2}, {1000, 2},
+		{1001, 3}, {1 << 40, 3}, // overflow
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.Snapshot()
+	want := make([]uint64, 4)
+	var sum int64
+	for _, c := range cases {
+		want[c.bucket]++
+		sum += c.v
+	}
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			t.Errorf("bucket %d: count %d, want %d", i, s.Counts[i], want[i])
+		}
+	}
+	if s.Count != uint64(len(cases)) {
+		t.Errorf("total count %d, want %d", s.Count, len(cases))
+	}
+	if s.Sum != sum {
+		t.Errorf("sum %d, want %d", s.Sum, sum)
+	}
+	if len(s.Counts) != len(s.Bounds)+1 {
+		t.Errorf("counts len %d, want bounds+1 = %d", len(s.Counts), len(s.Bounds)+1)
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := newHistogram(nil)
+	if len(h.bounds) != len(DefaultLatencyBuckets) {
+		t.Fatalf("default bounds len %d, want %d", len(h.bounds), len(DefaultLatencyBuckets))
+	}
+	h.Observe(1) // 1ns -> first bucket
+	if got := h.Snapshot().Counts[0]; got != 1 {
+		t.Fatalf("first bucket = %d, want 1", got)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending bounds")
+		}
+	}()
+	newHistogram([]int64{10, 10})
+}
+
+// TestNilSafety is the tracing-off fast path: every collector method must
+// be a harmless no-op on nil receivers and nil registries.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(5)
+	r.Gauge("x").Set(5)
+	r.Histogram("x").Observe(5)
+	if r.Counter("x").Value() != 0 || r.Gauge("x").Value() != 0 {
+		t.Fatal("nil collectors must read zero")
+	}
+	if s := r.Histogram("x").Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot must be empty")
+	}
+	if r.Counters() != nil || r.Render() != "" {
+		t.Fatal("nil registry snapshots must be empty")
+	}
+}
+
+func TestRegistryRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.second").Add(2)
+	r.Counter("a.first").Inc()
+	out := r.Render()
+	want := "counter a.first = 1\ncounter b.second = 2"
+	if out != want {
+		t.Fatalf("Render:\n%q\nwant:\n%q", out, want)
+	}
+}

@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// Profile runs fn with the given pprof label set (alternating key, value
+// pairs) attached for the duration of the call, so CPU profiles taken
+// while a worker pool is busy attribute samples to the work they belong
+// to. An empty or odd-length label list runs fn without labels; fn always
+// runs exactly once on the calling goroutine.
+func Profile(ctx context.Context, fn func(context.Context), labels ...string) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(labels) == 0 || len(labels)%2 != 0 {
+		fn(ctx)
+		return
+	}
+	pprof.Do(ctx, pprof.Labels(labels...), fn)
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"gdbm/internal/storage/vfs"
+)
+
+// SlowLog appends the one-line Record of every observed trace whose wall
+// time meets the threshold. All writes go through the vfs seam, so the
+// crash harness can intercept them and the vfsonly invariant holds for
+// every tool that opens one. A nil *SlowLog observes nothing, which is
+// the "slow log off" path.
+type SlowLog struct {
+	mu        sync.Mutex
+	f         vfs.File
+	off       int64
+	threshold time.Duration
+}
+
+// OpenSlowLog opens (appending to) the log at path on fsys; nil fsys
+// means the real filesystem. Traces at or above threshold are recorded; a
+// zero threshold records every observed trace.
+func OpenSlowLog(fsys vfs.FS, path string, threshold time.Duration) (*SlowLog, error) {
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	f, err := fsys.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &SlowLog{f: f, off: size, threshold: threshold}, nil
+}
+
+// Threshold returns the configured threshold; zero on a nil receiver.
+func (s *SlowLog) Threshold() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.threshold
+}
+
+// Observe appends tr's Record when its finished wall time is at or above
+// the threshold. Unfinished (or nil) traces are never recorded, so a
+// crashed query cannot leave a half-timed entry.
+func (s *SlowLog) Observe(tr *Trace) error {
+	if s == nil || tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	finished := tr.done
+	wall := tr.wall
+	tr.mu.Unlock()
+	if !finished || wall < s.threshold {
+		return nil
+	}
+	line := append([]byte(tr.Record()), '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.f.WriteAt(line, s.off)
+	s.off += int64(n)
+	return err
+}
+
+// Close syncs and closes the log file.
+func (s *SlowLog) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

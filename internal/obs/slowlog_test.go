@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gdbm/internal/storage/vfs"
+)
+
+func readAll(t *testing.T, path string) string {
+	t.Helper()
+	f, err := vfs.OS().OpenFile(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return string(buf)
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slow.log")
+	sl, err := OpenSlowLog(vfs.OS(), path, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fast := New("fast-query")
+	fast.Finish()
+	if err := sl.Observe(fast); err != nil {
+		t.Fatal(err)
+	}
+
+	slow := New("slow-query")
+	time.Sleep(60 * time.Millisecond)
+	slow.Add("cache.page.misses", 7)
+	slow.Finish()
+	if err := sl.Observe(slow); err != nil {
+		t.Fatal(err)
+	}
+
+	unfinished := New("never-finished")
+	if err := sl.Observe(unfinished); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, path)
+	lines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("slow log has %d lines, want 1:\n%s", len(lines), got)
+	}
+	if !strings.Contains(lines[0], `trace="slow-query"`) || !strings.Contains(lines[0], "ctr=cache.page.misses:7") {
+		t.Fatalf("unexpected record: %s", lines[0])
+	}
+}
+
+// TestSlowLogAppends proves reopening appends rather than truncating, so
+// a long-lived instance's history survives restarts.
+func TestSlowLogAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slow.log")
+	for i := 0; i < 2; i++ {
+		sl, err := OpenSlowLog(nil, path, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := New("q")
+		tr.Finish()
+		if err := sl.Observe(tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := sl.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := strings.Count(readAll(t, path), "\n"); got != 2 {
+		t.Fatalf("expected 2 appended records, got %d", got)
+	}
+}
+
+func TestSlowLogNil(t *testing.T) {
+	var sl *SlowLog
+	if err := sl.Observe(New("q")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sl.Threshold() != 0 {
+		t.Fatal("nil slow log threshold must be zero")
+	}
+}

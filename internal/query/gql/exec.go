@@ -1,10 +1,12 @@
 package gql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"gdbm/internal/model"
+	"gdbm/internal/obs"
 	"gdbm/internal/query"
 	"gdbm/internal/query/plan"
 )
@@ -47,10 +49,25 @@ func runRead(st *Statement, src plan.Source) (*plan.Result, error) {
 // carries RETURN output when present; write-only statements return counters
 // in the "nodes", "edges", "set", "deleted" columns.
 func Exec(input string, m Mutator) (*plan.Result, error) {
+	return ExecCtx(context.Background(), input, m)
+}
+
+// ExecCtx is Exec with a context. When ctx carries an obs.Trace, parsing and
+// execution are recorded as "parse" and "exec" spans; the answer is always
+// identical to Exec's.
+func ExecCtx(ctx context.Context, input string, m Mutator) (*plan.Result, error) {
+	tr := obs.FromContext(ctx)
+	endParse := tr.StartSpan("parse")
 	st, err := Parse(input)
+	endParse()
 	if err != nil {
 		return nil, err
 	}
+	defer tr.StartSpan("exec")()
+	return execParsed(st, m)
+}
+
+func execParsed(st *Statement, m Mutator) (*plan.Result, error) {
 	if st.ReadOnly() {
 		return runRead(st, m)
 	}

@@ -27,12 +27,14 @@
 package gsql
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"gdbm/internal/algo"
 	"gdbm/internal/model"
+	"gdbm/internal/obs"
 	"gdbm/internal/query"
 	"gdbm/internal/query/plan"
 )
@@ -54,6 +56,14 @@ type Result = plan.Result
 
 // Exec parses and runs one gsql statement.
 func Exec(input string, e Engine) (*Result, error) {
+	return ExecCtx(context.Background(), input, e)
+}
+
+// ExecCtx is Exec with a context. gsql parses and executes in one
+// interleaved pass, so a trace carried by ctx records the whole statement as
+// a single "exec" span; the answer is always identical to Exec's.
+func ExecCtx(ctx context.Context, input string, e Engine) (*Result, error) {
+	defer obs.FromContext(ctx).StartSpan("exec")()
 	l := query.NewLexer(input)
 	t, err := l.Peek()
 	if err != nil {

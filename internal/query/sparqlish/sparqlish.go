@@ -18,10 +18,12 @@
 package sparqlish
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"gdbm/internal/model"
+	"gdbm/internal/obs"
 	"gdbm/internal/query"
 	"gdbm/internal/query/plan"
 )
@@ -343,10 +345,21 @@ func rewriteVarsToValues(e query.Expr) query.Expr {
 
 // Run executes the query against a triple source.
 func Run(input string, src plan.Source) (*plan.Result, error) {
+	return RunCtx(context.Background(), input, src)
+}
+
+// RunCtx is Run with a context. When ctx carries an obs.Trace, parsing and
+// execution are recorded as "parse" and "exec" spans; the answer is always
+// identical to Run's.
+func RunCtx(ctx context.Context, input string, src plan.Source) (*plan.Result, error) {
+	tr := obs.FromContext(ctx)
+	endParse := tr.StartSpan("parse")
 	q, err := Parse(input)
+	endParse()
 	if err != nil {
 		return nil, err
 	}
+	defer tr.StartSpan("exec")()
 	op, err := plan.Compile(&q.Spec)
 	if err != nil {
 		return nil, err

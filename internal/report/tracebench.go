@@ -1,0 +1,207 @@
+package report
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"gdbm/internal/engine"
+	"gdbm/internal/gen"
+	"gdbm/internal/model"
+	"gdbm/internal/obs"
+	"gdbm/internal/storage/vfs"
+)
+
+// TraceSpan is one completed span of a traced query, flattened for the
+// JSON report. Depth 0 marks top-level spans: their durations partition
+// the query's wall time, so summing them accounts for where the time went.
+type TraceSpan struct {
+	Name    string `json:"name"`
+	Depth   int    `json:"depth"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// TraceQuery is one traced statement execution: its spans in completion
+// order, the per-query deltas of the engine's metric counters (pages read,
+// WAL syncs, adjacency scans, ...) plus any counters the trace itself
+// accumulated (worker-pool queue wait), and the one-line slow-log record.
+type TraceQuery struct {
+	Engine    string           `json:"engine"`
+	Language  string           `json:"language"`
+	Query     string           `json:"query"`
+	Rows      int              `json:"rows"`
+	WallNs    int64            `json:"wall_ns"`
+	SpanSumNs int64            `json:"span_sum_ns"` // sum of depth-0 span durations
+	Spans     []TraceSpan      `json:"spans"`
+	Counters  map[string]int64 `json:"counters,omitempty"`
+	Record    string           `json:"record"`
+}
+
+// TraceSweep is the full traced-query report across engines.
+type TraceSweep struct {
+	Nodes   int          `json:"nodes"`
+	Degree  int          `json:"degree"`
+	Seed    int64        `json:"seed"`
+	Note    string       `json:"note"`
+	Queries []TraceQuery `json:"queries"`
+}
+
+// traceStatements returns a small read-only workload in the engine's query
+// language over the generator's graph shape (nodes labeled N with an int
+// property idx, edges labeled link).
+func traceStatements(lang string, ids []model.NodeID) []string {
+	if len(ids) == 0 {
+		return nil
+	}
+	switch lang {
+	case "gql":
+		return []string{
+			`MATCH (a:N) WHERE a.idx < 8 RETURN a.idx AS i ORDER BY i`,
+			`MATCH (a:N)-[:link]->(b) RETURN count(*) AS n`,
+		}
+	case "gsql":
+		return []string{
+			`SELECT ORDER`,
+			fmt.Sprintf(`SELECT NEIGHBORS OF %d DEPTH 2`, ids[0]),
+			fmt.Sprintf(`SELECT DEGREE OF %d`, ids[len(ids)/2]),
+		}
+	case "sparqlish":
+		return []string{
+			`SELECT ?x WHERE { ?x <type> "N" . } LIMIT 8`,
+			`SELECT ?o WHERE { ?s <link> ?o . } LIMIT 8`,
+		}
+	}
+	return nil
+}
+
+// RunTraceSweep ingests the same R-MAT graph into each engine and runs a
+// small read-only workload in its query language with a fresh trace per
+// statement. Engines without a query language are skipped. open returns
+// the engine together with the metrics registry it was opened with (nil is
+// fine — the sweep then reports spans only); per-query counter deltas are
+// attributed by differencing the registry around each statement. Every
+// finished trace is offered to slow (nil means no slow log). Engines are
+// closed before return.
+func RunTraceSweep(open func(name string) (engine.Engine, *obs.Registry, error),
+	names []string, nodes, degree int, seed int64, slow *obs.SlowLog) (*TraceSweep, error) {
+	sweep := &TraceSweep{
+		Nodes:  nodes,
+		Degree: degree,
+		Seed:   seed,
+		Note: "span_sum_ns sums the depth-0 spans, which partition the traced wall " +
+			"time; counters are per-query deltas of the engine's metrics registry " +
+			"plus the trace's own counters (worker-pool queue wait)",
+	}
+	spec := gen.Spec{Kind: gen.RMAT, Nodes: nodes, EdgesPerNode: degree, Seed: seed}
+	for _, name := range names {
+		e, reg, err := open(name)
+		if err != nil {
+			return nil, fmt.Errorf("trace open %s: %w", name, err)
+		}
+		err = func() error {
+			q, ok := e.(engine.Querier)
+			if !ok {
+				return nil // API-only archetype: nothing to trace at the language level
+			}
+			ids, err := ingest(e, spec)
+			if err != nil {
+				return err
+			}
+			for _, stmt := range traceStatements(q.LanguageName(), ids) {
+				tq, err := traceOne(e, q, stmt, reg, slow)
+				if err != nil {
+					return fmt.Errorf("%s: %q: %w", name, stmt, err)
+				}
+				sweep.Queries = append(sweep.Queries, tq)
+			}
+			return nil
+		}()
+		e.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sweep, nil
+}
+
+// traceOne runs one statement under a fresh trace and folds the registry's
+// counter deltas into it before the slow log observes it.
+func traceOne(e engine.Engine, q engine.Querier, stmt string, reg *obs.Registry, slow *obs.SlowLog) (TraceQuery, error) {
+	before := reg.Counters()
+	tr := obs.New(stmt)
+	res, err := engine.QueryContext(obs.WithTrace(context.Background(), tr), q, stmt)
+	wall := tr.Finish()
+	if err != nil {
+		return TraceQuery{}, err
+	}
+	for k, v := range reg.Counters() {
+		tr.Add(k, int64(v-before[k]))
+	}
+	if err := slow.Observe(tr); err != nil {
+		return TraceQuery{}, fmt.Errorf("slow log: %w", err)
+	}
+	tq := TraceQuery{
+		Engine:   e.Name(),
+		Language: q.LanguageName(),
+		Query:    stmt,
+		Rows:     len(res.Rows),
+		WallNs:   wall.Nanoseconds(),
+		Counters: tr.Counters(),
+		Record:   tr.Record(),
+	}
+	for _, s := range tr.Spans() {
+		tq.Spans = append(tq.Spans, TraceSpan{
+			Name: s.Name, Depth: s.Depth,
+			StartNs: s.Start.Nanoseconds(), DurNs: s.Dur.Nanoseconds(),
+		})
+		if s.Depth == 0 {
+			tq.SpanSumNs += s.Dur.Nanoseconds()
+		}
+	}
+	return tq, nil
+}
+
+// WriteTraceJSON writes the sweep to path through the vfs seam.
+func WriteTraceJSON(fsys vfs.FS, path string, sweep *TraceSweep) error {
+	data, err := json.MarshalIndent(sweep, "", "  ")
+	if err != nil {
+		return err
+	}
+	f, w, err := vfs.Create(fsys, path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RenderTrace prints the sweep one query per block: wall time, the share
+// of it the depth-0 spans account for, the span tree and the counters.
+func RenderTrace(w io.Writer, sweep *TraceSweep) {
+	fmt.Fprintf(w, "trace sweep: R-MAT n=%d degree=%d seed=%d\n\n", sweep.Nodes, sweep.Degree, sweep.Seed)
+	eng := ""
+	for _, q := range sweep.Queries {
+		if q.Engine != eng {
+			eng = q.Engine
+			fmt.Fprintf(w, "%s (%s)\n", eng, q.Language)
+		}
+		accounted := 0.0
+		if q.WallNs > 0 {
+			accounted = 100 * float64(q.SpanSumNs) / float64(q.WallNs)
+		}
+		fmt.Fprintf(w, "  %-60q wall %10v  spans account for %5.1f%%\n",
+			q.Query, time.Duration(q.WallNs).Round(time.Microsecond), accounted)
+		for _, s := range q.Spans {
+			fmt.Fprintf(w, "    %*sspan %-8s %10v\n", 2*s.Depth, "", s.Name,
+				time.Duration(s.DurNs).Round(time.Microsecond))
+		}
+		fmt.Fprintf(w, "    %s\n", q.Record)
+	}
+	fmt.Fprintf(w, "\n%s\n", sweep.Note)
+}

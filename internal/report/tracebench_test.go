@@ -1,0 +1,188 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gdbm/internal/engine"
+	"gdbm/internal/obs"
+	"gdbm/internal/storage/vfs"
+
+	_ "gdbm/internal/engines/gstore"
+	_ "gdbm/internal/engines/sonesdb"
+	_ "gdbm/internal/engines/triplestore"
+)
+
+// traceSlack bounds the wall time a traced query may spend outside its
+// depth-0 spans (trace construction, dispatch overhead, scheduler noise).
+const traceSlack = 25 * time.Millisecond
+
+func traceOpen(t *testing.T) func(string) (engine.Engine, *obs.Registry, error) {
+	t.Helper()
+	return func(name string) (engine.Engine, *obs.Registry, error) {
+		reg := obs.NewRegistry()
+		opts := engine.Options{Metrics: reg}
+		if name == "gstore" || name == "neograph" {
+			opts.Dir = t.TempDir()
+		}
+		e, err := engine.Open(name, opts)
+		return e, reg, err
+	}
+}
+
+// TestTraceSweepAccountsWallTime is the acceptance property of the traced
+// sweep: every traced query carries spans, and the depth-0 spans partition
+// the reported wall time — their sum never exceeds it, and the residue
+// outside them stays within slack.
+func TestTraceSweepAccountsWallTime(t *testing.T) {
+	names := []string{"neograph", "gstore", "triplestore", "sonesdb"}
+	sweep, err := RunTraceSweep(traceOpen(t), names, 300, 2, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perEngine := map[string]int{}
+	for _, q := range sweep.Queries {
+		perEngine[q.Engine]++
+		if len(q.Spans) == 0 {
+			t.Errorf("%s %q: traced query has no spans", q.Engine, q.Query)
+			continue
+		}
+		if q.SpanSumNs > q.WallNs {
+			t.Errorf("%s %q: depth-0 spans sum to %d ns, more than the %d ns wall",
+				q.Engine, q.Query, q.SpanSumNs, q.WallNs)
+		}
+		if residue := time.Duration(q.WallNs - q.SpanSumNs); residue > traceSlack {
+			t.Errorf("%s %q: %v of wall time unaccounted for by depth-0 spans (slack %v)",
+				q.Engine, q.Query, residue, traceSlack)
+		}
+		// The engine dispatch span is always present and top-level.
+		found := false
+		for _, s := range q.Spans {
+			if s.Name == "query" && s.Depth == 0 {
+				found = true
+			}
+			if s.DurNs < 0 || s.StartNs < 0 {
+				t.Errorf("%s %q: negative span timing %+v", q.Engine, q.Query, s)
+			}
+		}
+		if !found {
+			t.Errorf("%s %q: no depth-0 \"query\" span in %+v", q.Engine, q.Query, q.Spans)
+		}
+		if !strings.Contains(q.Record, "trace=") || !strings.Contains(q.Record, "wall_ns=") {
+			t.Errorf("%s %q: malformed record %q", q.Engine, q.Query, q.Record)
+		}
+	}
+	for _, name := range names {
+		if perEngine[name] < 2 {
+			t.Errorf("%s: only %d traced queries, want at least 2", name, perEngine[name])
+		}
+	}
+}
+
+// TestTraceSweepAttributesStorageCounters checks the per-query metric
+// deltas: a disk-backed engine's query workload must charge storage-tier
+// reads to at least one of its traced queries.
+func TestTraceSweepAttributesStorageCounters(t *testing.T) {
+	sweep, err := RunTraceSweep(traceOpen(t), []string{"neograph"}, 300, 2, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	charged := false
+	for _, q := range sweep.Queries {
+		if q.Counters["kvgraph.node_reads"] > 0 || q.Counters["kvgraph.adj_scans"] > 0 {
+			charged = true
+		}
+	}
+	if !charged {
+		t.Error("no traced neograph query was charged any kvgraph reads")
+	}
+}
+
+// TestTraceSweepSkipsAPIOnlyEngines: engines without a query language
+// contribute no queries but do not fail the sweep.
+func TestTraceSweepSkipsAPIOnlyEngines(t *testing.T) {
+	open := func(name string) (engine.Engine, *obs.Registry, error) {
+		e, err := engine.Open(name, engine.Options{})
+		return e, nil, err
+	}
+	sweep, err := RunTraceSweep(open, []string{"filamentdb"}, 100, 2, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Queries) != 0 {
+		t.Fatalf("API-only engine produced queries: %+v", sweep.Queries)
+	}
+}
+
+// TestTraceSweepSlowLogAndJSON exercises the slow log (threshold zero
+// records everything) and the JSON/render surfaces.
+func TestTraceSweepSlowLogAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "slow.log")
+	slow, err := obs.OpenSlowLog(vfs.OSFS, logPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := RunTraceSweep(traceOpen(t), []string{"sonesdb"}, 200, 2, 7, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := slow.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := vfs.OSFS.OpenFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := vfs.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	lines := strings.Split(strings.TrimSpace(string(buf[:n])), "\n")
+	if len(lines) != len(sweep.Queries) {
+		t.Fatalf("slow log has %d lines for %d traced queries:\n%s", len(lines), len(sweep.Queries), buf[:n])
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "trace=") || !strings.Contains(line, "span=query@0:") {
+			t.Errorf("malformed slow-log line %q", line)
+		}
+	}
+
+	jsonPath := filepath.Join(dir, "trace.json")
+	if err := WriteTraceJSON(vfs.OSFS, jsonPath, sweep); err != nil {
+		t.Fatal(err)
+	}
+	jf, err := vfs.OSFS.OpenFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	jr, err := vfs.NewReader(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jbuf := make([]byte, 1<<18)
+	jn, _ := jr.Read(jbuf)
+	var decoded TraceSweep
+	if err := json.Unmarshal(jbuf[:jn], &decoded); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+	if len(decoded.Queries) != len(sweep.Queries) {
+		t.Fatalf("JSON round-trip lost queries: %d != %d", len(decoded.Queries), len(sweep.Queries))
+	}
+
+	var rendered bytes.Buffer
+	RenderTrace(&rendered, sweep)
+	for _, want := range []string{"trace sweep", "span", "wall", "account"} {
+		if !strings.Contains(rendered.String(), want) {
+			t.Errorf("rendered sweep missing %q:\n%s", want, rendered.String())
+		}
+	}
+}

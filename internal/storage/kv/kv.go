@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"gdbm/internal/cache"
+	"gdbm/internal/obs"
 	"gdbm/internal/storage/btree"
 	"gdbm/internal/storage/pager"
 	"gdbm/internal/storage/vfs"
@@ -140,6 +141,9 @@ type DiskOptions struct {
 	CacheBytes int64
 	// FS is the filesystem the page file lives on; nil means the real one.
 	FS vfs.FS
+	// Metrics, when non-nil, receives the pager's I/O counters (see
+	// pager.Options.Metrics).
+	Metrics *obs.Registry
 }
 
 // OpenDisk opens (or creates) a disk store in its own page file at path on
@@ -156,7 +160,7 @@ func OpenDiskFS(fsys vfs.FS, path string, poolPages int) (*Disk, error) {
 
 // OpenDiskWith is OpenDiskFS with the full option set.
 func OpenDiskWith(path string, o DiskOptions) (*Disk, error) {
-	pg, err := pager.Open(path, pager.Options{PoolPages: o.PoolPages, CacheBytes: o.CacheBytes, FS: o.FS})
+	pg, err := pager.Open(path, pager.Options{PoolPages: o.PoolPages, CacheBytes: o.CacheBytes, FS: o.FS, Metrics: o.Metrics})
 	if err != nil {
 		return nil, err
 	}

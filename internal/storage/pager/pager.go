@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"gdbm/internal/cache"
+	"gdbm/internal/obs"
 	"gdbm/internal/storage/vfs"
 )
 
@@ -77,6 +78,10 @@ type Pager struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+
+	// Instance-wide observability counters (nil-safe no-ops when the
+	// pager was opened without a registry).
+	mReads, mWrites, mSyncs, mSyncFailures *obs.Counter
 }
 
 // Options configures Open.
@@ -89,6 +94,10 @@ type Options struct {
 	// FS is the filesystem to open the page file on. Nil means the real
 	// filesystem.
 	FS vfs.FS
+	// Metrics, when non-nil, receives the pager's I/O counters:
+	// pager.page_reads, pager.page_writes, pager.syncs,
+	// pager.sync_failures.
+	Metrics *obs.Registry
 }
 
 // Open opens or creates a page file.
@@ -115,6 +124,11 @@ func Open(path string, opts Options) (*Pager, error) {
 		frames:       make(map[PageID]*frame, opts.PoolPages),
 		policy:       cache.NewRing[PageID](),
 		pendingEvict: map[PageID][]byte{},
+		// A nil registry yields nil counters, whose methods no-op.
+		mReads:        opts.Metrics.Counter("pager.page_reads"),
+		mWrites:       opts.Metrics.Counter("pager.page_writes"),
+		mSyncs:        opts.Metrics.Counter("pager.syncs"),
+		mSyncFailures: opts.Metrics.Counter("pager.sync_failures"),
 	}
 	size, err := f.Size()
 	if err != nil {
@@ -169,6 +183,7 @@ func (p *Pager) writeRaw(id PageID, payload []byte) error {
 	if _, err := p.f.WriteAt(page[:], int64(id)*PageSize); err != nil {
 		return fmt.Errorf("pager: write page %d: %w", id, err)
 	}
+	p.mWrites.Inc()
 	return nil
 }
 
@@ -177,6 +192,7 @@ func (p *Pager) readRaw(id PageID) ([]byte, error) {
 	if _, err := p.f.ReadAt(page[:], int64(id)*PageSize); err != nil {
 		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
 	}
+	p.mReads.Inc()
 	want := binary.BigEndian.Uint32(page[0:headerSize])
 	if crc32.ChecksumIEEE(page[headerSize:]) != want {
 		return nil, fmt.Errorf("page %d: %w", id, ErrChecksum)
@@ -372,9 +388,11 @@ func (p *Pager) flushLocked() error {
 		// Sticky: nothing is marked clean, so the next Flush rewrites
 		// every unsynced page and syncs again.
 		p.syncFailed = true
+		p.mSyncFailures.Inc()
 		return fmt.Errorf("pager: sync: %w", err)
 	}
 	p.syncFailed = false
+	p.mSyncs.Inc()
 	for _, fr := range written {
 		fr.dirty = false
 	}

@@ -19,6 +19,7 @@ import (
 	"io"
 	"sync"
 
+	"gdbm/internal/obs"
 	"gdbm/internal/storage/vfs"
 )
 
@@ -32,6 +33,19 @@ type Log struct {
 	size    int64
 	closed  bool
 	syncErr error // sticky: set on first failed sync, cleared only by reopen
+
+	// Observability counters; nil-safe no-ops until SetMetrics.
+	mAppends, mSyncs, mSyncFailures *obs.Counter
+}
+
+// SetMetrics routes the log's counters (wal.appends, wal.syncs,
+// wal.sync_failures) into r. Call before sharing the log.
+func (l *Log) SetMetrics(r *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.mAppends = r.Counter("wal.appends")
+	l.mSyncs = r.Counter("wal.syncs")
+	l.mSyncFailures = r.Counter("wal.sync_failures")
 }
 
 // Open opens or creates the log at path on the real filesystem.
@@ -71,6 +85,7 @@ func (l *Log) Append(payload []byte) (int64, error) {
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.size += int64(len(buf))
+	l.mAppends.Inc()
 	return off, nil
 }
 
@@ -92,8 +107,10 @@ func (l *Log) syncLocked() error {
 	}
 	if err := l.f.Sync(); err != nil {
 		l.syncErr = err
+		l.mSyncFailures.Inc()
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.mSyncs.Inc()
 	return nil
 }
 
