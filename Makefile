@@ -2,7 +2,7 @@ GO ?= go
 COVER_FLOOR ?= 45.0
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint race race-storage race-kernels race-obs bench cover fuzz-smoke ci
+.PHONY: build test vet lint race race-storage race-kernels race-obs bench cover fuzz-smoke serve-smoke bench-serve ci
 
 # Tier-1 verification: everything builds, every test passes.
 build:
@@ -15,7 +15,7 @@ vet:
 	$(GO) vet ./...
 
 # Static invariants: stock go vet plus the repo's own gdbvet suite
-# (vfsonly, syncerr, capdecl, lockdiscipline, obsctx) driven through
+# (vfsonly, syncerr, capdecl, lockdiscipline, obsctx, ctxflow) driven through
 # the -vettool protocol. See DESIGN.md "Static invariants".
 bin/gdbvet: FORCE
 	$(GO) build -o $@ ./cmd/gdbvet
@@ -75,4 +75,15 @@ fuzz-smoke:
 	$(GO) test ./internal/query/ -run '^$$' -fuzz FuzzParseQuery -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/format/ -run '^$$' -fuzz FuzzFormatRoundTrip -fuzztime $(FUZZTIME)
 
-ci: lint test race race-kernels race-obs cover fuzz-smoke
+# Overload drill: build the real gdbserver/gdbload binaries, burst at 2×
+# the configured capacity, and assert shed-not-crash plus a clean SIGTERM
+# drain. See DESIGN.md "Overload & degradation contract".
+serve-smoke:
+	$(GO) test ./cmd/gdbserver/ -run TestServeSmoke -count=1 -v
+
+# Closed-loop serve benchmark: in-process server over real TCP, open-loop
+# Poisson arrivals at 0.5×/1×/2× capacity, host-stamped JSON out.
+bench-serve:
+	$(GO) run ./cmd/gdbload -selfserve -engine neograph -capacity 100 -out BENCH_serve.json
+
+ci: lint test race race-kernels race-obs cover fuzz-smoke serve-smoke

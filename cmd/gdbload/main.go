@@ -1,0 +1,220 @@
+// Command gdbload drives gdbserver with an open-loop arrival process and
+// writes the serve benchmark (BENCH_serve.json): p50/p99 latency, goodput
+// and shed rate at several multiples of the server's configured capacity.
+//
+// Usage:
+//
+//	gdbload -addr http://127.0.0.1:8080 -engine neograph -capacity 200
+//	gdbload -selfserve -capacity 100 -out BENCH_serve.json
+//	gdbload -arrival gamma -cv 2 ...   # burstier-than-Poisson arrivals
+//
+// -selfserve starts an in-process server on a loopback port so the
+// benchmark is one command; the numbers still flow through real TCP.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	_ "gdbm" // register the engines
+
+	"gdbm/internal/gen"
+	"gdbm/internal/obs"
+	"gdbm/internal/server"
+	"gdbm/internal/server/loadgen"
+	"gdbm/internal/storage/vfs"
+)
+
+type loadConfig struct {
+	addr        string
+	selfserve   bool
+	engine      string
+	class       string
+	stmt        string
+	capacity    float64
+	multipliers string
+	duration    time.Duration
+	arrival     string
+	cv          float64
+	seed        int64
+	retries     int
+	retryBase   time.Duration
+	timeoutMS   int
+	out         string
+	seedNodes   int
+}
+
+func main() {
+	var cfg loadConfig
+	flag.StringVar(&cfg.addr, "addr", "", "server base URL (http://host:port); empty requires -selfserve")
+	flag.BoolVar(&cfg.selfserve, "selfserve", false, "start an in-process gdbserver on a loopback port")
+	flag.StringVar(&cfg.engine, "engine", "neograph", "engine to query")
+	flag.StringVar(&cfg.class, "class", "interactive", "SLO class: interactive or batch")
+	flag.StringVar(&cfg.stmt, "stmt", "", "statement to send (default: a cheap read in the engine's language)")
+	flag.Float64Var(&cfg.capacity, "capacity", 100, "capacity anchor in req/s; multipliers scale this")
+	flag.StringVar(&cfg.multipliers, "multipliers", "0.5,1,2", "comma-separated capacity multipliers")
+	flag.DurationVar(&cfg.duration, "duration", 3*time.Second, "arrival window per point")
+	flag.StringVar(&cfg.arrival, "arrival", "poisson", "arrival process: poisson or gamma")
+	flag.Float64Var(&cfg.cv, "cv", 1, "coefficient of variation for gamma arrivals")
+	flag.Int64Var(&cfg.seed, "seed", 42, "arrival and jitter seed")
+	flag.IntVar(&cfg.retries, "retries", 3, "max retries per request after a shed")
+	flag.DurationVar(&cfg.retryBase, "retry-base", 50*time.Millisecond, "exponential backoff base")
+	flag.IntVar(&cfg.timeoutMS, "timeout-ms", 0, "per-request deadline sent to the server (0 = class default)")
+	flag.StringVar(&cfg.out, "out", "", "write the sweep as JSON to this file (BENCH_serve.json)")
+	flag.IntVar(&cfg.seedNodes, "seed-nodes", 500, "with -selfserve: seed graph size")
+	flag.Parse()
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "gdbload:", err)
+		os.Exit(1)
+	}
+}
+
+// defaultStmt picks a cheap read per language so the default benchmark
+// load is admission-dominated, not kernel-dominated.
+func defaultStmt(lang string) string {
+	switch lang {
+	case "gql":
+		return `MATCH (a:N) RETURN count(*) AS n`
+	case "sparqlish":
+		return `SELECT ?x WHERE { ?x <type> "N" . } LIMIT 1`
+	default: // gsql and anything unknown
+		return "SELECT ORDER"
+	}
+}
+
+func run(cfg loadConfig) error {
+	target := cfg.addr
+	var shutdown func() error
+	if cfg.selfserve {
+		if cfg.addr != "" {
+			return fmt.Errorf("-addr and -selfserve are mutually exclusive")
+		}
+		var err error
+		target, shutdown, err = selfserve(cfg)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := shutdown(); err != nil {
+				fmt.Fprintln(os.Stderr, "gdbload: shutdown:", err)
+			}
+		}()
+	}
+	if target == "" {
+		return fmt.Errorf("need -addr or -selfserve")
+	}
+
+	var mults []float64
+	for _, s := range strings.Split(cfg.multipliers, ",") {
+		m, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || m <= 0 {
+			return fmt.Errorf("bad multiplier %q", s)
+		}
+		mults = append(mults, m)
+	}
+
+	lc := loadgen.Config{
+		Target:     target,
+		Engine:     cfg.engine,
+		Class:      cfg.class,
+		Duration:   cfg.duration,
+		Arrival:    cfg.arrival,
+		CV:         cfg.cv,
+		Seed:       cfg.seed,
+		MaxRetries: cfg.retries,
+		RetryBase:  cfg.retryBase,
+		TimeoutMS:  cfg.timeoutMS,
+	}
+	if cfg.stmt != "" {
+		stmt := cfg.stmt
+		lc.Stmt = func(int) string { return stmt }
+	} else {
+		stmt := defaultStmt(languageOf(cfg.engine))
+		lc.Stmt = func(int) string { return stmt }
+	}
+
+	sweep, err := loadgen.RunSweep(lc, cfg.capacity, mults)
+	if err != nil {
+		return err
+	}
+
+	for _, p := range sweep.Points {
+		fmt.Printf("x%-4g offered=%-5d goodput=%7.1f rps  shed=%5.1f%%  p50=%7.2fms  p99=%7.2fms  gaveup=%d\n",
+			p.Multiplier, p.Offered, p.GoodputRPS, 100*p.ShedRate, p.P50MS, p.P99MS, p.GaveUp)
+	}
+
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(sweep, "", "  ")
+		if err != nil {
+			return err
+		}
+		f, w, err := vfs.Create(vfs.OSFS, cfg.out)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", cfg.out)
+	}
+	return nil
+}
+
+// languageOf maps the bundled query-capable engines to their language for
+// the default statement; unknown engines fall back to gsql's cheap read
+// (the server answers 422 if the engine has no language at all).
+func languageOf(engineName string) string {
+	switch engineName {
+	case "neograph":
+		return "gql"
+	case "triplestore":
+		return "sparqlish"
+	}
+	return "gsql"
+}
+
+// selfserve starts an in-process server over real TCP and returns its base
+// URL and a drain-and-stop function.
+func selfserve(cfg loadConfig) (string, func() error, error) {
+	sc := server.Config{
+		Engines: []string{cfg.engine},
+		Metrics: obs.NewRegistry(),
+		Interactive: server.ClassConfig{
+			Rate: cfg.capacity, Burst: int(cfg.capacity / 4),
+			MaxInflight: 16, MaxQueue: 32, Deadline: 2 * time.Second,
+		},
+	}
+	if cfg.seedNodes > 0 {
+		sc.Seed = &gen.Spec{Kind: gen.RMAT, Nodes: cfg.seedNodes, EdgesPerNode: 4, Seed: cfg.seed}
+	}
+	srv, err := server.New(sc)
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	stop := func() error {
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end overload drill `make serve-smoke` runs:
+// build the real binaries, start gdbserver on a loopback port, drive a
+// short gdbload burst at 2× the configured capacity, and SIGTERM the
+// server. Pass criteria: the burst is shed (not crashed into), nothing
+// hard-fails, and the drain completes cleanly with exit status 0.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	dir := t.TempDir()
+	serverBin := filepath.Join(dir, "gdbserver")
+	loadBin := filepath.Join(dir, "gdbload")
+	for bin, pkg := range map[string]string{serverBin: "gdbm/cmd/gdbserver", loadBin: "gdbm/cmd/gdbload"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	const capacity = 50
+	srv := exec.Command(serverBin,
+		"-addr", "127.0.0.1:0",
+		"-engines", "neograph",
+		"-seed-nodes", "200",
+		"-rate", fmt.Sprint(capacity), "-burst", "10",
+		"-inflight", "8", "-queue", "8",
+	)
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	deadline := time.After(30 * time.Second)
+	linec := make(chan string, 1)
+	go func() {
+		if sc.Scan() {
+			linec <- sc.Text()
+		}
+		close(linec)
+	}()
+	select {
+	case line := <-linec:
+		m := addrRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unexpected first line: %q", line)
+		}
+		addr = m[1]
+	case <-deadline:
+		t.Fatal("server never announced its address")
+	}
+	// Keep draining server stdout so the pipe never blocks it, and keep
+	// the text for the drain assertions.
+	restc := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+			b.WriteByte('\n')
+		}
+		restc <- b.String()
+	}()
+
+	// 2× capacity burst through the real client.
+	outJSON := filepath.Join(dir, "smoke_serve.json")
+	load := exec.Command(loadBin,
+		"-addr", "http://"+addr,
+		"-engine", "neograph",
+		"-capacity", fmt.Sprint(capacity),
+		"-multipliers", "2",
+		"-duration", "1500ms",
+		"-retries", "2",
+		"-out", outJSON,
+	)
+	loadOut, err := load.CombinedOutput()
+	if err != nil {
+		t.Fatalf("gdbload: %v\n%s", err, loadOut)
+	}
+	var sweep struct {
+		Points []struct {
+			Offered      int `json:"offered"`
+			Completed    int `json:"completed"`
+			Failed       int `json:"failed"`
+			ShedAttempts int `json:"shed_attempts"`
+		} `json:"points"`
+	}
+	raw, err := os.ReadFile(outJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &sweep); err != nil {
+		t.Fatalf("parse %s: %v", outJSON, err)
+	}
+	if len(sweep.Points) != 1 {
+		t.Fatalf("points: %d", len(sweep.Points))
+	}
+	p := sweep.Points[0]
+	if p.ShedAttempts == 0 {
+		t.Errorf("2× burst was never shed (offered %d, completed %d); admission control did not engage", p.Offered, p.Completed)
+	}
+	if p.Failed != 0 {
+		t.Errorf("hard failures under overload: %d (shed-not-crash violated)\n%s", p.Failed, loadOut)
+	}
+	if p.Completed == 0 {
+		t.Error("no request completed at 2× load; server collapsed instead of shedding")
+	}
+
+	// Graceful drain on SIGTERM: clean exit, explicit drain markers.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- srv.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("server exit after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+	rest := <-restc
+	if !strings.Contains(rest, "drained cleanly") {
+		t.Errorf("missing clean-drain marker; server output:\n%s", rest)
+	}
+}

@@ -6,6 +6,7 @@
 //	capdecl         engines implement only their survey-profile capabilities
 //	lockdiscipline  no lock copies, no Lock without same-function Unlock
 //	obsctx          StartSpan end functions must be called, never discarded
+//	ctxflow         server/dispatch code must thread the request context into queries
 //
 // It runs two ways:
 //
@@ -35,6 +36,7 @@ import (
 
 	"gdbm/internal/analysis"
 	"gdbm/internal/analysis/capdecl"
+	"gdbm/internal/analysis/ctxflow"
 	"gdbm/internal/analysis/load"
 	"gdbm/internal/analysis/lockdiscipline"
 	"gdbm/internal/analysis/obsctx"
@@ -49,6 +51,7 @@ var analyzers = []*analysis.Analyzer{
 	capdecl.Analyzer,
 	lockdiscipline.Analyzer,
 	obsctx.Analyzer,
+	ctxflow.Analyzer,
 }
 
 func main() {

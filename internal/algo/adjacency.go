@@ -7,6 +7,8 @@
 package algo
 
 import (
+	"context"
+
 	"gdbm/internal/model"
 )
 
@@ -41,6 +43,16 @@ func EdgesAdjacent(g model.Graph, e1, e2 model.EdgeID) (bool, error) {
 // at most k hops following dir, excluding start itself. The result is in
 // BFS-discovery order.
 func Neighborhood(g model.Graph, start model.NodeID, k int, dir model.Direction) ([]model.NodeID, error) {
+	return NeighborhoodCtx(context.Background(), g, start, k, dir)
+}
+
+// NeighborhoodCtx is Neighborhood with cooperative cancellation: the level-
+// synchronous expansion checks ctx between levels and returns ctx.Err()
+// once the context is done, so server deadlines stop the walk mid-kernel.
+func NeighborhoodCtx(ctx context.Context, g model.Graph, start model.NodeID, k int, dir model.Direction) ([]model.NodeID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if _, err := g.Node(start); err != nil {
 		return nil, err
 	}
@@ -48,6 +60,9 @@ func Neighborhood(g model.Graph, start model.NodeID, k int, dir model.Direction)
 	frontier := []model.NodeID{start}
 	var out []model.NodeID
 	for depth := 0; depth < k && len(frontier) > 0; depth++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var next []model.NodeID
 		for _, id := range frontier {
 			err := g.Neighbors(id, dir, func(_ model.Edge, n model.Node) bool {
@@ -70,6 +85,16 @@ func Neighborhood(g model.Graph, start model.NodeID, k int, dir model.Direction)
 // BFS walks the graph from start in direction dir, calling visit with each
 // discovered node and its depth. Traversal stops when visit returns false.
 func BFS(g model.Graph, start model.NodeID, dir model.Direction, visit func(id model.NodeID, depth int) bool) error {
+	return BFSCtx(context.Background(), g, start, dir, visit)
+}
+
+// BFSCtx is BFS with cooperative cancellation: the walk checks ctx at every
+// level boundary and returns ctx.Err() once the context is done, so a
+// query whose deadline has passed stops burning CPU mid-traversal.
+func BFSCtx(ctx context.Context, g model.Graph, start model.NodeID, dir model.Direction, visit func(id model.NodeID, depth int) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if _, err := g.Node(start); err != nil {
 		return err
 	}
@@ -79,9 +104,16 @@ func BFS(g model.Graph, start model.NodeID, dir model.Direction, visit func(id m
 		depth int
 	}
 	queue := []item{{start, 0}}
+	depth := 0
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
+		if cur.depth > depth {
+			depth = cur.depth
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if !visit(cur.id, cur.depth) {
 			return nil
 		}

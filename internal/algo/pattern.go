@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 
 	"gdbm/internal/model"
@@ -98,12 +99,29 @@ func FindMatches(g model.Graph, p *Pattern, limit int) ([]Match, error) {
 	return FindMatchesSeeded(g, p, limit, nil)
 }
 
+// FindMatchesCtx is FindMatches with cooperative cancellation through the
+// backtracking search.
+func FindMatchesCtx(ctx context.Context, g model.Graph, p *Pattern, limit int) ([]Match, error) {
+	return FindMatchesSeededCtx(ctx, g, p, limit, nil)
+}
+
 // FindMatchesSeeded is FindMatches with the candidate set for the root
 // pattern node (the first node in match order, RootIndex) restricted to
 // seeds, tried in the given order. A nil seeds scans every node of g. The
 // parallel pattern kernel partitions a filtered candidate list across
 // workers and runs one seeded search per chunk.
 func FindMatchesSeeded(g model.Graph, p *Pattern, limit int, seeds []model.NodeID) ([]Match, error) {
+	return FindMatchesSeededCtx(context.Background(), g, p, limit, seeds)
+}
+
+// FindMatchesSeededCtx is FindMatchesSeeded with cooperative cancellation:
+// the seed-and-expand search checks ctx at every assignment step of the
+// backtracking recursion and returns ctx.Err() once the context is done,
+// so server deadlines interrupt even a combinatorially exploding match.
+func FindMatchesSeededCtx(ctx context.Context, g model.Graph, p *Pattern, limit int, seeds []model.NodeID) ([]Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(p.nodes) == 0 {
 		return nil, nil
 	}
@@ -147,6 +165,9 @@ func FindMatchesSeeded(g model.Graph, p *Pattern, limit int, seeds []model.NodeI
 
 	var rec func(step int) error
 	rec = func(step int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if limit > 0 && len(out) >= limit {
 			return nil
 		}

@@ -2,6 +2,7 @@ package algo
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -20,6 +21,12 @@ func (p Path) Len() int { return len(p.Edges) }
 
 // Reachable reports whether to can be reached from from following dir.
 func Reachable(g model.Graph, from, to model.NodeID, dir model.Direction) (bool, error) {
+	return ReachableCtx(context.Background(), g, from, to, dir)
+}
+
+// ReachableCtx is Reachable with cooperative cancellation through the
+// underlying BFS.
+func ReachableCtx(ctx context.Context, g model.Graph, from, to model.NodeID, dir model.Direction) (bool, error) {
 	if from == to {
 		if _, err := g.Node(from); err != nil {
 			return false, err
@@ -27,7 +34,7 @@ func Reachable(g model.Graph, from, to model.NodeID, dir model.Direction) (bool,
 		return true, nil
 	}
 	found := false
-	err := BFS(g, from, dir, func(id model.NodeID, _ int) bool {
+	err := BFSCtx(ctx, g, from, dir, func(id model.NodeID, _ int) bool {
 		if id == to {
 			found = true
 			return false
@@ -41,6 +48,16 @@ func Reachable(g model.Graph, from, to model.NodeID, dir model.Direction) (bool,
 // length edges, up to limit paths (0 = unlimited). Paths are simple: no node
 // repeats.
 func FixedLengthPaths(g model.Graph, from, to model.NodeID, length int, dir model.Direction, limit int) ([]Path, error) {
+	return FixedLengthPathsCtx(context.Background(), g, from, to, length, dir, limit)
+}
+
+// FixedLengthPathsCtx is FixedLengthPaths with cooperative cancellation:
+// the backtracking enumeration checks ctx at every expansion step and
+// returns ctx.Err() once the context is done.
+func FixedLengthPathsCtx(ctx context.Context, g model.Graph, from, to model.NodeID, length int, dir model.Direction, limit int) ([]Path, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if _, err := g.Node(from); err != nil {
 		return nil, err
 	}
@@ -52,6 +69,9 @@ func FixedLengthPaths(g model.Graph, from, to model.NodeID, length int, dir mode
 	cur := Path{Nodes: []model.NodeID{from}}
 	var dfs func(at model.NodeID, remaining int) error
 	dfs = func(at model.NodeID, remaining int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if limit > 0 && len(out) >= limit {
 			return nil
 		}
@@ -104,6 +124,16 @@ func FixedLengthPaths(g model.Graph, from, to model.NodeID, length int, dir mode
 // ShortestPath returns a minimum-hop path from from to to, or ErrNotFound if
 // none exists.
 func ShortestPath(g model.Graph, from, to model.NodeID, dir model.Direction) (Path, error) {
+	return ShortestPathCtx(context.Background(), g, from, to, dir)
+}
+
+// ShortestPathCtx is ShortestPath with cooperative cancellation: the BFS
+// expansion checks ctx as it dequeues and returns ctx.Err() once the
+// context is done.
+func ShortestPathCtx(ctx context.Context, g model.Graph, from, to model.NodeID, dir model.Direction) (Path, error) {
+	if err := ctx.Err(); err != nil {
+		return Path{}, err
+	}
 	if _, err := g.Node(from); err != nil {
 		return Path{}, err
 	}
@@ -116,6 +146,9 @@ func ShortestPath(g model.Graph, from, to model.NodeID, dir model.Direction) (Pa
 	parent := map[model.NodeID]parentHop{from: {}}
 	queue := []model.NodeID{from}
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return Path{}, err
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		var reached bool

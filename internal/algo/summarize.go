@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -54,7 +55,13 @@ func Degrees(g model.Graph, dir model.Direction) (DegreeStats, error) {
 // Distance returns the length of a shortest path between two nodes, or -1
 // and ErrNotFound if disconnected.
 func Distance(g model.Graph, a, b model.NodeID, dir model.Direction) (int, error) {
-	p, err := ShortestPath(g, a, b, dir)
+	return DistanceCtx(context.Background(), g, a, b, dir)
+}
+
+// DistanceCtx is Distance with cooperative cancellation through the
+// underlying shortest-path search.
+func DistanceCtx(ctx context.Context, g model.Graph, a, b model.NodeID, dir model.Direction) (int, error) {
+	p, err := ShortestPathCtx(ctx, g, a, b, dir)
 	if err != nil {
 		return -1, err
 	}
@@ -64,8 +71,12 @@ func Distance(g model.Graph, a, b model.NodeID, dir model.Direction) (int, error
 // Eccentricity returns the greatest distance from start to any reachable
 // node.
 func Eccentricity(g model.Graph, start model.NodeID, dir model.Direction) (int, error) {
+	return eccentricityCtx(context.Background(), g, start, dir)
+}
+
+func eccentricityCtx(ctx context.Context, g model.Graph, start model.NodeID, dir model.Direction) (int, error) {
 	max := 0
-	err := BFS(g, start, dir, func(_ model.NodeID, depth int) bool {
+	err := BFSCtx(ctx, g, start, dir, func(_ model.NodeID, depth int) bool {
 		if depth > max {
 			max = depth
 		}
@@ -77,10 +88,17 @@ func Eccentricity(g model.Graph, start model.NodeID, dir model.Direction) (int, 
 // Diameter returns the greatest distance between any two connected nodes
 // (the survey's definition), computed by BFS from every node. O(V·(V+E)).
 func Diameter(g model.Graph, dir model.Direction) (int, error) {
+	return DiameterCtx(context.Background(), g, dir)
+}
+
+// DiameterCtx is Diameter with cooperative cancellation: each per-node BFS
+// checks ctx through BFSCtx, so the O(V·(V+E)) sweep — the most expensive
+// summarization query — stops promptly once the context is done.
+func DiameterCtx(ctx context.Context, g model.Graph, dir model.Direction) (int, error) {
 	max := 0
 	var iterErr error
 	err := g.Nodes(func(n model.Node) bool {
-		ecc, err := Eccentricity(g, n.ID, dir)
+		ecc, err := eccentricityCtx(ctx, g, n.ID, dir)
 		if err != nil {
 			iterErr = err
 			return false

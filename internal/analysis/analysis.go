@@ -4,8 +4,8 @@
 //
 // The x/tools analysis framework is deliberately not used — the module is
 // dependency-free — so this package reimplements the minimal surface the
-// four invariant analyzers (vfsonly, syncerr, capdecl, lockdiscipline)
-// need on top of go/ast and go/types. Package load type-checks whole
+// invariant analyzers (vfsonly, syncerr, capdecl, lockdiscipline,
+// obsctx, ctxflow) need on top of go/ast and go/types. Package load type-checks whole
 // packages via `go list -export`; cmd/gdbvet drives the analyzers both
 // standalone and under `go vet -vettool`.
 //

@@ -1,0 +1,165 @@
+// Package ctxflow is the static half of the server's deadline contract:
+// a request's context must flow from the HTTP handler through the
+// dispatch layer into the query kernels unbroken. The dynamic half — the
+// cancellation regression tests in internal/algo and internal/query/plan
+// — proves a threaded context stops a running scan; this check proves
+// the dispatch code actually threads one.
+//
+// Two ways of severing the flow are convicted in server/dispatch scope:
+//
+//  1. Calling a context-threading query entry point (QueryContext,
+//     ExecCtx, RunCtx) with a fresh context.Background() or
+//     context.TODO() as the context argument. The call compiles and
+//     runs, but the client's deadline and disconnect no longer reach
+//     the kernel, so an abandoned request keeps burning an inflight
+//     slot until the query finishes on its own. Root contexts at
+//     non-query call sites (signal handling, shutdown budgets, outbound
+//     HTTP) are legitimate and not convicted.
+//
+//  2. Calling the context-free variant (Query, Exec, Run) on a value
+//     whose type also offers the context-threading sibling. The ctx-free
+//     surface exists for CLI tools and tests; dispatch code that has a
+//     request context must use the sibling.
+//
+// The check is name-based and flow-insensitive like the rest of the
+// suite: it does not chase a Background() stored in a variable first.
+// That hole is acceptable — the idiom the analyzer polices is the
+// inline one, and the cancellation tests catch the rest dynamically.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gdbm/internal/analysis"
+)
+
+// scope: the networked service and its dispatch layer — the only code
+// that holds a per-request context and can lose it. Kernels and CLI
+// tools legitimately start from Background.
+var scope = []string{
+	"gdbm/internal/server",
+	"gdbm/cmd/gdbserver",
+	"gdbm/cmd/gdbload",
+}
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "server/dispatch code must thread the request context into query entry points: " +
+		"no context.Background()/TODO() at a ctx-taking call, no ctx-free Query/Exec/Run " +
+		"where a context-threading sibling exists",
+	AppliesTo: func(pkgPath string) bool {
+		for _, s := range scope {
+			if analysis.PathIsUnder(pkgPath, s) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+// ctxSiblings maps a context-free query entry point to the
+// context-threading variant that dispatch code must prefer.
+var ctxSiblings = map[string]string{
+	"Query": "QueryContext",
+	"Exec":  "ExecCtx",
+	"Run":   "RunCtx",
+}
+
+// ctxEntryPoints is the set of context-threading query entry points
+// rule 1 guards; a root context anywhere else (WithTimeout, signal
+// handling, outbound requests) is legitimate.
+var ctxEntryPoints = map[string]bool{
+	"QueryContext": true,
+	"ExecCtx":      true,
+	"RunCtx":       true,
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// takesContextFirst reports whether sig's first parameter is
+// context.Context.
+func takesContextFirst(sig *types.Signature) bool {
+	return sig != nil && sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+}
+
+func run(pass *analysis.Pass) error {
+	// freshContext reports whether e is an inline context.Background() or
+	// context.TODO() call, returning which.
+	freshContext := func(e ast.Expr) (string, bool) {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return "", false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+			return "", false
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		pn, ok := pass.Info.Uses[pkg].(*types.PkgName)
+		if !ok || pn.Imported().Path() != "context" {
+			return "", false
+		}
+		return "context." + sel.Sel.Name + "()", true
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+
+			// Rule 1: a query entry point fed a fresh root context.
+			if sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature); ok &&
+				ctxEntryPoints[name] && takesContextFirst(sig) && len(call.Args) > 0 {
+				if src, fresh := freshContext(call.Args[0]); fresh {
+					pass.Reportf(call.Pos(),
+						"%s severs the request context at %s; the deadline and client disconnect no longer reach the kernel — thread the caller's ctx",
+						src, name)
+					return true
+				}
+			}
+
+			// Rule 2: the ctx-free variant used where the ctx sibling exists.
+			sibling, isPlain := ctxSiblings[name]
+			if !isPlain {
+				return true
+			}
+			selection, ok := pass.Info.Selections[sel]
+			if !ok || selection.Kind() != types.MethodVal {
+				return true
+			}
+			obj, _, _ := types.LookupFieldOrMethod(selection.Recv(), true, pass.Pkg, sibling)
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			if takesContextFirst(fn.Type().(*types.Signature)) {
+				pass.Reportf(call.Pos(),
+					"%s has a context-threading sibling %s; dispatch code must call it with the request context",
+					name, sibling)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// Package ctxsrv is a ctxflow fixture; analysistest presents it under a
+// virtual import path inside internal/server.
+package ctxsrv
+
+import "context"
+
+type result struct{}
+
+// eng mimics an engine with both query surfaces, like the real
+// ContextQuerier engines.
+type eng struct{}
+
+func (eng) Query(stmt string) (result, error) { return result{}, nil }
+func (eng) QueryContext(ctx context.Context, stmt string) (result, error) {
+	return result{}, nil
+}
+
+// lang mimics a query language with Exec/ExecCtx and Run/RunCtx pairs.
+type lang struct{}
+
+func (lang) Exec(stmt string) error                         { return nil }
+func (lang) ExecCtx(ctx context.Context, stmt string) error { return nil }
+func (lang) Run(q string) error                             { return nil }
+func (lang) RunCtx(ctx context.Context, q string) error     { return nil }
+
+// plain has only the ctx-free surface; calling it is not a conviction
+// because there is no sibling to prefer.
+type plain struct{}
+
+func (plain) Query(stmt string) (result, error) { return result{}, nil }
+
+// decoy has a Query/QueryContext pair whose "context" is not
+// context.Context; the sibling rule must not fire on it.
+type decoy struct{}
+
+func (decoy) Query(stmt string) error               { return nil }
+func (decoy) QueryContext(n int, stmt string) error { return nil }
+
+// Violations.
+
+func seversBackground(ctx context.Context, e eng) {
+	e.QueryContext(context.Background(), "q") // want `context\.Background\(\) severs the request context`
+}
+
+func seversTODO(ctx context.Context, e eng) {
+	e.QueryContext(context.TODO(), "q") // want `context\.TODO\(\) severs the request context`
+}
+
+func seversExec(ctx context.Context, l lang) {
+	l.ExecCtx(context.Background(), "q") // want `severs the request context at ExecCtx`
+}
+
+func seversRun(ctx context.Context, l lang) {
+	l.RunCtx(context.Background(), "q") // want `severs the request context at RunCtx`
+}
+
+func dropsCtx(ctx context.Context, e eng) {
+	e.Query("q") // want `Query has a context-threading sibling QueryContext`
+}
+
+func dropsExec(ctx context.Context, l lang) {
+	l.Exec("q") // want `Exec has a context-threading sibling ExecCtx`
+}
+
+func dropsRun(ctx context.Context, l lang) {
+	l.Run("q") // want `Run has a context-threading sibling RunCtx`
+}
+
+// Allowed.
+
+func threads(ctx context.Context, e eng, l lang) {
+	_, _ = e.QueryContext(ctx, "q")
+	_ = l.ExecCtx(ctx, "q")
+	_ = l.RunCtx(ctx, "q")
+}
+
+func derived(ctx context.Context, e eng) {
+	// Deriving a tighter deadline from the request context keeps the
+	// chain intact; only fresh roots are convicted.
+	c, cancel := context.WithTimeout(ctx, 0)
+	defer cancel()
+	_, _ = e.QueryContext(c, "q")
+}
+
+func rootElsewhere(e eng) {
+	// A root context at a non-query call site (shutdown budgets, signal
+	// handling) is legitimate; only the query entry points are guarded.
+	c, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	_, _ = e.QueryContext(c, "q")
+}
+
+func noSibling(p plain) {
+	// No QueryContext exists on plain; nothing to prefer.
+	_, _ = p.Query("q")
+}
+
+func wrongShapeSibling(d decoy) {
+	// decoy.QueryContext does not take context.Context; not a sibling.
+	_ = d.Query("q")
+}
+
+func sanctioned(e eng) {
+	_, _ = e.Query("q") //gdbvet:allow(ctxflow): fixture demonstrating the suppression comment
+}

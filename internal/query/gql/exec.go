@@ -64,12 +64,12 @@ func ExecCtx(ctx context.Context, input string, m Mutator) (*plan.Result, error)
 		return nil, err
 	}
 	defer tr.StartSpan("exec")()
-	return execParsed(st, m)
+	return execParsed(ctx, st, m)
 }
 
-func execParsed(st *Statement, m Mutator) (*plan.Result, error) {
+func execParsed(ctx context.Context, st *Statement, m Mutator) (*plan.Result, error) {
 	if st.ReadOnly() {
-		return runRead(st, m)
+		return runRead(st, plan.WithCancel(ctx, m))
 	}
 
 	// Materialize binding rows first so mutation does not race iteration.
@@ -84,7 +84,7 @@ func execParsed(st *Statement, m Mutator) (*plan.Result, error) {
 			return nil, err
 		}
 		rows = nil
-		if err := op.Run(m, func(r query.Row) error {
+		if err := op.Run(plan.WithCancel(ctx, m), func(r query.Row) error {
 			rows = append(rows, r)
 			return nil
 		}); err != nil {
@@ -94,6 +94,12 @@ func execParsed(st *Statement, m Mutator) (*plan.Result, error) {
 
 	var nodesCreated, edgesCreated, propsSet, deleted int
 	for _, row := range rows {
+		// Writes apply row-by-row, so a deadline can stop a large mutation
+		// between rows (already-applied writes stay applied, as documented
+		// in the overload contract).
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Creates: nodes first so edge endpoints resolve.
 		for _, cn := range st.CreateNodes {
 			id, err := m.AddNode(cn.Label, cn.Props)

@@ -84,7 +84,7 @@ func ExecCtx(ctx context.Context, input string, e Engine) (*Result, error) {
 	case "DELETE":
 		return execDelete(l, e)
 	case "SELECT":
-		return execSelect(l, e)
+		return execSelect(ctx, l, e)
 	}
 	return nil, fmt.Errorf("gsql: unknown statement %q", t.Text)
 }
@@ -405,17 +405,18 @@ func execDelete(l *query.Lexer, e Engine) (*Result, error) {
 
 // --- queries ---
 
-func execSelect(l *query.Lexer, e Engine) (*Result, error) {
+func execSelect(ctx context.Context, l *query.Lexer, e Engine) (*Result, error) {
 	l.Next() // SELECT
-	// Graph instructions.
+	// Graph instructions run the algo kernels with the request context, so a
+	// deadline interrupts the traversal rather than the response alone.
 	if l.AcceptIdent("PATH") {
-		return execSelectPath(l, e)
+		return execSelectPath(ctx, l, e)
 	}
 	if l.AcceptIdent("NEIGHBORS") {
-		return execSelectNeighbors(l, e)
+		return execSelectNeighbors(ctx, l, e)
 	}
 	if l.AcceptIdent("REACH") {
-		return execSelectReach(l, e)
+		return execSelectReach(ctx, l, e)
 	}
 	if l.AcceptIdent("ORDER") {
 		// SELECT ORDER — the number of vertices (a summarization function
@@ -429,14 +430,14 @@ func execSelect(l *query.Lexer, e Engine) (*Result, error) {
 		return execSelectDegree(l, e)
 	}
 	if l.AcceptIdent("DIAMETER") {
-		d, err := algo.Diameter(e, model.Both)
+		d, err := algo.DiameterCtx(ctx, e, model.Both)
 		if err != nil {
 			return nil, err
 		}
 		return one([]string{"diameter"}, model.Int(int64(d))), nil
 	}
 	if l.AcceptIdent("DISTANCE") {
-		return execSelectDistance(l, e)
+		return execSelectDistance(ctx, l, e)
 	}
 	// Tabular SELECT over one vertex type.
 	spec := plan.MatchSpec{Limit: -1}
@@ -588,7 +589,7 @@ func execSelect(l *query.Lexer, e Engine) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return plan.Collect(op, e, cols)
+	return plan.Collect(op, plan.WithCancel(ctx, e), cols)
 }
 
 // colOrRowProp resolves an ORDER BY key: first as an output column of the
@@ -636,7 +637,7 @@ func rewriteBareToRow(ex query.Expr) query.Expr {
 }
 
 // execSelectPath implements SELECT PATH FROM a TO b [MAXLEN n].
-func execSelectPath(l *query.Lexer, e Engine) (*Result, error) {
+func execSelectPath(ctx context.Context, l *query.Lexer, e Engine) (*Result, error) {
 	if err := l.ExpectIdent("FROM"); err != nil {
 		return nil, err
 	}
@@ -656,7 +657,7 @@ func execSelectPath(l *query.Lexer, e Engine) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		paths, err := algo.FixedLengthPaths(e, model.NodeID(from), model.NodeID(to), int(n), model.Out, 100)
+		paths, err := algo.FixedLengthPathsCtx(ctx, e, model.NodeID(from), model.NodeID(to), int(n), model.Out, 100)
 		if err != nil {
 			return nil, err
 		}
@@ -666,7 +667,7 @@ func execSelectPath(l *query.Lexer, e Engine) (*Result, error) {
 		}
 		return res, nil
 	}
-	p, err := algo.ShortestPath(e, model.NodeID(from), model.NodeID(to), model.Out)
+	p, err := algo.ShortestPathCtx(ctx, e, model.NodeID(from), model.NodeID(to), model.Out)
 	if err != nil {
 		return nil, err
 	}
@@ -682,7 +683,7 @@ func pathString(p algo.Path) string {
 }
 
 // execSelectNeighbors implements SELECT NEIGHBORS OF id [DEPTH k].
-func execSelectNeighbors(l *query.Lexer, e Engine) (*Result, error) {
+func execSelectNeighbors(ctx context.Context, l *query.Lexer, e Engine) (*Result, error) {
 	if err := l.ExpectIdent("OF"); err != nil {
 		return nil, err
 	}
@@ -698,7 +699,7 @@ func execSelectNeighbors(l *query.Lexer, e Engine) (*Result, error) {
 		}
 		depth = int(n)
 	}
-	ids, err := algo.Neighborhood(e, model.NodeID(id), depth, model.Both)
+	ids, err := algo.NeighborhoodCtx(ctx, e, model.NodeID(id), depth, model.Both)
 	if err != nil {
 		return nil, err
 	}
@@ -733,7 +734,7 @@ func execSelectDegree(l *query.Lexer, e Engine) (*Result, error) {
 
 // execSelectDistance implements SELECT DISTANCE FROM a TO b — the length of
 // a shortest path (Section IV.4's "distance between nodes").
-func execSelectDistance(l *query.Lexer, e Engine) (*Result, error) {
+func execSelectDistance(ctx context.Context, l *query.Lexer, e Engine) (*Result, error) {
 	if err := l.ExpectIdent("FROM"); err != nil {
 		return nil, err
 	}
@@ -748,7 +749,7 @@ func execSelectDistance(l *query.Lexer, e Engine) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, err := algo.Distance(e, model.NodeID(from), model.NodeID(to), model.Both)
+	d, err := algo.DistanceCtx(ctx, e, model.NodeID(from), model.NodeID(to), model.Both)
 	if err != nil {
 		return nil, err
 	}
@@ -756,7 +757,7 @@ func execSelectDistance(l *query.Lexer, e Engine) (*Result, error) {
 }
 
 // execSelectReach implements SELECT REACH FROM a TO b.
-func execSelectReach(l *query.Lexer, e Engine) (*Result, error) {
+func execSelectReach(ctx context.Context, l *query.Lexer, e Engine) (*Result, error) {
 	if err := l.ExpectIdent("FROM"); err != nil {
 		return nil, err
 	}
@@ -771,7 +772,7 @@ func execSelectReach(l *query.Lexer, e Engine) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ok, err := algo.Reachable(e, model.NodeID(from), model.NodeID(to), model.Out)
+	ok, err := algo.ReachableCtx(ctx, e, model.NodeID(from), model.NodeID(to), model.Out)
 	if err != nil {
 		return nil, err
 	}

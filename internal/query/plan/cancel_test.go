@@ -1,0 +1,98 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"gdbm/internal/memgraph"
+	"gdbm/internal/model"
+)
+
+func cancelTestSource(t *testing.T, n int) Source {
+	t.Helper()
+	g := memgraph.New()
+	for i := 0; i < n; i++ {
+		if _, err := g.AddNode("N", model.Props("i", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return UnindexedSource{g}
+}
+
+// TestWithCancelIdentity: a context that can never be cancelled must not pay
+// for wrapping — WithCancel returns the source unchanged.
+func TestWithCancelIdentity(t *testing.T) {
+	src := cancelTestSource(t, 1)
+	if got := WithCancel(context.Background(), src); got != src {
+		t.Fatalf("WithCancel(Background) wrapped the source: %T", got)
+	}
+}
+
+// TestWithCancelStopsScan: a cancelled context aborts a full node scan within
+// one check stride and surfaces context.Canceled, not a silent short result.
+func TestWithCancelStopsScan(t *testing.T) {
+	src := cancelTestSource(t, 10*cancelStride)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	wrapped := WithCancel(ctx, src)
+
+	seen := 0
+	err := wrapped.Nodes(func(model.Node) bool {
+		seen++
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Nodes under cancelled ctx: got %v, want context.Canceled", err)
+	}
+	if seen > cancelStride {
+		t.Fatalf("scan delivered %d rows after cancellation (stride %d)", seen, cancelStride)
+	}
+}
+
+// TestWithCancelMidScan cancels from inside the callback; the scan must stop
+// within a stride and report the context error.
+func TestWithCancelMidScan(t *testing.T) {
+	src := cancelTestSource(t, 10*cancelStride)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	wrapped := WithCancel(ctx, src)
+
+	seen := 0
+	err := wrapped.Nodes(func(model.Node) bool {
+		seen++
+		if seen == 2 {
+			cancel()
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Nodes after mid-scan cancel: got %v, want context.Canceled", err)
+	}
+	if seen > 2+cancelStride {
+		t.Fatalf("scan delivered %d rows after cancellation (stride %d)", seen, cancelStride)
+	}
+}
+
+// TestWithCancelPassesResults: an uncancelled wrapped source answers exactly
+// like the bare one.
+func TestWithCancelPassesResults(t *testing.T) {
+	src := cancelTestSource(t, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	wrapped := WithCancel(ctx, src)
+
+	seen := 0
+	if err := wrapped.Nodes(func(model.Node) bool { seen++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 100 {
+		t.Fatalf("scan saw %d nodes, want 100", seen)
+	}
+	if wrapped.Order() != 100 || wrapped.Size() != 0 {
+		t.Fatalf("Order/Size: %d/%d", wrapped.Order(), wrapped.Size())
+	}
+	if _, err := wrapped.Node(1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -364,5 +364,5 @@ func RunCtx(ctx context.Context, input string, src plan.Source) (*plan.Result, e
 	if err != nil {
 		return nil, err
 	}
-	return plan.Collect(op, src, q.Vars)
+	return plan.Collect(op, plan.WithCancel(ctx, src), q.Vars)
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"runtime"
 	"time"
 
 	"gdbm/internal/algo"
@@ -30,13 +29,12 @@ type ParallelResult struct {
 // kernels cannot beat the sequential baseline, and the JSON must say so
 // rather than pretend.
 type ParallelSweep struct {
-	Nodes      int              `json:"nodes"`
-	Degree     int              `json:"degree"`
-	Seed       int64            `json:"seed"`
-	GoMaxProcs int              `json:"gomaxprocs"`
-	NumCPU     int              `json:"numcpu"`
-	Note       string           `json:"note"`
-	Results    []ParallelResult `json:"results"`
+	Nodes  int   `json:"nodes"`
+	Degree int   `json:"degree"`
+	Seed   int64 `json:"seed"`
+	Stamp
+	Note    string           `json:"note"`
+	Results []ParallelResult `json:"results"`
 }
 
 type memSink struct{ g *memgraph.Graph }
@@ -129,11 +127,10 @@ func RunParallelSweep(nodes, degree int, seed int64, workerCounts []int) (*Paral
 	}
 
 	sweep := &ParallelSweep{
-		Nodes:      nodes,
-		Degree:     degree,
-		Seed:       seed,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
+		Nodes:  nodes,
+		Degree: degree,
+		Seed:   seed,
+		Stamp:  NewStamp(),
 		Note: "speedup is parallel vs sequential wall time on this host; " +
 			"with GOMAXPROCS=1 the parallel kernels pay coordination overhead " +
 			"and cannot exceed 1.0 — rerun on a multi-core host for scaling",

@@ -1,0 +1,36 @@
+package report
+
+import (
+	"os"
+	"runtime"
+)
+
+// Stamp records the execution environment of a benchmark run. Every BENCH
+// JSON embeds one, so numbers from different hosts are never compared as if
+// they came from the same machine — the honesty rule the parallel sweep
+// started (a single-core container cannot show parallel speedup, a loaded
+// laptop cannot show stable p99s) applied uniformly.
+type Stamp struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"goversion"`
+	Host       string `json:"host"`
+}
+
+// NewStamp captures the current environment.
+func NewStamp() Stamp {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown"
+	}
+	return Stamp{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		Host:       host,
+	}
+}

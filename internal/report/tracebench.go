@@ -42,9 +42,10 @@ type TraceQuery struct {
 
 // TraceSweep is the full traced-query report across engines.
 type TraceSweep struct {
-	Nodes   int          `json:"nodes"`
-	Degree  int          `json:"degree"`
-	Seed    int64        `json:"seed"`
+	Nodes  int   `json:"nodes"`
+	Degree int   `json:"degree"`
+	Seed   int64 `json:"seed"`
+	Stamp
 	Note    string       `json:"note"`
 	Queries []TraceQuery `json:"queries"`
 }
@@ -91,6 +92,7 @@ func RunTraceSweep(open func(name string) (engine.Engine, *obs.Registry, error),
 		Nodes:  nodes,
 		Degree: degree,
 		Seed:   seed,
+		Stamp:  NewStamp(),
 		Note: "span_sum_ns sums the depth-0 spans, which partition the traced wall " +
 			"time; counters are per-query deltas of the engine's metrics registry " +
 			"plus the trace's own counters (worker-pool queue wait)",

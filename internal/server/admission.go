@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"gdbm/internal/obs"
+)
+
+// Class names an SLO class. Interactive requests are latency-sensitive and
+// get small queues and tight deadlines; batch requests tolerate queueing in
+// exchange for throughput.
+type Class string
+
+const (
+	Interactive Class = "interactive"
+	Batch       Class = "batch"
+)
+
+// ParseClass maps a request's class field to a Class, defaulting to
+// Interactive for the empty string and rejecting unknown names.
+func ParseClass(s string) (Class, bool) {
+	switch s {
+	case "", string(Interactive):
+		return Interactive, true
+	case string(Batch):
+		return Batch, true
+	}
+	return "", false
+}
+
+// ClassConfig sizes one class's admission path.
+type ClassConfig struct {
+	// Rate is the sustained admission rate in requests/second.
+	Rate float64
+	// Burst is the token-bucket depth: how far above Rate a short spike
+	// may go before shedding starts.
+	Burst int
+	// MaxInflight bounds concurrently executing requests.
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an execution slot.
+	MaxQueue int
+	// Deadline caps per-request execution time; requests may ask for less
+	// but never more. Zero means no cap.
+	Deadline time.Duration
+}
+
+// Shed is a rejection verdict: why a request was not admitted and how long
+// the client should wait before retrying.
+type Shed struct {
+	// Reason is "rate" (token bucket empty) or "queue" (waiting room full).
+	Reason string
+	// RetryAfter is the server's backoff hint.
+	RetryAfter time.Duration
+}
+
+// admission is one class's gate chain plus its metrics. Metrics ride the
+// shared obs.Registry under server.<class>.*.
+type admission struct {
+	class  Class
+	cfg    ClassConfig
+	bucket *Bucket
+	gate   *Gate
+	now    func() time.Time
+
+	offered   *obs.Counter
+	admitted  *obs.Counter
+	shedRate  *obs.Counter
+	shedQueue *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	timeouts  *obs.Counter
+	inflight  *obs.Gauge
+	queued    *obs.Gauge
+	latency   *obs.Histogram
+}
+
+// queueRetryAfter is the Retry-After hint for queue-full sheds; the queue
+// drains at execution speed, not at a token rate, so the hint is a fixed
+// short backoff rather than a bucket computation.
+const queueRetryAfter = 250 * time.Millisecond
+
+func newAdmission(class Class, cfg ClassConfig, m *obs.Registry, now func() time.Time) *admission {
+	p := "server." + string(class) + "."
+	return &admission{
+		class:     class,
+		cfg:       cfg,
+		bucket:    NewBucket(cfg.Rate, cfg.Burst),
+		gate:      NewGate(cfg.MaxInflight, cfg.MaxQueue),
+		now:       now,
+		offered:   m.Counter(p + "offered"),
+		admitted:  m.Counter(p + "admitted"),
+		shedRate:  m.Counter(p + "shed_rate"),
+		shedQueue: m.Counter(p + "shed_queue"),
+		completed: m.Counter(p + "completed"),
+		failed:    m.Counter(p + "failed"),
+		timeouts:  m.Counter(p + "timeout"),
+		inflight:  m.Gauge(p + "inflight"),
+		queued:    m.Gauge(p + "queued"),
+		latency:   m.Histogram(p + "latency_ns"),
+	}
+}
+
+// Admit runs the admission chain for one request: token bucket first (cheap,
+// sheds sustained overload), then the bounded gate (sheds concurrency
+// overload). On admit it returns a non-nil done function the caller must
+// call exactly once with the request outcome. On shed it returns a verdict.
+// err is non-nil only when ctx aborted while queued.
+func (a *admission) Admit(ctx context.Context) (done func(outcome string), shed *Shed, err error) {
+	a.offered.Inc()
+	if ok, retry := a.bucket.Take(a.now()); !ok {
+		a.shedRate.Inc()
+		return nil, &Shed{Reason: "rate", RetryAfter: retry}, nil
+	}
+	a.queued.Set(int64(a.gate.Queued() + 1))
+	release, ok, err := a.gate.Enter(ctx)
+	a.queued.Set(int64(a.gate.Queued()))
+	if err != nil {
+		a.failed.Inc()
+		return nil, nil, err
+	}
+	if !ok {
+		a.shedQueue.Inc()
+		return nil, &Shed{Reason: "queue", RetryAfter: queueRetryAfter}, nil
+	}
+	a.admitted.Inc()
+	a.inflight.Set(int64(a.gate.Inflight()))
+	start := a.now()
+	return func(outcome string) {
+		release()
+		a.inflight.Set(int64(a.gate.Inflight()))
+		a.latency.Observe(int64(a.now().Sub(start)))
+		switch outcome {
+		case "ok":
+			a.completed.Inc()
+		case "timeout":
+			a.timeouts.Inc()
+		default:
+			a.failed.Inc()
+		}
+	}, nil, nil
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gdbm/internal/obs"
+)
+
+// TestAdmissionClassIsolation: exhausting one class's bucket and gate must
+// not shed the other class — each class owns its bucket, gate and metrics.
+func TestAdmissionClassIsolation(t *testing.T) {
+	c := newClock()
+	m := obs.NewRegistry()
+	inter := newAdmission(Interactive, ClassConfig{Rate: 1, Burst: 1, MaxInflight: 1, MaxQueue: 0}, m, c.Now)
+	batch := newAdmission(Batch, ClassConfig{Rate: 100, Burst: 10, MaxInflight: 4, MaxQueue: 4}, m, c.Now)
+
+	// Exhaust interactive: one admit (hold the slot), then rate-shed.
+	done1, shed, err := inter.Admit(context.Background())
+	if err != nil || shed != nil || done1 == nil {
+		t.Fatalf("first interactive admit: done=%v shed=%v err=%v", done1 != nil, shed, err)
+	}
+	_, shed, _ = inter.Admit(context.Background())
+	if shed == nil || shed.Reason != "rate" {
+		t.Fatalf("second interactive admit: want rate shed, got %+v", shed)
+	}
+
+	// Batch still admits freely.
+	for i := 0; i < 4; i++ {
+		doneB, shedB, errB := batch.Admit(context.Background())
+		if doneB == nil || shedB != nil || errB != nil {
+			t.Fatalf("batch admit %d alongside starved interactive: shed=%v err=%v", i, shedB, errB)
+		}
+		doneB("ok")
+	}
+	done1("ok")
+
+	counters := m.Counters()
+	if got := counters["server.interactive.shed_rate"]; got != 1 {
+		t.Errorf("interactive shed_rate counter: %d, want 1", got)
+	}
+	if got := counters["server.batch.shed_rate"] + counters["server.batch.shed_queue"]; got != 0 {
+		t.Errorf("batch sheds: %d, want 0", got)
+	}
+	if got := counters["server.batch.completed"]; got != 4 {
+		t.Errorf("batch completed: %d, want 4", got)
+	}
+}
+
+// TestAdmissionQueueShed: with the bucket generous and the gate full, the
+// shed reason is "queue" and carries a positive Retry-After.
+func TestAdmissionQueueShed(t *testing.T) {
+	c := newClock()
+	m := obs.NewRegistry()
+	a := newAdmission(Interactive, ClassConfig{Rate: 1000, Burst: 1000, MaxInflight: 1, MaxQueue: 0}, m, c.Now)
+
+	done, _, _ := a.Admit(context.Background())
+	if done == nil {
+		t.Fatal("first admit")
+	}
+	_, shed, err := a.Admit(context.Background())
+	if err != nil || shed == nil || shed.Reason != "queue" {
+		t.Fatalf("gate-full admit: shed=%+v err=%v, want queue shed", shed, err)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Fatalf("queue shed Retry-After: %v, want > 0", shed.RetryAfter)
+	}
+	done("ok")
+	if got := m.Counters()["server.interactive.shed_queue"]; got != 1 {
+		t.Errorf("shed_queue counter: %d, want 1", got)
+	}
+}
+
+// TestAdmissionRefillUnderFakeClock: rate sheds stop once the fake clock
+// advances far enough to refill the bucket.
+func TestAdmissionRefillUnderFakeClock(t *testing.T) {
+	c := newClock()
+	m := obs.NewRegistry()
+	a := newAdmission(Batch, ClassConfig{Rate: 10, Burst: 1, MaxInflight: 4, MaxQueue: 4}, m, c.Now)
+
+	done, _, _ := a.Admit(context.Background())
+	done("ok")
+	if _, shed, _ := a.Admit(context.Background()); shed == nil {
+		t.Fatal("drained bucket must shed")
+	}
+	c.Advance(100 * time.Millisecond) // one token at 10/s
+	done2, shed, err := a.Admit(context.Background())
+	if done2 == nil || shed != nil || err != nil {
+		t.Fatalf("admit after refill: shed=%v err=%v", shed, err)
+	}
+	done2("timeout")
+	counters := m.Counters()
+	if got := counters["server.batch.timeout"]; got != 1 {
+		t.Errorf("timeout counter: %d, want 1", got)
+	}
+	if got := counters["server.batch.admitted"]; got != 2 {
+		t.Errorf("admitted counter: %d, want 2", got)
+	}
+	if got := counters["server.batch.offered"]; got != 3 {
+		t.Errorf("offered counter: %d, want 3", got)
+	}
+}

@@ -1,0 +1,76 @@
+// Package server is the overload-safety substrate of the networked query
+// service: token-bucket admission per SLO class, a bounded concurrency gate
+// that rejects rather than queues without bound, request deadlines threaded
+// into the engines, and a graceful drain protocol. The design goal is the
+// overload contract of DESIGN.md: under any offered load the server sheds
+// explicitly (429 + Retry-After) instead of collapsing, and goodput at 2×
+// capacity stays within a constant factor of goodput at capacity.
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket: capacity burst, refilled at rate tokens/second.
+// A request takes one token; an empty bucket answers with the wait until a
+// token accrues, which becomes the Retry-After hint. The zero value is
+// unusable — use NewBucket.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// NewBucket returns a full bucket. rate must be positive; burst is clamped
+// to at least 1 so a fresh bucket always admits one request.
+func NewBucket(rate float64, burst int) *Bucket {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &Bucket{rate: rate, burst: b, tokens: b}
+}
+
+// Take attempts to remove one token at time now. It returns ok=true when a
+// token was available, otherwise ok=false and the duration after which one
+// token will have accrued (the Retry-After hint). now must be monotonically
+// non-decreasing per bucket; the clock is a parameter so tests drive it.
+func (b *Bucket) Take(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.last = now
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// Tokens reports the current token count after refilling to now, for tests
+// and statsz.
+func (b *Bucket) Tokens(now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		return b.tokens
+	}
+	t := b.tokens + now.Sub(b.last).Seconds()*b.rate
+	if t > b.burst {
+		t = b.burst
+	}
+	return t
+}

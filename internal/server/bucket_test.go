@@ -1,0 +1,99 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// clock is a fake time source tests advance by hand.
+type clock struct{ t time.Time }
+
+func newClock() *clock {
+	return &clock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *clock) Now() time.Time { return c.t }
+
+func (c *clock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBucketBurstThenShed(t *testing.T) {
+	c := newClock()
+	b := NewBucket(10, 5) // 10/s sustained, burst of 5
+
+	// The full burst admits back to back.
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.Take(c.Now()); !ok {
+			t.Fatalf("take %d of burst: shed", i)
+		}
+	}
+	// The sixth sheds, with a Retry-After of one token at 10/s = 100ms.
+	ok, retry := b.Take(c.Now())
+	if ok {
+		t.Fatal("take beyond burst: admitted")
+	}
+	if retry != 100*time.Millisecond {
+		t.Fatalf("retry after: got %v, want 100ms", retry)
+	}
+}
+
+func TestBucketRefill(t *testing.T) {
+	c := newClock()
+	b := NewBucket(10, 5)
+	for i := 0; i < 5; i++ {
+		b.Take(c.Now())
+	}
+	// 250ms accrues 2.5 tokens: two admits, then a shed wanting 50ms more.
+	c.Advance(250 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Take(c.Now()); !ok {
+			t.Fatalf("take %d after refill: shed", i)
+		}
+	}
+	ok, retry := b.Take(c.Now())
+	if ok {
+		t.Fatal("third take after 250ms refill: admitted")
+	}
+	if retry != 50*time.Millisecond {
+		t.Fatalf("retry after partial token: got %v, want 50ms", retry)
+	}
+}
+
+func TestBucketCapsAtBurst(t *testing.T) {
+	c := newClock()
+	b := NewBucket(10, 5)
+	// A long idle period must not bank more than the burst.
+	c.Advance(time.Hour)
+	if got := b.Tokens(c.Now()); got != 5 {
+		t.Fatalf("tokens after idle hour: %v, want 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.Take(c.Now()); !ok {
+			t.Fatalf("take %d: shed", i)
+		}
+	}
+	if ok, _ := b.Take(c.Now()); ok {
+		t.Fatal("burst cap not enforced")
+	}
+}
+
+// TestBucketNoStarvation: a steady arrival at exactly the sustained rate is
+// never shed once the bucket is in steady state, whatever the burst was.
+func TestBucketNoStarvation(t *testing.T) {
+	c := newClock()
+	b := NewBucket(10, 1)
+	b.Take(c.Now())
+	for i := 0; i < 100; i++ {
+		c.Advance(100 * time.Millisecond) // exactly one token
+		if ok, retry := b.Take(c.Now()); !ok {
+			t.Fatalf("arrival %d at sustained rate shed (retry %v)", i, retry)
+		}
+	}
+}
+
+func TestBucketMinimumBurst(t *testing.T) {
+	c := newClock()
+	b := NewBucket(10, 0) // clamped to burst 1
+	if ok, _ := b.Take(c.Now()); !ok {
+		t.Fatal("fresh bucket with clamped burst must admit one request")
+	}
+}

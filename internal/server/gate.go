@@ -1,0 +1,88 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// Gate bounds concurrent work: at most maxInflight requests execute and at
+// most maxQueue more wait for a slot. Requests beyond both bounds are
+// rejected immediately — the gate never grows a goroutine backlog, which is
+// the failure mode bounded queues exist to prevent. The zero value is
+// unusable — use NewGate.
+type Gate struct {
+	slots chan struct{} // capacity maxInflight; a held token = executing
+
+	mu       sync.Mutex
+	queued   int
+	maxQueue int
+}
+
+// NewGate returns a gate admitting maxInflight concurrent holders with a
+// waiting room of maxQueue. Both are clamped to at least 1 and 0.
+func NewGate(maxInflight, maxQueue int) *Gate {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Gate{
+		slots:    make(chan struct{}, maxInflight),
+		maxQueue: maxQueue,
+	}
+}
+
+// tryQueue reserves a waiting-room place; it reports false when the room is
+// full.
+func (g *Gate) tryQueue() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.queued >= g.maxQueue {
+		return false
+	}
+	g.queued++
+	return true
+}
+
+// unqueue gives back a waiting-room place.
+func (g *Gate) unqueue() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.queued--
+}
+
+// Enter claims an execution slot. The fast path takes a free slot without
+// queueing. Otherwise the caller waits in the bounded queue until a slot
+// frees or ctx is done; a full queue rejects immediately. On ok=true the
+// caller must call the returned release exactly once. err is non-nil only
+// for a context abort while queued.
+func (g *Gate) Enter(ctx context.Context) (release func(), ok bool, err error) {
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, true, nil
+	default:
+	}
+	if !g.tryQueue() {
+		return nil, false, nil
+	}
+	defer g.unqueue()
+	select {
+	case g.slots <- struct{}{}:
+		return g.release, true, nil
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+func (g *Gate) release() { <-g.slots }
+
+// Inflight reports the number of currently executing holders.
+func (g *Gate) Inflight() int { return len(g.slots) }
+
+// Queued reports the number of requests waiting for a slot.
+func (g *Gate) Queued() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queued
+}

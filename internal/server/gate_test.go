@@ -1,0 +1,149 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateBoundsInflight(t *testing.T) {
+	g := NewGate(2, 0)
+	r1, ok, _ := g.Enter(context.Background())
+	r2, ok2, _ := g.Enter(context.Background())
+	if !ok || !ok2 {
+		t.Fatal("two slots must admit two holders")
+	}
+	if g.Inflight() != 2 {
+		t.Fatalf("inflight: %d, want 2", g.Inflight())
+	}
+	// Third with no queue: immediate rejection, not a wait.
+	if _, ok, err := g.Enter(context.Background()); ok || err != nil {
+		t.Fatalf("over-capacity enter: ok=%v err=%v, want rejection", ok, err)
+	}
+	r1()
+	if r3, ok, _ := g.Enter(context.Background()); !ok {
+		t.Fatal("slot freed by release must admit")
+	} else {
+		r3()
+	}
+	r2()
+	if g.Inflight() != 0 {
+		t.Fatalf("inflight after releases: %d", g.Inflight())
+	}
+}
+
+func TestGateQueueAdmitsWhenSlotFrees(t *testing.T) {
+	g := NewGate(1, 1)
+	r1, ok, _ := g.Enter(context.Background())
+	if !ok {
+		t.Fatal("first enter")
+	}
+	entered := make(chan func(), 1)
+	go func() {
+		r, ok, err := g.Enter(context.Background())
+		if !ok || err != nil {
+			t.Errorf("queued enter: ok=%v err=%v", ok, err)
+		}
+		entered <- r
+	}()
+	// Wait until the goroutine is queued, then free the slot.
+	waitFor(t, func() bool { return g.Queued() == 1 })
+	r1()
+	select {
+	case r := <-entered:
+		r()
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued request never got the freed slot")
+	}
+}
+
+func TestGateQueueFullRejects(t *testing.T) {
+	g := NewGate(1, 1)
+	r1, _, _ := g.Enter(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if r, ok, err := g.Enter(context.Background()); ok && err == nil {
+			r()
+		} else {
+			t.Errorf("queued enter: ok=%v err=%v", ok, err)
+		}
+	}()
+	waitFor(t, func() bool { return g.Queued() == 1 })
+	// Queue is full: the next request must be rejected immediately.
+	start := time.Now()
+	_, ok, err := g.Enter(context.Background())
+	if ok || err != nil {
+		t.Fatalf("enter with full queue: ok=%v err=%v", ok, err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("full-queue rejection blocked instead of failing fast")
+	}
+	r1() // free the slot so the queued waiter completes
+	<-done
+}
+
+func TestGateQueuedContextAbort(t *testing.T) {
+	g := NewGate(1, 4)
+	r1, _, _ := g.Enter(context.Background())
+	defer r1()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, ok, err := g.Enter(ctx)
+		if ok {
+			t.Error("cancelled waiter admitted")
+		}
+		errc <- err
+	}()
+	waitFor(t, func() bool { return g.Queued() == 1 })
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued abort: %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter stuck in queue")
+	}
+	waitFor(t, func() bool { return g.Queued() == 0 })
+}
+
+// TestGateNoGoroutineGrowth floods an empty-queue gate from many goroutines
+// and checks rejections keep the queue at zero — the bounded-queue
+// invariant that prevents unbounded goroutine pileup.
+func TestGateNoGoroutineGrowth(t *testing.T) {
+	g := NewGate(2, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r, ok, _ := g.Enter(context.Background()); ok {
+				time.Sleep(time.Millisecond)
+				r()
+			}
+		}()
+	}
+	wg.Wait()
+	if q := g.Queued(); q != 0 {
+		t.Fatalf("queued after flood drained: %d", q)
+	}
+	if f := g.Inflight(); f != 0 {
+		t.Fatalf("inflight after flood drained: %d", f)
+	}
+}
+
+// waitFor polls cond with a deadline, failing the test on timeout.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"net"
+	"sync"
+)
+
+// LimitListener bounds accepted connections: Accept blocks once n
+// connections are open and resumes as they close. Together with the
+// per-class gates this caps the server's total goroutine count — HTTP
+// serving goroutines are bounded by the connection limit, query goroutines
+// by the gates. (The standard library's equivalent lives in golang.org/x/net;
+// this repo is stdlib-only, so the few lines are written out.)
+func LimitListener(l net.Listener, n int) net.Listener {
+	return &limitListener{Listener: l, sem: make(chan struct{}, n)}
+}
+
+type limitListener struct {
+	net.Listener
+	sem chan struct{}
+}
+
+func (l *limitListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	return &limitConn{Conn: c, release: func() { <-l.sem }}, nil
+}
+
+// limitConn gives the semaphore token back when the connection closes.
+// Close is idempotent per net.Conn convention, so the release is once-only.
+type limitConn struct {
+	net.Conn
+	release func()
+	once    sync.Once
+}
+
+func (c *limitConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(c.release)
+	return err
+}

@@ -1,0 +1,327 @@
+// Package loadgen is the closed-loop measurement half of the overload
+// story: an open-loop arrival process (Poisson or Gamma interarrivals, so
+// offered load does not slow down when the server does — the classic
+// coordinated-omission trap) driving the query API with per-request retry
+// and jittered exponential backoff. It reports goodput, shed rate and
+// latency quantiles, which BENCH_serve.json records at several multiples
+// of configured capacity.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"gdbm/internal/report"
+)
+
+// Config drives one load run.
+type Config struct {
+	// Target is the server base URL (http://host:port).
+	Target string
+	// Engine and Class route and classify the queries.
+	Engine string
+	Class  string
+	// Stmt produces the i-th statement; nil uses a default gsql read.
+	Stmt func(i int) string
+	// Rate is the offered arrival rate in requests/second.
+	Rate float64
+	// Duration bounds the arrival window; requests in flight at the end
+	// are awaited.
+	Duration time.Duration
+	// Arrival selects the interarrival distribution: "poisson" (default)
+	// or "gamma".
+	Arrival string
+	// CV is the coefficient of variation for gamma arrivals; 1 reduces to
+	// Poisson, >1 is burstier. Ignored for poisson.
+	CV float64
+	// Seed makes the arrival process and jitter deterministic.
+	Seed int64
+	// MaxRetries bounds retry attempts after the first try.
+	MaxRetries int
+	// RetryBase is the backoff base; attempt n sleeps
+	// max(server Retry-After, RetryBase·2ⁿ·jitter) with jitter in
+	// [0.5, 1.5).
+	RetryBase time.Duration
+	// TimeoutMS is the per-request deadline sent to the server.
+	TimeoutMS int
+	// Client is the HTTP client; nil uses a dedicated one.
+	Client *http.Client
+}
+
+// Result summarizes one run.
+type Result struct {
+	OfferedRPS   float64 `json:"offered_rps"`
+	Offered      int     `json:"offered"`
+	Completed    int     `json:"completed"`
+	GaveUp       int     `json:"gave_up"`
+	Failed       int     `json:"failed"`
+	ShedAttempts int     `json:"shed_attempts"`
+	Retries      int     `json:"retries"`
+	DurationSec  float64 `json:"duration_sec"`
+	GoodputRPS   float64 `json:"goodput_rps"`
+	ShedRate     float64 `json:"shed_rate"` // shed attempts / total attempts
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+}
+
+// SweepPoint is one capacity multiple of the serve benchmark.
+type SweepPoint struct {
+	Multiplier float64 `json:"multiplier"`
+	Result
+}
+
+// Sweep is the BENCH_serve.json payload.
+type Sweep struct {
+	report.Stamp
+	Engine      string       `json:"engine"`
+	Class       string       `json:"class"`
+	Arrival     string       `json:"arrival"`
+	CapacityRPS float64      `json:"capacity_rps"`
+	Note        string       `json:"note"`
+	Points      []SweepPoint `json:"points"`
+}
+
+// interarrival returns a generator of interarrival gaps with mean 1/rate.
+func interarrival(arrival string, rate, cv float64, rng *rand.Rand) (func() time.Duration, error) {
+	switch arrival {
+	case "", "poisson":
+		return func() time.Duration {
+			return time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		}, nil
+	case "gamma":
+		if cv <= 0 {
+			cv = 1
+		}
+		shape := 1 / (cv * cv)
+		scale := 1 / (rate * shape) // mean = shape·scale = 1/rate
+		return func() time.Duration {
+			return time.Duration(gamma(rng, shape) * scale * float64(time.Second))
+		}, nil
+	}
+	return nil, fmt.Errorf("loadgen: unknown arrival process %q", arrival)
+}
+
+// gamma samples Gamma(shape, 1) by Marsaglia–Tsang squeeze, boosting
+// shape < 1 through Gamma(shape+1)·U^(1/shape).
+func gamma(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// attemptOutcome classifies one HTTP attempt.
+type attemptOutcome struct {
+	shed       bool
+	retryAfter time.Duration
+	ok         bool
+	err        error
+}
+
+// Run executes one load run against cfg.Target and blocks until every
+// request resolved (success, gave-up, or hard failure).
+func Run(cfg Config) (*Result, error) {
+	if cfg.Rate <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: Rate and Duration must be positive")
+	}
+	stmt := cfg.Stmt
+	if stmt == nil {
+		stmt = func(int) string { return "SELECT ORDER" }
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gap, err := interarrival(cfg.Arrival, cfg.Rate, cfg.CV, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{OfferedRPS: cfg.Rate}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	record := func(d time.Duration, outcome string, sheds, retries int) {
+		mu.Lock()
+		defer mu.Unlock()
+		res.ShedAttempts += sheds
+		res.Retries += retries
+		switch outcome {
+		case "ok":
+			res.Completed++
+			latencies = append(latencies, d)
+		case "gaveup":
+			res.GaveUp++
+		default:
+			res.Failed++
+		}
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	// Open loop: arrivals fire on schedule regardless of outstanding work.
+	for now := time.Now(); now.Before(deadline); now = time.Now() {
+		i := res.Offered
+		res.Offered++
+		wg.Add(1)
+		seed := rng.Int63()
+		go func(i int, seed int64) {
+			defer wg.Done()
+			runOne(cfg, client, stmt(i), seed, record)
+		}(i, seed)
+		time.Sleep(gap())
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res.DurationSec = elapsed.Seconds()
+	res.GoodputRPS = float64(res.Completed) / elapsed.Seconds()
+	attempts := res.Offered + res.Retries
+	if attempts > 0 {
+		res.ShedRate = float64(res.ShedAttempts) / float64(attempts)
+	}
+	res.P50MS = quantileMS(latencies, 0.50)
+	res.P99MS = quantileMS(latencies, 0.99)
+	return res, nil
+}
+
+// runOne drives one logical request to resolution: try, honor Retry-After
+// with jittered exponential backoff on shed, give up after MaxRetries.
+// Latency is arrival→success, so queueing in retries is charged to the
+// request (no coordinated omission at the request level either).
+func runOne(cfg Config, client *http.Client, stmt string, seed int64, record func(time.Duration, string, int, int)) {
+	rng := rand.New(rand.NewSource(seed))
+	base := cfg.RetryBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	arrived := time.Now()
+	sheds, retries := 0, 0
+	for attempt := 0; ; attempt++ {
+		out := tryQuery(cfg, client, stmt)
+		if out.ok {
+			record(time.Since(arrived), "ok", sheds, retries)
+			return
+		}
+		if !out.shed {
+			record(0, "failed", sheds, retries)
+			return
+		}
+		sheds++
+		if attempt >= cfg.MaxRetries {
+			record(0, "gaveup", sheds, retries)
+			return
+		}
+		retries++
+		backoff := time.Duration(float64(base) * math.Pow(2, float64(attempt)) * (0.5 + rng.Float64()))
+		if out.retryAfter > backoff {
+			backoff = out.retryAfter
+		}
+		time.Sleep(backoff)
+	}
+}
+
+// tryQuery performs one HTTP attempt.
+func tryQuery(cfg Config, client *http.Client, stmt string) attemptOutcome {
+	body, _ := json.Marshal(map[string]any{
+		"stmt":       stmt,
+		"engine":     cfg.Engine,
+		"class":      cfg.Class,
+		"timeout_ms": cfg.TimeoutMS,
+	})
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost,
+		cfg.Target+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return attemptOutcome{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		// Transport errors (conn refused during drain, accept-queue
+		// pushback) are retryable sheds from the client's standpoint.
+		return attemptOutcome{shed: true, retryAfter: 0, err: err}
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return attemptOutcome{ok: true}
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		var e struct {
+			RetryAfterMS int64 `json:"retry_after_ms"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return attemptOutcome{shed: true, retryAfter: time.Duration(e.RetryAfterMS) * time.Millisecond}
+	default:
+		return attemptOutcome{err: fmt.Errorf("status %d", resp.StatusCode)}
+	}
+}
+
+// quantileMS returns the q-quantile of latencies in milliseconds (0 when
+// empty), by sorting a copy.
+func quantileMS(latencies []time.Duration, q float64) float64 {
+	if len(latencies) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), latencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return float64(s[idx]) / float64(time.Millisecond)
+}
+
+// RunSweep measures the serve benchmark: one Run per capacity multiplier.
+func RunSweep(cfg Config, capacity float64, multipliers []float64) (*Sweep, error) {
+	sw := &Sweep{
+		Stamp:       report.NewStamp(),
+		Engine:      cfg.Engine,
+		Class:       cfg.Class,
+		Arrival:     cfg.Arrival,
+		CapacityRPS: capacity,
+		Note: "open-loop arrivals; goodput counts completed requests only; " +
+			"shed_rate is shed attempts over all attempts including retries; " +
+			"latency is arrival to final success including retry backoff",
+	}
+	if sw.Arrival == "" {
+		sw.Arrival = "poisson"
+	}
+	for _, m := range multipliers {
+		c := cfg
+		c.Rate = capacity * m
+		r, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		sw.Points = append(sw.Points, SweepPoint{Multiplier: m, Result: *r})
+	}
+	return sw, nil
+}

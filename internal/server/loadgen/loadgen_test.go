@@ -1,0 +1,228 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestInterarrivalMean checks both arrival processes produce gaps whose
+// mean matches 1/rate — the open-loop property everything downstream
+// (offered load, shed rate) depends on.
+func TestInterarrivalMean(t *testing.T) {
+	const rate = 200.0
+	for _, tc := range []struct {
+		arrival string
+		cv      float64
+	}{
+		{"poisson", 0},
+		{"gamma", 0.5},
+		{"gamma", 1},
+		{"gamma", 2},
+	} {
+		rng := rand.New(rand.NewSource(7))
+		gap, err := interarrival(tc.arrival, rate, tc.cv, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", tc, err)
+		}
+		const n = 20000
+		var sum time.Duration
+		for i := 0; i < n; i++ {
+			g := gap()
+			if g < 0 {
+				t.Fatalf("%v: negative gap %v", tc, g)
+			}
+			sum += g
+		}
+		mean := sum.Seconds() / n
+		want := 1 / rate
+		if math.Abs(mean-want)/want > 0.05 {
+			t.Errorf("%s cv=%g: mean gap %.6fs, want %.6fs ±5%%", tc.arrival, tc.cv, mean, want)
+		}
+	}
+}
+
+// TestGammaVariance checks the gamma process actually delivers the
+// requested burstiness: CV of the gaps tracks the configured CV.
+func TestGammaVariance(t *testing.T) {
+	for _, cv := range []float64{0.5, 1, 2} {
+		rng := rand.New(rand.NewSource(11))
+		gap, err := interarrival("gamma", 100, cv, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 50000
+		xs := make([]float64, n)
+		var sum float64
+		for i := range xs {
+			xs[i] = gap().Seconds()
+			sum += xs[i]
+		}
+		mean := sum / n
+		var varsum float64
+		for _, x := range xs {
+			varsum += (x - mean) * (x - mean)
+		}
+		got := math.Sqrt(varsum/n) / mean
+		if math.Abs(got-cv)/cv > 0.1 {
+			t.Errorf("cv=%g: measured CV %.3f, want within 10%%", cv, got)
+		}
+	}
+}
+
+func TestInterarrivalRejectsUnknown(t *testing.T) {
+	if _, err := interarrival("uniform", 1, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("unknown arrival process must be rejected")
+	}
+}
+
+func TestQuantileMS(t *testing.T) {
+	if q := quantileMS(nil, 0.99); q != 0 {
+		t.Fatalf("empty quantile: %g", q)
+	}
+	// 1..100ms: p50 and p99 must land on the order statistics regardless
+	// of input order.
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(100-i) * time.Millisecond
+	}
+	if q := quantileMS(lat, 0.50); math.Abs(q-50) > 1.5 {
+		t.Errorf("p50 = %g, want ~50", q)
+	}
+	if q := quantileMS(lat, 0.99); math.Abs(q-99) > 1.5 {
+		t.Errorf("p99 = %g, want ~99", q)
+	}
+	// The input slice must not be reordered (callers keep using it).
+	if lat[0] != 100*time.Millisecond {
+		t.Error("quantileMS sorted the caller's slice")
+	}
+}
+
+// TestRunAgainstStub drives the full closed loop against a stub server
+// that sheds every third request once and hard-fails a marked statement,
+// checking the client-side accounting: sheds retried to success, hard
+// failures not retried, offered = completed + gaveup + failed.
+func TestRunAgainstStub(t *testing.T) {
+	var mu sync.Mutex
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var q struct {
+			Stmt string `json:"stmt"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&q)
+		if q.Stmt == "FAIL" {
+			http.Error(w, `{"error":"bad"}`, http.StatusUnprocessableEntity)
+			return
+		}
+		mu.Lock()
+		n := hits
+		hits++
+		mu.Unlock()
+		if n%3 == 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"retry_after_ms":5}`))
+			return
+		}
+		_, _ = w.Write([]byte(`{"cols":["n"]}`))
+	}))
+	defer ts.Close()
+
+	res, err := Run(Config{
+		Target:     ts.URL,
+		Engine:     "stub",
+		Stmt:       func(i int) string { return "OK" },
+		Rate:       200,
+		Duration:   300 * time.Millisecond,
+		Arrival:    "poisson",
+		Seed:       3,
+		MaxRetries: 4,
+		RetryBase:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 || res.Completed == 0 {
+		t.Fatalf("no traffic flowed: %+v", res)
+	}
+	if res.ShedAttempts == 0 || res.Retries == 0 {
+		t.Fatalf("the stub sheds every third hit; client saw none: %+v", res)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("no statement should hard-fail here: %+v", res)
+	}
+	if got := res.Completed + res.GaveUp + res.Failed; got != res.Offered {
+		t.Fatalf("accounting: completed+gaveup+failed = %d, offered = %d", got, res.Offered)
+	}
+	if res.GoodputRPS <= 0 || res.P50MS <= 0 {
+		t.Fatalf("goodput/latency not measured: %+v", res)
+	}
+
+	// A non-shed error resolves as failed, with no retries burned.
+	res, err = Run(Config{
+		Target:   ts.URL,
+		Stmt:     func(int) string { return "FAIL" },
+		Rate:     100,
+		Duration: 100 * time.Millisecond,
+		Arrival:  "poisson",
+		Seed:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != res.Offered || res.Completed != 0 {
+		t.Fatalf("hard failures must not complete or retry: %+v", res)
+	}
+}
+
+// TestRunSweepShape checks RunSweep stamps the host and scales the
+// offered rate per multiplier.
+func TestRunSweepShape(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+	sw, err := RunSweep(Config{
+		Target:   ts.URL,
+		Engine:   "stub",
+		Stmt:     func(int) string { return "OK" },
+		Duration: 100 * time.Millisecond,
+		Seed:     5,
+	}, 100, []float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.GoVersion == "" || sw.GoMaxProcs == 0 {
+		t.Fatalf("sweep is not host-stamped: %+v", sw.Stamp)
+	}
+	if sw.Arrival != "poisson" {
+		t.Fatalf("default arrival: %q", sw.Arrival)
+	}
+	if len(sw.Points) != 2 {
+		t.Fatalf("points: %d", len(sw.Points))
+	}
+	if sw.Points[0].OfferedRPS != 50 || sw.Points[1].OfferedRPS != 100 {
+		t.Fatalf("multipliers not applied: %+v %+v", sw.Points[0].OfferedRPS, sw.Points[1].OfferedRPS)
+	}
+	if sw.Points[0].Multiplier != 0.5 || sw.Points[1].Multiplier != 1 {
+		t.Fatalf("multiplier labels: %+v", sw.Points)
+	}
+}
+
+// TestRunValidation rejects nonsensical configs.
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Rate: 0, Duration: time.Second}); err == nil {
+		t.Error("zero rate must be rejected")
+	}
+	if _, err := Run(Config{Rate: 1, Duration: 0}); err == nil {
+		t.Error("zero duration must be rejected")
+	}
+	if _, err := Run(Config{Rate: 1, Duration: time.Second, Arrival: "bogus"}); err == nil {
+		t.Error("unknown arrival must be rejected")
+	}
+}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"gdbm/internal/engine"
+	"gdbm/internal/model"
+)
+
+// tenant is one engine instance plus the read/write lock serializing access
+// to it. Shared (per-engine-name) tenants live for the server's lifetime;
+// session tenants belong to one client and expire.
+type tenant struct {
+	name string
+	eng  engine.Engine
+	mu   sync.RWMutex
+}
+
+// exec runs fn holding the tenant lock: shared for read-only statements so
+// concurrent readers proceed in parallel, exclusive for writes.
+func (t *tenant) exec(readonly bool, fn func(engine.Engine) error) error {
+	if readonly {
+		t.mu.RLock()
+		defer t.mu.RUnlock()
+		return fn(t.eng)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fn(t.eng)
+}
+
+// readVerbs maps a query language to the statement keywords that leave the
+// graph unchanged (compare engine.ReadOnlyStmt). Unknown languages return
+// nil, so every statement takes the exclusive lock — safe by default.
+func readVerbs(lang string) []string {
+	switch lang {
+	case "gql":
+		return []string{"MATCH", "RETURN"}
+	case "gsql":
+		return []string{"SELECT"}
+	case "sparqlish":
+		return []string{"SELECT", "ASK"}
+	}
+	return nil
+}
+
+// readonlyStmt classifies stmt against the tenant engine's language.
+func readonlyStmt(eng engine.Engine, stmt string) bool {
+	q, ok := eng.(engine.Querier)
+	if !ok {
+		return false
+	}
+	verbs := readVerbs(q.LanguageName())
+	if verbs == nil {
+		return false
+	}
+	return engine.ReadOnlyStmt(stmt, verbs...)
+}
+
+// session is a private tenant with an expiry.
+type session struct {
+	tenant
+	lastUsed time.Time
+}
+
+// sessionStore owns per-client sessions: bounded in count, expired lazily
+// by TTL on every access, with no background goroutine (the server's
+// goroutine count stays a function of in-flight requests alone).
+type sessionStore struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	ttl      time.Duration
+	max      int
+	now      func() time.Time
+}
+
+func newSessionStore(ttl time.Duration, max int, now func() time.Time) *sessionStore {
+	if ttl <= 0 {
+		ttl = 10 * time.Minute
+	}
+	if max <= 0 {
+		max = 64
+	}
+	return &sessionStore{
+		sessions: map[string]*session{},
+		ttl:      ttl,
+		max:      max,
+		now:      now,
+	}
+}
+
+// newID returns a 16-byte random hex token.
+func newID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Create opens a session around eng. It sweeps expired sessions first and
+// rejects when the store is full even after the sweep.
+func (s *sessionStore) Create(name string, eng engine.Engine) (string, error) {
+	id, err := newID()
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepLocked()
+	if len(s.sessions) >= s.max {
+		return "", fmt.Errorf("session table full (%d): %w", s.max, errSessionsFull)
+	}
+	sess := &session{lastUsed: s.now()}
+	sess.name = name
+	sess.eng = eng
+	s.sessions[id] = sess
+	return id, nil
+}
+
+var errSessionsFull = fmt.Errorf("too many sessions")
+
+// Get looks up a live session and refreshes its expiry.
+func (s *sessionStore) Get(id string) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if ok && s.now().Sub(sess.lastUsed) > s.ttl {
+		delete(s.sessions, id)
+		ok = false
+	}
+	if !ok {
+		return nil, fmt.Errorf("session %q: %w", id, model.ErrNotFound)
+	}
+	sess.lastUsed = s.now()
+	return sess, nil
+}
+
+// Delete removes a session; it reports whether the id was live.
+func (s *sessionStore) Delete(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	return ok
+}
+
+// Len reports the number of live sessions (expired ones may linger until
+// the next sweep).
+func (s *sessionStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+func (s *sessionStore) sweepLocked() {
+	cutoff := s.now().Add(-s.ttl)
+	for id, sess := range s.sessions {
+		if sess.lastUsed.Before(cutoff) {
+			delete(s.sessions, id)
+		}
+	}
+}
