@@ -24,9 +24,19 @@ type Bucket struct {
 	last   time.Time
 }
 
-// NewBucket returns a full bucket. rate must be positive; burst is clamped
-// to at least 1 so a fresh bucket always admits one request.
+// MinRate is the floor NewBucket clamps rate to. A zero, negative or NaN
+// rate (reachable through the -rate flags) would never refill and make the
+// Retry-After computation divide by zero; the clamp keeps the bucket
+// well-defined — it still sheds essentially everything past the burst, but
+// with a finite retry hint.
+const MinRate = 1e-3
+
+// NewBucket returns a full bucket. rate is clamped to at least MinRate and
+// burst to at least 1, so a fresh bucket always admits one request.
 func NewBucket(rate float64, burst int) *Bucket {
+	if !(rate >= MinRate) { // also catches NaN
+		rate = MinRate
+	}
 	b := float64(burst)
 	if b < 1 {
 		b = 1

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -95,5 +96,31 @@ func TestBucketMinimumBurst(t *testing.T) {
 	b := NewBucket(10, 0) // clamped to burst 1
 	if ok, _ := b.Take(c.Now()); !ok {
 		t.Fatal("fresh bucket with clamped burst must admit one request")
+	}
+}
+
+// TestBucketClampsRate: zero, negative and NaN rates (reachable via the
+// -rate flags) are clamped to MinRate, so a drained bucket answers a
+// finite, positive Retry-After instead of Inf/overflow.
+func TestBucketClampsRate(t *testing.T) {
+	for _, rate := range []float64{0, -5, math.NaN()} {
+		c := newClock()
+		b := NewBucket(rate, 1)
+		if ok, _ := b.Take(c.Now()); !ok {
+			t.Fatalf("rate %v: fresh bucket must admit its burst", rate)
+		}
+		ok, retry := b.Take(c.Now())
+		if ok {
+			t.Fatalf("rate %v: drained bucket admitted", rate)
+		}
+		want := time.Duration(float64(time.Second) / MinRate)
+		if retry <= 0 || retry > want {
+			t.Fatalf("rate %v: retry %v, want in (0, %v]", rate, retry, want)
+		}
+		// The clamped bucket still refills.
+		c.Advance(retry)
+		if ok, _ := b.Take(c.Now()); !ok {
+			t.Fatalf("rate %v: bucket never refilled after clamp", rate)
+		}
 	}
 }

@@ -226,14 +226,36 @@ func writeShed(w http.ResponseWriter, code int, msg string, retryAfter time.Dura
 // load balancer to move on, short enough that a restarted server is found.
 const drainRetryAfter = 2 * time.Second
 
+// maxRequestBody caps request bodies. Statements are short; without a cap a
+// single huge JSON body buffers unboundedly in the decoder, undoing the
+// overload contract's memory bound.
+const maxRequestBody = 1 << 20
+
+// decodeBody decodes r's JSON body into v under the size cap, answering 413
+// on an oversized body and 400 on malformed JSON. It reports whether the
+// handler should proceed.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeShed(w, http.StatusServiceUnavailable, "server is draining", drainRetryAfter)
 		return
 	}
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if req.Stmt == "" {
@@ -357,8 +379,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req sessionCreateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if _, ok := s.tenants[req.Engine]; !ok {
@@ -372,12 +393,14 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.seedSpec != nil {
 		if err := seed(eng, *s.seedSpec); err != nil {
+			_ = eng.Close()
 			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 			return
 		}
 	}
 	id, err := s.sessions.Create(req.Engine, eng)
 	if err != nil {
+		_ = eng.Close()
 		if errors.Is(err, errSessionsFull) {
 			writeShed(w, http.StatusTooManyRequests, err.Error(), time.Second)
 			return

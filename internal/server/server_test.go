@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -223,6 +224,95 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition never became true")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBodyTooLarge413: a body over the server's cap answers 413 instead of
+// buffering without bound, on both decoding endpoints.
+func TestBodyTooLarge413(t *testing.T) {
+	_, _, ts := newTestServer(t, &stubEngine{}, relaxed, relaxed)
+	big, _ := json.Marshal(map[string]any{
+		"stmt":   string(bytes.Repeat([]byte{'x'}, 2<<20)),
+		"engine": "stub",
+	})
+	for _, path := range []string{"/v1/query", "/v1/session"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s with 2MiB body: status %d, want 413", path, resp.StatusCode)
+		}
+	}
+	// A normal-sized request still works afterwards.
+	if resp, _ := postQuery(t, ts.URL, map[string]any{"stmt": "x", "engine": "stub"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after oversized one: %d", resp.StatusCode)
+	}
+}
+
+// closeCounter wraps stubEngine to count Close calls.
+type closeCounter struct {
+	stubEngine
+	closed atomic.Int64
+}
+
+func (e *closeCounter) Close() error { e.closed.Add(1); return nil }
+
+// TestSessionDeleteClosesEngine: deleting a session over HTTP closes the
+// private engine that was opened for it.
+func TestSessionDeleteClosesEngine(t *testing.T) {
+	var opened []*closeCounter
+	var mu sync.Mutex
+	m := obs.NewRegistry()
+	srv, err := server.New(server.Config{
+		Engines: []string{"stub"},
+		Open: func(string) (engine.Engine, error) {
+			e := &closeCounter{}
+			mu.Lock()
+			opened = append(opened, e)
+			mu.Unlock()
+			return e, nil
+		},
+		Interactive: relaxed,
+		Batch:       relaxed,
+		Metrics:     m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	b, _ := json.Marshal(map[string]string{"engine": "stub"})
+	resp, err := http.Post(ts.URL+"/v1/session", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		Session string `json:"session"`
+	}
+	json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	if created.Session == "" {
+		t.Fatal("no session id")
+	}
+	// opened[0] is the shared tenant, opened[1] the session engine.
+	if len(opened) != 2 {
+		t.Fatalf("opened %d engines, want 2", len(opened))
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/"+created.Session, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if got := opened[1].closed.Load(); got != 1 {
+		t.Errorf("session engine closed %d times, want 1", got)
+	}
+	if got := opened[0].closed.Load(); got != 0 {
+		t.Errorf("shared engine closed %d times, want 0", got)
 	}
 }
 

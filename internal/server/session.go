@@ -9,6 +9,7 @@ import (
 
 	"gdbm/internal/engine"
 	"gdbm/internal/model"
+	"gdbm/internal/query/gql"
 )
 
 // tenant is one engine instance plus the read/write lock serializing access
@@ -33,32 +34,28 @@ func (t *tenant) exec(readonly bool, fn func(engine.Engine) error) error {
 	return fn(t.eng)
 }
 
-// readVerbs maps a query language to the statement keywords that leave the
-// graph unchanged (compare engine.ReadOnlyStmt). Unknown languages return
-// nil, so every statement takes the exclusive lock — safe by default.
-func readVerbs(lang string) []string {
-	switch lang {
-	case "gql":
-		return []string{"MATCH", "RETURN"}
-	case "gsql":
-		return []string{"SELECT"}
-	case "sparqlish":
-		return []string{"SELECT", "ASK"}
-	}
-	return nil
-}
-
-// readonlyStmt classifies stmt against the tenant engine's language.
+// readonlyStmt classifies stmt against the tenant engine's language so exec
+// can take the shared lock for pure reads. Writes, unknown languages and
+// unparseable statements all answer false — the exclusive lock is the safe
+// default. gql needs the parser: its writes begin with MATCH
+// (MATCH ... CREATE/SET/DELETE), so first-keyword matching would route a
+// mutation under the shared lock. gsql and sparqlish dispatch statements on
+// their first keyword, so a SELECT/ASK head there guarantees a pure read.
 func readonlyStmt(eng engine.Engine, stmt string) bool {
 	q, ok := eng.(engine.Querier)
 	if !ok {
 		return false
 	}
-	verbs := readVerbs(q.LanguageName())
-	if verbs == nil {
-		return false
+	switch q.LanguageName() {
+	case "gql":
+		st, err := gql.Parse(stmt)
+		return err == nil && st.ReadOnly()
+	case "gsql":
+		return engine.ReadOnlyStmt(stmt, "SELECT")
+	case "sparqlish":
+		return engine.ReadOnlyStmt(stmt, "SELECT", "ASK")
 	}
-	return engine.ReadOnlyStmt(stmt, verbs...)
+	return false
 }
 
 // session is a private tenant with an expiry.
@@ -103,22 +100,29 @@ func newID() (string, error) {
 }
 
 // Create opens a session around eng. It sweeps expired sessions first and
-// rejects when the store is full even after the sweep.
+// rejects when the store is full even after the sweep. On rejection the
+// caller still owns eng and must close it.
 func (s *sessionStore) Create(name string, eng engine.Engine) (string, error) {
 	id, err := newID()
 	if err != nil {
 		return "", err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sweepLocked()
+	swept := s.sweepLocked()
+	var createErr error
 	if len(s.sessions) >= s.max {
-		return "", fmt.Errorf("session table full (%d): %w", s.max, errSessionsFull)
+		createErr = fmt.Errorf("session table full (%d): %w", s.max, errSessionsFull)
+	} else {
+		sess := &session{lastUsed: s.now()}
+		sess.name = name
+		sess.eng = eng
+		s.sessions[id] = sess
 	}
-	sess := &session{lastUsed: s.now()}
-	sess.name = name
-	sess.eng = eng
-	s.sessions[id] = sess
+	s.mu.Unlock()
+	closeSessions(swept)
+	if createErr != nil {
+		return "", createErr
+	}
 	return id, nil
 }
 
@@ -127,25 +131,35 @@ var errSessionsFull = fmt.Errorf("too many sessions")
 // Get looks up a live session and refreshes its expiry.
 func (s *sessionStore) Get(id string) (*session, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	sess, ok := s.sessions[id]
+	var expired *session
 	if ok && s.now().Sub(sess.lastUsed) > s.ttl {
 		delete(s.sessions, id)
-		ok = false
+		expired, ok = sess, false
+	}
+	if ok {
+		sess.lastUsed = s.now()
+	}
+	s.mu.Unlock()
+	if expired != nil {
+		closeSessions([]*session{expired})
 	}
 	if !ok {
 		return nil, fmt.Errorf("session %q: %w", id, model.ErrNotFound)
 	}
-	sess.lastUsed = s.now()
 	return sess, nil
 }
 
-// Delete removes a session; it reports whether the id was live.
+// Delete removes a session and closes its engine; it reports whether the id
+// was live.
 func (s *sessionStore) Delete(id string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.sessions[id]
+	sess, ok := s.sessions[id]
 	delete(s.sessions, id)
+	s.mu.Unlock()
+	if ok {
+		closeSessions([]*session{sess})
+	}
 	return ok
 }
 
@@ -157,11 +171,28 @@ func (s *sessionStore) Len() int {
 	return len(s.sessions)
 }
 
-func (s *sessionStore) sweepLocked() {
+// sweepLocked removes expired sessions and returns them; the caller must
+// pass them to closeSessions after releasing the store lock.
+func (s *sessionStore) sweepLocked() []*session {
 	cutoff := s.now().Add(-s.ttl)
+	var removed []*session
 	for id, sess := range s.sessions {
 		if sess.lastUsed.Before(cutoff) {
 			delete(s.sessions, id)
+			removed = append(removed, sess)
 		}
+	}
+	return removed
+}
+
+// closeSessions closes the engines of sessions already removed from the
+// store. It runs outside the store lock and takes each session's exclusive
+// tenant lock first, so an in-flight query that resolved the session before
+// removal finishes before its engine goes away.
+func closeSessions(removed []*session) {
+	for _, sess := range removed {
+		sess.mu.Lock()
+		_ = sess.eng.Close()
+		sess.mu.Unlock()
 	}
 }
