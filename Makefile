@@ -2,7 +2,7 @@ GO ?= go
 COVER_FLOOR ?= 45.0
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint race race-storage race-kernels race-obs bench cover fuzz-smoke serve-smoke bench-serve ci
+.PHONY: build test vet lint race race-storage race-kernels race-obs race-server bench cover fuzz-smoke serve-smoke bench-serve ci
 
 # Tier-1 verification: everything builds, every test passes.
 build:
@@ -15,8 +15,13 @@ vet:
 	$(GO) vet ./...
 
 # Static invariants: stock go vet plus the repo's own gdbvet suite
-# (vfsonly, syncerr, capdecl, lockdiscipline, obsctx, ctxflow) driven through
-# the -vettool protocol. See DESIGN.md "Static invariants".
+# (vfsonly, syncerr, capdecl, lockdiscipline, obsctx, ctxflow, itererr,
+# closeleak, lockorder) driven two ways: per-package through the
+# -vettool protocol, then standalone so the summary-driven analyzers see
+# module-wide function summaries (cross-package lock cycles only exist
+# there). The standalone pass also audits every //gdbvet:allow directive
+# and enforces the per-analyzer suppression budget in .gdbvet-budget.
+# See DESIGN.md "Static invariants".
 bin/gdbvet: FORCE
 	$(GO) build -o $@ ./cmd/gdbvet
 
@@ -25,6 +30,7 @@ FORCE:
 
 lint: vet bin/gdbvet
 	$(GO) vet -vettool=$(CURDIR)/bin/gdbvet ./...
+	./bin/gdbvet -audit -budget .gdbvet-budget ./...
 
 # The whole module runs under the race detector; the storage subset
 # remains as a faster inner-loop target.
@@ -44,6 +50,12 @@ race-kernels:
 # observed/unobserved byte-identity proofs.
 race-obs:
 	$(GO) test -race ./internal/obs/... ./internal/report/... ./internal/enginetest/diff/...
+
+# The networked service under the race detector: session registry,
+# admission gate, and the token-bucket/load-harness pieces that hammer
+# them concurrently.
+race-server:
+	$(GO) test -race ./internal/server/... ./cmd/gdbserver/... ./cmd/gdbload/...
 
 # Parallel kernel sweep and cold/warm cache sweep; both record honest
 # per-host numbers (the parallel JSON carries GOMAXPROCS/NumCPU, the cache
@@ -86,4 +98,4 @@ serve-smoke:
 bench-serve:
 	$(GO) run ./cmd/gdbload -selfserve -engine neograph -capacity 100 -out BENCH_serve.json
 
-ci: lint test race race-kernels race-obs cover fuzz-smoke serve-smoke
+ci: lint test race race-kernels race-obs race-server cover fuzz-smoke serve-smoke

@@ -199,11 +199,13 @@ func (sh *shell) command(out io.Writer, line string) (quit bool, err error) {
 			limit, _ = strconv.Atoi(fields[1])
 		}
 		n := 0
-		g.Nodes(func(node gdbm.Node) bool {
+		if err := g.Nodes(func(node gdbm.Node) bool {
 			fmt.Fprintf(out, "  (%d:%s %s)\n", node.ID, node.Label, node.Props)
 			n++
 			return n < limit
-		})
+		}); err != nil {
+			return false, err
+		}
 		return false, nil
 	case "features":
 		f := e.Features()
@@ -287,14 +289,18 @@ func draw(out io.Writer, g gdbm.GraphAPI, id gdbm.NodeID) error {
 	}
 	fmt.Fprintf(out, "        [%d:%s]\n", center.ID, center.Label)
 	var lines []string
-	g.Neighbors(id, gdbm.Out, func(e gdbm.Edge, n gdbm.Node) bool {
+	if err := g.Neighbors(id, gdbm.Out, func(e gdbm.Edge, n gdbm.Node) bool {
 		lines = append(lines, fmt.Sprintf("          |--%s--> [%d:%s]", e.Label, n.ID, n.Label))
 		return true
-	})
-	g.Neighbors(id, gdbm.In, func(e gdbm.Edge, n gdbm.Node) bool {
+	}); err != nil {
+		return err
+	}
+	if err := g.Neighbors(id, gdbm.In, func(e gdbm.Edge, n gdbm.Node) bool {
 		lines = append(lines, fmt.Sprintf("          <--%s--| [%d:%s]", e.Label, n.ID, n.Label))
 		return true
-	})
+	}); err != nil {
+		return err
+	}
 	sort.Strings(lines)
 	for _, l := range lines {
 		fmt.Fprintln(out, l)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -134,6 +135,36 @@ func TestShellTraceRejectsBadMode(t *testing.T) {
 	out := shellSession(t, "neograph", ":trace sideways\n:quit\n")
 	if !strings.Contains(out, "usage:") {
 		t.Errorf("bad trace mode accepted:\n%s", out)
+	}
+}
+
+// failingNeighbors wraps a real engine's graph API and fails iteration,
+// pinning the fix for draw swallowing Neighbors errors: a broken
+// neighborhood must surface as an error, not render as empty.
+type failingNeighbors struct {
+	gdbm.GraphAPI
+	err error
+}
+
+func (f failingNeighbors) Neighbors(gdbm.NodeID, gdbm.Direction, func(gdbm.Edge, gdbm.Node) bool) error {
+	return f.err
+}
+
+func TestDrawPropagatesIterationError(t *testing.T) {
+	e, err := gdbm.Open("neograph", gdbm.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	api := e.(gdbm.GraphAPI)
+	id, err := api.AddNode("P", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("iteration failed")
+	var out bytes.Buffer
+	if err := draw(&out, failingNeighbors{api, injected}, id); !errors.Is(err, injected) {
+		t.Fatalf("draw error = %v, want the injected iteration error", err)
 	}
 }
 

@@ -7,6 +7,9 @@
 //	lockdiscipline  no lock copies, no Lock without same-function Unlock
 //	obsctx          StartSpan end functions must be called, never discarded
 //	ctxflow         server/dispatch code must thread the request context into queries
+//	itererr         iteration errors must be checked on every path (CFG dataflow)
+//	closeleak       constructed closeables must be closed or escape on every path
+//	lockorder       program-wide lock ordering: cycles, re-entry, RLock upgrades
 //
 // It runs two ways:
 //
@@ -16,8 +19,18 @@
 // Under -vettool the go command hands gdbvet one JSON .cfg file per
 // package (the unitchecker protocol) with pre-built export data; gdbvet
 // type-checks the package from source against that and reports findings
-// on stderr, exiting 2 when any are found. Suppressions use
-// //gdbvet:allow(<analyzer>): <justification> on or above the line.
+// on stderr, exiting 2 when any are found. Standalone mode computes
+// cross-package function summaries over everything it loaded, so the
+// summary-driven analyzers (itererr, closeleak, lockorder) see the whole
+// module at once; under -vettool each package is summarized alone.
+// Suppressions use //gdbvet:allow(<analyzer>): <justification> on or
+// above the line.
+//
+// Extra modes:
+//
+//	gdbvet -json ./...                 # machine-readable diagnostics (both drivers)
+//	gdbvet -audit ./...                # list every suppression with its justification
+//	gdbvet -budget .gdbvet-budget ./...  # fail if per-analyzer suppressions grow
 package main
 
 import (
@@ -32,13 +45,18 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"gdbm/internal/analysis"
 	"gdbm/internal/analysis/capdecl"
+	"gdbm/internal/analysis/closeleak"
 	"gdbm/internal/analysis/ctxflow"
+	"gdbm/internal/analysis/itererr"
 	"gdbm/internal/analysis/load"
 	"gdbm/internal/analysis/lockdiscipline"
+	"gdbm/internal/analysis/lockorder"
 	"gdbm/internal/analysis/obsctx"
 	"gdbm/internal/analysis/syncerr"
 	"gdbm/internal/analysis/vfsonly"
@@ -52,12 +70,17 @@ var analyzers = []*analysis.Analyzer{
 	lockdiscipline.Analyzer,
 	obsctx.Analyzer,
 	ctxflow.Analyzer,
+	itererr.Analyzer,
+	closeleak.Analyzer,
+	lockorder.Analyzer,
 }
 
 func main() {
 	// The go vet driver probes the tool before use. The -V=full reply
 	// must end in a buildID=<hex> field (cmd/go caches vet results keyed
-	// on it), so hash the executable like x/tools' unitchecker does.
+	// on it), so hash the executable like x/tools' unitchecker does. The
+	// -flags reply lists the flags cmd/go may forward; only -json is
+	// meaningful per package.
 	for _, arg := range os.Args[1:] {
 		switch arg {
 		case "-V=full", "--V=full":
@@ -69,14 +92,17 @@ func main() {
 			fmt.Printf("gdbvet version devel buildID=%s\n", id)
 			return
 		case "-flags", "--flags":
-			fmt.Println("[]")
+			fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON"}]`)
 			return
 		}
 	}
 
 	asPath := flag.String("as", "", "treat the (single) loaded package as this import path (testing aid)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	audit := flag.Bool("audit", false, "list every //gdbvet:allow directive with its justification (standalone only)")
+	budgetFile := flag.String("budget", "", "compare per-analyzer suppression counts against this budget `file` and fail on growth (standalone only)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gdbvet [packages]  |  gdbvet <unitchecker>.cfg\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: gdbvet [-json] [-audit] [-budget file] [packages]  |  gdbvet [-json] <unitchecker>.cfg\n\nanalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
 		}
@@ -85,9 +111,13 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(vetTool(args[0]))
+		if *audit || *budgetFile != "" {
+			fmt.Fprintln(os.Stderr, "gdbvet: -audit and -budget need standalone mode, not a vet .cfg")
+			os.Exit(1)
+		}
+		os.Exit(vetTool(args[0], *jsonOut))
 	}
-	os.Exit(standalone(args, *asPath))
+	os.Exit(standalone(args, *asPath, *jsonOut, *audit, *budgetFile))
 }
 
 // selfID returns a content hash of the running executable, the buildID
@@ -110,8 +140,53 @@ func selfID() (string, error) {
 	return fmt.Sprintf("%x", h.Sum(nil)), nil
 }
 
-// standalone loads the patterns itself and runs every analyzer.
-func standalone(patterns []string, asPath string) int {
+// jsonDiag is the machine-readable diagnostic shape for -json.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func toJSONDiags(ds []analysis.Diagnostic) []jsonDiag {
+	out := make([]jsonDiag, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, jsonDiag{
+			File:       d.Pos.Filename,
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		})
+	}
+	return out
+}
+
+// emit prints the run's findings. Text mode prints active findings only;
+// JSON mode includes the suppressed ones, marked, so downstream tooling
+// sees the whole picture. The exit decision stays on active findings.
+func emit(active, suppressed []analysis.Diagnostic, jsonOut bool) {
+	if jsonOut {
+		all := append(append([]analysis.Diagnostic{}, active...), suppressed...)
+		analysis.Sort(all)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(toJSONDiags(all)); err != nil {
+			fmt.Fprintln(os.Stderr, "gdbvet:", err)
+		}
+		return
+	}
+	for _, d := range active {
+		fmt.Fprintln(os.Stderr, d)
+	}
+}
+
+// standalone loads the patterns itself, computes module-wide summaries,
+// and runs every analyzer.
+func standalone(patterns []string, asPath string, jsonOut, audit bool, budgetFile string) int {
 	targets, err := load.Packages("", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gdbvet:", err)
@@ -124,25 +199,150 @@ func standalone(patterns []string, asPath string) int {
 		}
 		targets[0].PkgPath = asPath
 	}
-	var all []analysis.Diagnostic
+	summaries := analysis.ComputeSummaries(targets)
+	for _, t := range targets {
+		t.Summaries = summaries
+	}
+
+	var active, suppressed []analysis.Diagnostic
+	var allows []analysis.AllowRecord
 	for _, t := range targets {
 		for _, a := range analyzers {
-			ds, err := analysis.Run(a, t)
+			res, err := analysis.RunAll(a, t)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "gdbvet:", err)
 				return 1
 			}
-			all = append(all, ds...)
+			active = append(active, res.Diags...)
+			suppressed = append(suppressed, res.Suppressed...)
+			allows = append(allows, res.Allows...)
 		}
 	}
-	analysis.Sort(all)
-	for _, d := range all {
-		fmt.Fprintln(os.Stderr, d)
+	analysis.Sort(active)
+
+	code := 0
+	if audit {
+		if fail := printAudit(allows, jsonOut); fail {
+			code = 2
+		}
+	} else {
+		emit(active, suppressed, jsonOut)
 	}
-	if len(all) > 0 {
-		return 2
+	if budgetFile != "" {
+		if fail := checkBudget(budgetFile, allows); fail {
+			code = 2
+		}
 	}
-	return 0
+	if len(active) > 0 {
+		code = 2
+	}
+	return code
+}
+
+// printAudit lists every //gdbvet:allow directive with its justification
+// and reports whether any directive is unjustified or stale.
+func printAudit(allows []analysis.AllowRecord, jsonOut bool) (fail bool) {
+	sort.Slice(allows, func(i, j int) bool {
+		a, b := allows[i], allows[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	if jsonOut {
+		type jsonAllow struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Reason   string `json:"reason"`
+			Used     bool   `json:"used"`
+		}
+		out := make([]jsonAllow, 0, len(allows))
+		for _, a := range allows {
+			out = append(out, jsonAllow{a.Pos.Filename, a.Pos.Line, a.Analyzer, a.Reason, a.Used})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "gdbvet:", err)
+		}
+	} else {
+		fmt.Printf("gdbvet audit: %d suppression directive(s)\n", len(allows))
+	}
+	for _, a := range allows {
+		status := "used"
+		switch {
+		case a.Reason == "":
+			status = "UNJUSTIFIED"
+			fail = true
+		case !a.Used:
+			status = "STALE"
+			fail = true
+		}
+		if !jsonOut {
+			fmt.Printf("  %s:%d: allow(%s) [%s] %s\n", a.Pos.Filename, a.Pos.Line, a.Analyzer, status, a.Reason)
+		} else if status != "used" {
+			fmt.Fprintf(os.Stderr, "gdbvet audit: %s:%d: allow(%s) is %s\n", a.Pos.Filename, a.Pos.Line, a.Analyzer, status)
+		}
+	}
+	return fail
+}
+
+// checkBudget compares the per-analyzer suppression counts against the
+// checked-in budget file (lines of `analyzer count`, # comments). More
+// suppressions than budgeted fails: a new suppression must be paid for
+// by raising the budget in the same change, which is the review hook.
+func checkBudget(path string, allows []analysis.AllowRecord) (fail bool) {
+	//gdbvet:allow(vfsonly): the lint budget ledger is repo metadata, not database I/O
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gdbvet budget:", err)
+		return true
+	}
+	budget := map[string]int{}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			fmt.Fprintf(os.Stderr, "gdbvet budget: %s:%d: want `analyzer count`, got %q\n", path, ln+1, line)
+			return true
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gdbvet budget: %s:%d: %v\n", path, ln+1, err)
+			return true
+		}
+		budget[fields[0]] = n
+	}
+
+	counts := map[string]int{}
+	for _, a := range allows {
+		counts[a.Analyzer]++
+	}
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	fmt.Printf("gdbvet budget: suppressions per analyzer (have/allowed)\n")
+	for _, name := range names {
+		have, allowed := counts[name], budget[name]
+		marker := ""
+		switch {
+		case have > allowed:
+			marker = "  OVER BUDGET: justify the new suppression and raise the budget in " + path
+			fail = true
+		case have < allowed:
+			marker = "  (budget can be ratcheted down)"
+		}
+		fmt.Printf("  %-15s %d/%d%s\n", name, have, allowed, marker)
+	}
+	return fail
 }
 
 // vetConfig is the unitchecker protocol input written by cmd/go.
@@ -163,7 +363,7 @@ type vetConfig struct {
 }
 
 // vetTool analyzes one package described by a cmd/go .cfg file.
-func vetTool(cfgPath string) int {
+func vetTool(cfgPath string, jsonOut bool) int {
 	//gdbvet:allow(vfsonly): unitchecker protocol file handed over by cmd/go, not database I/O
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -240,21 +440,21 @@ func vetTool(cfgPath string) int {
 		Pkg:     tpkg,
 		Info:    info,
 	}
-	var all []analysis.Diagnostic
+	target.Summaries = analysis.ComputeSummaries([]*analysis.Target{target})
+	var active, suppressed []analysis.Diagnostic
 	for _, a := range analyzers {
-		ds, err := analysis.Run(a, target)
+		res, err := analysis.RunAll(a, target)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gdbvet:", err)
 			return 1
 		}
-		all = append(all, ds...)
+		active = append(active, res.Diags...)
+		suppressed = append(suppressed, res.Suppressed...)
 	}
 	writeVetx()
-	analysis.Sort(all)
-	for _, d := range all {
-		fmt.Fprintln(os.Stderr, d)
-	}
-	if len(all) > 0 {
+	analysis.Sort(active)
+	emit(active, suppressed, jsonOut)
+	if len(active) > 0 {
 		return 2
 	}
 	return 0

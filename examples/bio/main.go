@@ -63,10 +63,12 @@ func main() {
 
 	// Which complexes contain RPB1?
 	fmt.Println("relations containing RPB1:")
-	h.Incident(rpb1, func(e gdbm.HyperEdge) bool {
+	if err := h.Incident(rpb1, func(e gdbm.HyperEdge) bool {
 		fmt.Printf("  %s %s with %d members\n", e.Label, e.Props.Get("name"), len(e.Members))
 		return true
-	})
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	// Node adjacency in the hypergraph sense: shared hyperedge.
 	es := raw.Essentials()

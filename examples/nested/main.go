@@ -48,15 +48,20 @@ func main() {
 
 	// The survey's subsumption claim, executed: flatten the multilevel
 	// graph into a plain simple graph with explicit "nests" edges.
-	flat := system.Flatten()
+	flat, err := system.Flatten()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("flattened: %d nodes, %d edges\n", flat.Order(), flat.Size())
 	nests := 0
-	flat.Edges(func(e gdbm.Edge) bool {
+	if err := flat.Edges(func(e gdbm.Edge) bool {
 		if e.Label == "nests" {
 			nests++
 		}
 		return true
-	})
+	}); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("nesting became %d explicit 'nests' edges — expressible, but the\n", nests)
 	fmt.Println("multilevel structure is now a naming convention instead of a model feature,")
 	fmt.Println("which is exactly why the survey calls nesting out as unsupported future work")

@@ -56,21 +56,25 @@ func main() {
 	// 2. Friend-of-friend recommendations for a mid-degree person.
 	target := rank[len(rank)/2].id
 	direct := map[gdbm.NodeID]bool{target: true}
-	db.Neighbors(target, gdbm.Both, func(_ gdbm.Edge, n gdbm.Node) bool {
+	if err := db.Neighbors(target, gdbm.Both, func(_ gdbm.Edge, n gdbm.Node) bool {
 		direct[n.ID] = true
 		return true
-	})
+	}); err != nil {
+		log.Fatal(err)
+	}
 	scores := map[gdbm.NodeID]int{} // mutual-friend counts
 	for friend := range direct {
 		if friend == target {
 			continue
 		}
-		db.Neighbors(friend, gdbm.Both, func(_ gdbm.Edge, n gdbm.Node) bool {
+		if err := db.Neighbors(friend, gdbm.Both, func(_ gdbm.Edge, n gdbm.Node) bool {
 			if !direct[n.ID] {
 				scores[n.ID]++
 			}
 			return true
-		})
+		}); err != nil {
+			log.Fatal(err)
+		}
 	}
 	type rec struct {
 		id     gdbm.NodeID

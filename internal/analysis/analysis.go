@@ -50,6 +50,11 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Suppressed marks a finding silenced by a justified
+	// //gdbvet:allow directive. Run drops suppressed findings; RunAll
+	// returns them separately so gdbvet -json and -audit can surface
+	// them.
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -67,26 +72,41 @@ type Pass struct {
 	Files   []*ast.File
 	Pkg     *types.Package
 	Info    *types.Info
+	// Summaries holds the cross-package function summaries of the load
+	// this package came from: all targets in standalone mode, the lone
+	// package under go vet -vettool. May be nil; the accessor methods
+	// on Summaries are nil-safe.
+	Summaries *Summaries
 
-	allows []*allowDirective
-	diags  []Diagnostic
+	allows     []*allowDirective
+	diags      []Diagnostic
+	suppressed []Diagnostic
 }
 
 // Reportf records a violation at pos unless a justified
 // //gdbvet:allow(<analyzer>) directive covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	posn := p.Fset.Position(pos)
-	for _, d := range p.allows {
-		if d.covers(posn) && d.reason != "" {
-			d.used = true
-			return
-		}
-	}
-	p.diags = append(p.diags, Diagnostic{
+	p.ReportPosf(p.Fset.Position(pos), format, args...)
+}
+
+// ReportPosf is Reportf for findings whose position was resolved
+// earlier (the summary-driven analyzers carry token.Position through
+// the cross-package lock graph).
+func (p *Pass) ReportPosf(posn token.Position, format string, args ...any) {
+	d := Diagnostic{
 		Pos:      posn,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	for _, a := range p.allows {
+		if a.covers(posn) && a.reason != "" {
+			a.used = true
+			d.Suppressed = true
+			p.suppressed = append(p.suppressed, d)
+			return
+		}
+	}
+	p.diags = append(p.diags, d)
 }
 
 // allowDirective is one parsed //gdbvet:allow comment.
@@ -153,6 +173,31 @@ type Target struct {
 	Files   []*ast.File
 	Pkg     *types.Package
 	Info    *types.Info
+	// Summaries is the cross-package summary set of the load; drivers
+	// attach it after ComputeSummaries over every target they loaded.
+	Summaries *Summaries
+}
+
+// AllowRecord is one //gdbvet:allow directive as seen by one analyzer,
+// for gdbvet -audit.
+type AllowRecord struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	// Used reports whether the directive suppressed at least one
+	// finding of this analyzer in this run.
+	Used bool
+}
+
+// Result is the full outcome of one analyzer over one package.
+type Result struct {
+	// Diags are the active findings, directive-hygiene findings
+	// included, sorted by position.
+	Diags []Diagnostic
+	// Suppressed are the findings silenced by justified directives.
+	Suppressed []Diagnostic
+	// Allows records every directive naming this analyzer.
+	Allows []AllowRecord
 }
 
 // Run executes one analyzer over one package and returns its diagnostics,
@@ -166,8 +211,15 @@ type Target struct {
 // files alongside the package's own, so the exemption lives here rather
 // than in the loader.
 func Run(a *Analyzer, t *Target) ([]Diagnostic, error) {
+	res, err := RunAll(a, t)
+	return res.Diags, err
+}
+
+// RunAll is Run plus the suppressed findings and the directive records,
+// for the -json and -audit driver modes.
+func RunAll(a *Analyzer, t *Target) (Result, error) {
 	if a.AppliesTo != nil && !a.AppliesTo(t.PkgPath) {
-		return nil, nil
+		return Result{}, nil
 	}
 	var files []*ast.File
 	for _, f := range t.Files {
@@ -177,17 +229,19 @@ func Run(a *Analyzer, t *Target) ([]Diagnostic, error) {
 		files = append(files, f)
 	}
 	pass := &Pass{
-		Analyzer: a,
-		PkgPath:  t.PkgPath,
-		Fset:     t.Fset,
-		Files:    files,
-		Pkg:      t.Pkg,
-		Info:     t.Info,
-		allows:   parseAllows(t.Fset, files, a.Name),
+		Analyzer:  a,
+		PkgPath:   t.PkgPath,
+		Fset:      t.Fset,
+		Files:     files,
+		Pkg:       t.Pkg,
+		Info:      t.Info,
+		Summaries: t.Summaries,
+		allows:    parseAllows(t.Fset, files, a.Name),
 	}
 	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %s: %w", a.Name, t.PkgPath, err)
+		return Result{}, fmt.Errorf("%s: %s: %w", a.Name, t.PkgPath, err)
 	}
+	res := Result{Suppressed: pass.suppressed}
 	for _, d := range pass.allows {
 		switch {
 		case d.reason == "":
@@ -203,9 +257,16 @@ func Run(a *Analyzer, t *Target) ([]Diagnostic, error) {
 				Message:  "unused gdbvet:allow(" + a.Name + ") directive suppresses nothing; delete it",
 			})
 		}
+		res.Allows = append(res.Allows, AllowRecord{
+			Pos:      d.pos,
+			Analyzer: a.Name,
+			Reason:   d.reason,
+			Used:     d.used,
+		})
 	}
 	Sort(pass.diags)
-	return pass.diags, nil
+	res.Diags = pass.diags
+	return res, nil
 }
 
 // Sort orders diagnostics by file, line, column, analyzer.

@@ -51,6 +51,7 @@ func Run(t *testing.T, a *analysis.Analyzer, dir, asPath string) []analysis.Diag
 	if asPath != "" {
 		target.PkgPath = asPath
 	}
+	target.Summaries = analysis.ComputeSummaries(targets)
 
 	var wants []*expectation
 	for _, f := range target.Files {

@@ -1,0 +1,456 @@
+// Package cfg builds an intra-procedural control-flow graph for one Go
+// function body, the substrate under the gdbvet dataflow analyzers
+// (itererr, closeleak, lockorder). The graph is statement-level: each
+// basic block holds a run of ast.Node values (statements, plus the
+// atomic condition expressions of branches) that execute in order, and
+// edges carry the branch condition they follow, so an analysis can
+// refine a fact on the true and false arms separately.
+//
+// Covered control flow: if/else, for and range loops, switch, type
+// switch and select, labeled break/continue, goto, fallthrough, early
+// return, and short-circuit && / || / ! in branch conditions (each
+// atomic operand becomes its own block, with edges that skip the
+// right-hand side exactly when Go would). A defer statement stays in
+// its block — registration happens in source order — and the deferred
+// calls run at every function exit, which analyses model by treating a
+// reached DeferStmt's effect as pending until Exit.
+//
+// Two constructs terminate a path without reaching Exit: the panic
+// builtin and any call the optional NoReturn hook recognizes
+// (os.Exit, log.Fatal, ...). Blocks downstream of only such calls are
+// unreachable and carry no facts. Function literals are opaque: their
+// bodies are separate functions with their own CFGs, so Build does not
+// descend into them.
+package cfg
+
+import "go/ast"
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry has no predecessors; execution starts here.
+	Entry *Block
+	// Exit is the single synthetic return point. Every return statement
+	// and every fall-off-the-end path leads here.
+	Exit *Block
+	// Blocks lists every block, Entry first, Exit last.
+	Blocks []*Block
+	// Defers collects the defer statements in source order; they run at
+	// Exit (in reverse order) on every path that executed them.
+	Defers []*ast.DeferStmt
+}
+
+// Block is a straight-line run of nodes with no interior branching.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Nodes are the statements and atomic condition expressions that
+	// execute in order when the block runs.
+	Nodes []ast.Node
+	// Succs are the control-flow edges out of the block.
+	Succs []Edge
+}
+
+// Edge is one control-flow edge. When the edge is taken because a
+// condition expression evaluated to a known value, Cond is that atomic
+// expression and Branch its value; otherwise Cond is nil.
+type Edge struct {
+	To     *Block
+	Cond   ast.Expr
+	Branch bool
+}
+
+// Options configures Build.
+type Options struct {
+	// NoReturn reports whether a call never returns (os.Exit,
+	// log.Fatal, runtime.Goexit). The builder already terminates paths
+	// at the panic builtin.
+	NoReturn func(*ast.CallExpr) bool
+}
+
+type builder struct {
+	g    *Graph
+	cur  *Block
+	opts Options
+
+	// breakTo / continueTo map "" to the innermost target and each
+	// active label to its loop or switch.
+	breakTo    []labeledBlock
+	continueTo []labeledBlock
+
+	// pendingLabel is the label immediately preceding the next loop,
+	// switch or select statement.
+	pendingLabel string
+
+	// labels maps a label name to the block starting its statement, for
+	// goto; gotos seen before their label land in pendingGotos.
+	labels       map[string]*Block
+	pendingGotos map[string][]*Block
+}
+
+type labeledBlock struct {
+	label string
+	block *Block
+}
+
+// Build constructs the CFG of body.
+func Build(body *ast.BlockStmt, opts Options) *Graph {
+	b := &builder{
+		g:            &Graph{},
+		opts:         opts,
+		labels:       map[string]*Block{},
+		pendingGotos: map[string][]*Block{},
+	}
+	entry := b.newBlock()
+	b.g.Entry = entry
+	b.cur = entry
+	exit := b.newBlock() // created second; moved to the end below
+	b.g.Exit = exit
+
+	b.stmts(body.List)
+	b.edge(b.cur, Edge{To: exit})
+
+	// Unresolved gotos (labels on plain statements mid-block): be
+	// conservative and route them to Exit so no fact is lost.
+	for _, srcs := range b.pendingGotos {
+		for _, s := range srcs {
+			b.edge(s, Edge{To: exit})
+		}
+	}
+
+	// Keep Exit last for readable dumps.
+	blocks := b.g.Blocks
+	for i, blk := range blocks {
+		if blk == exit && i != len(blocks)-1 {
+			copy(blocks[i:], blocks[i+1:])
+			blocks[len(blocks)-1] = exit
+			break
+		}
+	}
+	for i, blk := range blocks {
+		blk.Index = i
+	}
+	return b.g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from *Block, e Edge) {
+	if from == nil || e.To == nil {
+		return
+	}
+	from.Succs = append(from.Succs, e)
+}
+
+// startBlock seals the current block with an unconditional edge to next
+// and makes next current.
+func (b *builder) startBlock(next *Block) {
+	b.edge(b.cur, Edge{To: next})
+	b.cur = next
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		thenB := b.newBlock()
+		elseB := b.newBlock()
+		after := b.newBlock()
+		b.cond(s.Cond, thenB, elseB)
+		b.cur = thenB
+		b.stmt(s.Body)
+		b.edge(b.cur, Edge{To: after})
+		b.cur = elseB
+		if s.Else != nil {
+			b.stmt(s.Else)
+		}
+		b.edge(b.cur, Edge{To: after})
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.cond(s.Cond, body, after)
+		} else {
+			b.edge(b.cur, Edge{To: body})
+		}
+		b.pushLoop(label, after, post)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		b.edge(b.cur, Edge{To: post})
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, Edge{To: head})
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.startBlock(head)
+		// The RangeStmt node itself represents evaluating the range
+		// operand and binding the iteration variables.
+		head.Nodes = append(head.Nodes, s)
+		b.edge(head, Edge{To: body})
+		b.edge(head, Edge{To: after})
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popLoop()
+		b.edge(b.cur, Edge{To: head})
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.switchBody(label, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.switchBody(label, s.Body, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.switchBody(label, s.Body, func(c ast.Stmt) []ast.Node {
+			if comm := c.(*ast.CommClause).Comm; comm != nil {
+				return []ast.Node{comm}
+			}
+			return nil
+		})
+
+	case *ast.LabeledStmt:
+		// Record the label target; loops/switches consume it via
+		// takeLabel, gotos via labels.
+		target := b.newBlock()
+		b.startBlock(target)
+		b.labels[s.Label.Name] = target
+		for _, src := range b.pendingGotos[s.Label.Name] {
+			b.edge(src, Edge{To: target})
+		}
+		delete(b.pendingGotos, s.Label.Name)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, Edge{To: b.g.Exit})
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.DeferStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.noReturn(call) {
+			b.cur = b.newBlock() // path ends here, Exit not reached
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, Decl, IncDec, Send, Go: straight-line.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// switchBody builds the shared case-dispatch shape of switch, type
+// switch and select. commNodes, when non-nil, extracts the nodes a
+// clause evaluates before its body runs (the select comm statement).
+func (b *builder) switchBody(label string, body *ast.BlockStmt, commNodes func(ast.Stmt) []ast.Node) {
+	head := b.cur
+	after := b.newBlock()
+	b.breakTo = append(b.breakTo, labeledBlock{label: label, block: after})
+	hasDefault := false
+	var caseBlocks []*Block
+	var clauses []ast.Stmt
+	for _, c := range body.List {
+		cb := b.newBlock()
+		caseBlocks = append(caseBlocks, cb)
+		clauses = append(clauses, c)
+		b.edge(head, Edge{To: cb})
+	}
+	for i, c := range clauses {
+		cb := caseBlocks[i]
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				cb.Nodes = append(cb.Nodes, e)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			if commNodes != nil {
+				cb.Nodes = append(cb.Nodes, commNodes(c)...)
+			}
+			list = c.Body
+		}
+		b.cur = cb
+		b.stmts(list)
+		// fallthrough, if present, is the last statement and links to
+		// the next case's block.
+		if n := len(list); n > 0 {
+			if br, ok := list[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				if i+1 < len(caseBlocks) {
+					b.edge(b.cur, Edge{To: caseBlocks[i+1]})
+					b.cur = b.newBlock()
+				}
+			}
+		}
+		b.edge(b.cur, Edge{To: after})
+	}
+	if !hasDefault {
+		// No default: the whole statement can fall through.
+		b.edge(head, Edge{To: after})
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.cur = after
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := findTarget(b.breakTo, name); t != nil {
+			b.edge(b.cur, Edge{To: t})
+		}
+		b.cur = b.newBlock()
+	case "continue":
+		if t := findTarget(b.continueTo, name); t != nil {
+			b.edge(b.cur, Edge{To: t})
+		}
+		b.cur = b.newBlock()
+	case "goto":
+		if t, ok := b.labels[name]; ok {
+			b.edge(b.cur, Edge{To: t})
+		} else {
+			b.pendingGotos[name] = append(b.pendingGotos[name], b.cur)
+		}
+		b.cur = b.newBlock()
+	case "fallthrough":
+		// handled by switchBody; nothing to do here.
+	}
+}
+
+func findTarget(stack []labeledBlock, label string) *Block {
+	if len(stack) == 0 {
+		return nil
+	}
+	if label == "" {
+		return stack[len(stack)-1].block
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breakTo = append(b.breakTo, labeledBlock{label: label, block: brk})
+	b.continueTo = append(b.continueTo, labeledBlock{label: label, block: cont})
+}
+
+func (b *builder) popLoop() {
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// cond decomposes a branch condition into atomic tests, wiring
+// short-circuit skips: in `a && b`, b's block is reached only on a's
+// true edge; in `a || b`, only on a's false edge.
+func (b *builder) cond(e ast.Expr, t, f *Block) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(e.X, t, f)
+		return
+	case *ast.UnaryExpr:
+		if e.Op.String() == "!" {
+			b.cond(e.X, f, t)
+			return
+		}
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "&&":
+			mid := b.newBlock()
+			b.cond(e.X, mid, f)
+			b.cur = mid
+			b.cond(e.Y, t, f)
+			return
+		case "||":
+			mid := b.newBlock()
+			b.cond(e.X, t, mid)
+			b.cur = mid
+			b.cond(e.Y, t, f)
+			return
+		}
+	}
+	b.cur.Nodes = append(b.cur.Nodes, e)
+	b.edge(b.cur, Edge{To: t, Cond: e, Branch: true})
+	b.edge(b.cur, Edge{To: f, Cond: e, Branch: false})
+}
+
+// noReturn reports whether the call terminates the path: the panic
+// builtin, or anything the NoReturn hook recognizes.
+func (b *builder) noReturn(call *ast.CallExpr) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		return true
+	}
+	return b.opts.NoReturn != nil && b.opts.NoReturn(call)
+}

@@ -1,0 +1,327 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"gdbm/internal/analysis/cfg"
+)
+
+// build parses src as the body of a single function declaration and
+// returns its CFG.
+func build(t *testing.T, src string, opts cfg.Options) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return cfg.Build(fd.Body, opts)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// preds computes the predecessor count of every block, counting only
+// edges from blocks reachable from Entry (dead continuation blocks
+// after return/panic still carry a fall-off edge to Exit).
+func preds(g *cfg.Graph) map[*cfg.Block]int {
+	m := map[*cfg.Block]int{}
+	for _, b := range g.Blocks {
+		if !reaches(g.Entry, b) {
+			continue
+		}
+		for _, e := range b.Succs {
+			m[e.To]++
+		}
+	}
+	return m
+}
+
+// reaches reports whether to is reachable from from.
+func reaches(from, to *cfg.Block) bool {
+	seen := map[*cfg.Block]bool{}
+	var walk func(b *cfg.Block) bool
+	walk = func(b *cfg.Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, e := range b.Succs {
+			if walk(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// blockWithIdent finds the block containing an atomic condition or
+// statement mentioning the identifier name in its Nodes.
+func blockWithIdent(g *cfg.Graph, name string) *cfg.Block {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if id, ok := x.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+func TestStraightLineAndBranch(t *testing.T) {
+	g := build(t, `
+func f(p bool) {
+	a()
+	if p {
+		b()
+	} else {
+		c()
+	}
+	d()
+}`, cfg.Options{})
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable")
+	}
+	if len(g.Exit.Succs) != 0 {
+		t.Fatal("exit must have no successors")
+	}
+	bb, cb, db := blockWithIdent(g, "b"), blockWithIdent(g, "c"), blockWithIdent(g, "d")
+	if bb == nil || cb == nil || db == nil {
+		t.Fatal("missing branch blocks")
+	}
+	if !reaches(bb, db) || !reaches(cb, db) {
+		t.Error("both arms must rejoin before d()")
+	}
+	if reaches(bb, cb) {
+		t.Error("then arm must not reach else arm")
+	}
+	// The edges out of the condition carry the condition and branch.
+	pb := blockWithIdent(g, "p")
+	var tEdge, fEdge bool
+	for _, e := range pb.Succs {
+		if e.Cond != nil && e.Branch {
+			tEdge = true
+		}
+		if e.Cond != nil && !e.Branch {
+			fEdge = true
+		}
+	}
+	if !tEdge || !fEdge {
+		t.Errorf("condition block needs a true and a false edge, got %v", pb.Succs)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	g := build(t, `
+func f(p, q bool) {
+	if p && q {
+		b()
+	}
+	c()
+}`, cfg.Options{})
+	pb, qb := blockWithIdent(g, "p"), blockWithIdent(g, "q")
+	if pb == nil || qb == nil || pb == qb {
+		t.Fatalf("p and q must be separate atomic condition blocks (p=%v q=%v)", pb, qb)
+	}
+	// q evaluates only when p was true.
+	if n := preds(g)[qb]; n != 1 {
+		t.Fatalf("q block has %d preds, want 1 (reached only via p)", n)
+	}
+	for _, e := range pb.Succs {
+		if e.To == qb && !e.Branch {
+			t.Error("q must be on p's true edge")
+		}
+	}
+	// p's false edge skips b() entirely.
+	bb := blockWithIdent(g, "b")
+	skip := false
+	for _, e := range pb.Succs {
+		if !e.Branch && !reaches(e.To, bb) {
+			skip = true
+		}
+	}
+	_ = skip
+	cb := blockWithIdent(g, "c")
+	if !reaches(pb, cb) || !reaches(qb, cb) {
+		t.Error("all paths rejoin at c()")
+	}
+}
+
+func TestLoopBackEdgeAndBreak(t *testing.T) {
+	g := build(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+		body()
+	}
+	after()
+}`, cfg.Options{})
+	bodyB, afterB := blockWithIdent(g, "body"), blockWithIdent(g, "after")
+	if !reaches(bodyB, bodyB) {
+		t.Error("loop body must reach itself via the back edge")
+	}
+	if !reaches(bodyB, afterB) {
+		t.Error("loop must exit to after()")
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := build(t, `
+func f(xs []int) {
+	for _, x := range xs {
+		use(x)
+	}
+	done()
+}`, cfg.Options{})
+	useB, doneB := blockWithIdent(g, "use"), blockWithIdent(g, "done")
+	if !reaches(useB, useB) {
+		t.Error("range body must loop")
+	}
+	if !reaches(g.Entry, doneB) || !reaches(useB, doneB) {
+		t.Error("range must be skippable and exitable")
+	}
+}
+
+func TestEarlyReturnAndPanic(t *testing.T) {
+	g := build(t, `
+func f(p bool) {
+	if p {
+		return
+	}
+	panic("boom")
+}`, cfg.Options{})
+	// Exit is reachable (via the return) but the panic path ends
+	// without reaching Exit: Exit has exactly one predecessor.
+	if n := preds(g)[g.Exit]; n != 1 {
+		t.Errorf("exit preds = %d, want 1 (return only; panic terminates)", n)
+	}
+}
+
+func TestNoReturnHook(t *testing.T) {
+	g := build(t, `
+func f(p bool) {
+	if p {
+		exit(1)
+	}
+	rest()
+}`, cfg.Options{NoReturn: func(c *ast.CallExpr) bool {
+		id, ok := c.Fun.(*ast.Ident)
+		return ok && id.Name == "exit"
+	}})
+	exitCall := blockWithIdent(g, "exit")
+	restB := blockWithIdent(g, "rest")
+	if reaches(exitCall, restB) {
+		t.Error("a NoReturn call must not flow on to rest()")
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g := build(t, `
+func f(x int) {
+	switch x {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	default:
+		other()
+	}
+	done()
+}`, cfg.Options{})
+	oneB, twoB, otherB, doneB := blockWithIdent(g, "one"), blockWithIdent(g, "two"), blockWithIdent(g, "other"), blockWithIdent(g, "done")
+	if !reaches(oneB, twoB) {
+		t.Error("fallthrough must link case 1 to case 2")
+	}
+	if reaches(twoB, otherB) {
+		t.Error("case 2 must not fall into default")
+	}
+	for _, b := range []*cfg.Block{oneB, twoB, otherB} {
+		if !reaches(b, doneB) {
+			t.Error("every case rejoins after the switch")
+		}
+	}
+}
+
+func TestLabeledContinueAndGoto(t *testing.T) {
+	g := build(t, `
+func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if j == 2 {
+				goto end
+			}
+			inner()
+		}
+	}
+end:
+	done()
+}`, cfg.Options{})
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable")
+	}
+	innerB, doneB := blockWithIdent(g, "inner"), blockWithIdent(g, "done")
+	if !reaches(innerB, doneB) {
+		t.Error("goto end must reach done()")
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g := build(t, `
+func f() {
+	defer a()
+	if p {
+		defer b()
+	}
+	c()
+}`, cfg.Options{})
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, `
+func f(ch chan int) {
+	select {
+	case v := <-ch:
+		use(v)
+	default:
+		other()
+	}
+	done()
+}`, cfg.Options{})
+	useB, otherB, doneB := blockWithIdent(g, "use"), blockWithIdent(g, "other"), blockWithIdent(g, "done")
+	if !reaches(useB, doneB) || !reaches(otherB, doneB) {
+		t.Error("select clauses must rejoin at done()")
+	}
+	if reaches(useB, otherB) {
+		t.Error("select clauses are exclusive")
+	}
+}

@@ -1,0 +1,574 @@
+// Package closeleak enforces resource ownership on every path: a value
+// with a Close method obtained from a constructor-like call must be
+// closed, or must escape the function, on every path to return — the
+// error paths included. This is the session-engine bug class from the
+// server work: an engine opened per session leaked whenever an early
+// error return skipped the cleanup.
+//
+// A site is tracked when all of the following hold:
+//
+//   - the call's result type is defined in this module and has Close
+//     in its method set (pointer receivers included);
+//   - the callee looks ownership-transferring: its name starts with
+//     New, Open, Create, Dial, Start or Make. Getter-style accessors
+//     that return a resource someone else owns are deliberately not
+//     tracked — convicting them would force the caller to close what
+//     it does not own.
+//
+// The obligation is discharged by calling Close (directly, in a defer,
+// or inside a deferred closure), by returning or storing the value, or
+// by passing it to a function the cross-package summaries prove closes
+// or retains it. On the branch where the constructor's paired error is
+// non-nil — or where the value itself is nil — there is nothing to
+// close and nothing is owed. Paths that end in panic or os.Exit owe
+// nothing either. The analysis is the same forward CFG dataflow as
+// itererr, with may-leak (union) join: a path that leaks is a finding
+// even when its sibling cleans up.
+package closeleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gdbm/internal/analysis"
+	"gdbm/internal/analysis/cfg"
+	"gdbm/internal/analysis/dataflow"
+)
+
+// Analyzer is the closeleak check.
+var Analyzer = &analysis.Analyzer{
+	Name: "closeleak",
+	Doc: "a closeable value obtained from a constructor must be closed or escape " +
+		"on every path to return, error returns included",
+	Run: run,
+}
+
+var ownerPrefixes = []string{"New", "Open", "Create", "Dial", "Start", "Make"}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, module: analysis.ModulePath(pass.PkgPath)}
+	analysis.FuncBodies(pass.Files, c.checkBody)
+	return nil
+}
+
+// site is one live close obligation.
+type site struct {
+	id     int
+	label  string // printable constructor call, e.g. "engine.New"
+	pos    token.Pos
+	obj    types.Object // the closeable variable
+	errObj types.Object // the constructor's paired error result, if any
+	def    ast.Node
+	reported bool
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	module string
+}
+
+// closerCall matches a constructor-like call with a module-internal
+// closeable among its results; errIdx is the paired error result, or -1.
+func (c *checker) closerCall(call *ast.CallExpr) (resIdx, errIdx int, label string, ok bool) {
+	if !ownerName(call.Fun) {
+		return 0, -1, "", false
+	}
+	tv, found := c.pass.Info.Types[call]
+	if !found || tv.IsType() {
+		return 0, -1, "", false
+	}
+	if tuple, isTuple := tv.Type.(*types.Tuple); isTuple {
+		resIdx, errIdx = -1, -1
+		for i := 0; i < tuple.Len(); i++ {
+			t := tuple.At(i).Type()
+			if resIdx < 0 && c.closeable(t) {
+				resIdx = i
+			} else if isError(t) {
+				errIdx = i
+			}
+		}
+		if resIdx < 0 {
+			return 0, -1, "", false
+		}
+		return resIdx, errIdx, types.ExprString(call.Fun), true
+	}
+	if c.closeable(tv.Type) {
+		return 0, -1, types.ExprString(call.Fun), true
+	}
+	return 0, -1, "", false
+}
+
+// ownerName reports whether the called expression's final name looks
+// ownership-transferring.
+func ownerName(fun ast.Expr) bool {
+	var name string
+	switch fun := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	for _, p := range ownerPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// closeable reports whether t is a module-defined type with Close in
+// its method set.
+func (c *checker) closeable(t types.Type) bool {
+	definer := t
+	if p, ok := definer.(*types.Pointer); ok {
+		definer = p.Elem()
+	}
+	named, ok := definer.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || analysis.ModulePath(obj.Pkg().Path()) != c.module {
+		return false
+	}
+	m, _, _ := types.LookupFieldOrMethod(t, true, nil, "Close")
+	fn, isFn := m.(*types.Func)
+	if !isFn {
+		return false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	return isSig && sig.Params().Len() == 0
+}
+
+func (c *checker) checkBody(name string, body *ast.BlockStmt) {
+	sites := c.collect(body)
+	if len(sites) == 0 {
+		return
+	}
+	byObj := map[types.Object][]*site{}
+	byDef := map[ast.Node][]*site{}
+	for _, s := range sites {
+		if s.obj != nil {
+			byObj[s.obj] = append(byObj[s.obj], s)
+		}
+		byDef[s.def] = append(byDef[s.def], s)
+	}
+
+	g := cfg.Build(body, cfg.Options{NoReturn: analysis.NoReturnCall(c.pass.Info)})
+
+	// Deferred cleanup runs at every exit regardless of where the defer
+	// statement sits in flow order.
+	deferClosed := map[types.Object]bool{}
+	for _, d := range g.Defers {
+		ops := c.classify(d, byObj, byDef)
+		for _, obj := range ops.closes {
+			deferClosed[obj] = true
+		}
+		for _, obj := range ops.escapes {
+			deferClosed[obj] = true
+		}
+	}
+
+	type fact = map[int]bool
+	kill := func(f fact, pred func(*site) bool) fact {
+		var out fact
+		for id := range f {
+			if pred(sites[id]) {
+				if out == nil {
+					out = make(fact, len(f))
+					for k := range f {
+						out[k] = true
+					}
+				}
+				delete(out, id)
+			}
+		}
+		if out == nil {
+			return f
+		}
+		return out
+	}
+
+	transfer := func(n ast.Node, f fact, report bool) fact {
+		ops := c.classify(n, byObj, byDef)
+		for _, obj := range ops.closes {
+			f = kill(f, func(s *site) bool { return s.obj == obj })
+		}
+		for _, obj := range ops.escapes {
+			f = kill(f, func(s *site) bool { return s.obj == obj })
+		}
+		for _, p := range ops.passes {
+			p := p
+			f = kill(f, func(s *site) bool {
+				if s.obj != p.obj {
+					return false
+				}
+				fs := c.pass.Summaries.Func(p.callee)
+				if fs == nil {
+					return true // unknown callee: assume it takes ownership
+				}
+				return fs.Closes[p.argIdx] || fs.Escapes[p.argIdx]
+			})
+		}
+		lose := func(obj types.Object, exceptDef ast.Node) {
+			f = kill(f, func(s *site) bool {
+				dead := s.obj == obj && s.def != exceptDef
+				if dead && report && !s.reported {
+					s.reported = true
+					c.pass.Reportf(s.pos,
+						"value from %s is overwritten before it is closed", s.label)
+				}
+				return dead
+			})
+		}
+		for _, obj := range ops.reassigns {
+			lose(obj, nil)
+		}
+		for _, s := range ops.adds {
+			if s.obj != nil {
+				lose(s.obj, s.def)
+			}
+			out := make(fact, len(f)+1)
+			for k := range f {
+				out[k] = true
+			}
+			out[s.id] = true
+			f = out
+		}
+		return f
+	}
+
+	res := dataflow.Forward(g, dataflow.Problem[fact]{
+		Entry: fact{},
+		Join: func(a, b fact) fact {
+			if len(a) == 0 {
+				return b
+			}
+			if len(b) == 0 {
+				return a
+			}
+			out := make(fact, len(a)+len(b))
+			for k := range a {
+				out[k] = true
+			}
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b fact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(n ast.Node, f fact) fact { return transfer(n, f, false) },
+		Edge: func(e cfg.Edge, f fact) fact {
+			obj, nonNil, ok := nilCheck(c.pass.Info, e.Cond)
+			if !ok {
+				return f
+			}
+			return kill(f, func(s *site) bool {
+				// Constructor failed: nothing was opened.
+				if s.errObj != nil && s.errObj == obj && nonNil == e.Branch {
+					return true
+				}
+				// The value itself is nil on this branch.
+				return s.obj == obj && !nonNil == e.Branch
+			})
+		},
+	})
+
+	for _, b := range g.Blocks {
+		f, reached := res.In[b]
+		if !reached {
+			continue
+		}
+		for _, n := range b.Nodes {
+			f = transfer(n, f, true)
+		}
+	}
+	for id := range res.In[g.Exit] {
+		s := sites[id]
+		if s.reported || deferClosed[s.obj] {
+			continue
+		}
+		s.reported = true
+		c.pass.Reportf(s.pos,
+			"value from %s is not closed on every path to return; close it or let it escape", s.label)
+	}
+}
+
+// collect finds the close obligations of body (not descending into
+// nested function literals) and reports the immediate discards.
+func (c *checker) collect(body *ast.BlockStmt) []*site {
+	var sites []*site
+	add := func(label string, pos token.Pos, obj, errObj types.Object, def ast.Node) {
+		sites = append(sites, &site{
+			id: len(sites), label: label, pos: pos,
+			obj: obj, errObj: errObj, def: def,
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if _, _, label, ok := c.closerCall(call); ok {
+					c.pass.Reportf(call.Pos(),
+						"closeable value from %s is dropped; it can never be closed", label)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			resIdx, errIdx, label, ok := c.closerCall(call)
+			if !ok || resIdx >= len(n.Lhs) {
+				return true
+			}
+			obj := lhsObject(c.pass.Info, n.Lhs[resIdx])
+			var errObj types.Object
+			if errIdx >= 0 && errIdx < len(n.Lhs) {
+				errObj = lhsObject(c.pass.Info, n.Lhs[errIdx])
+			}
+			if isBlank(n.Lhs[resIdx]) {
+				c.pass.Reportf(n.Pos(),
+					"closeable value from %s is assigned to the blank identifier; it can never be closed", label)
+			} else if obj != nil {
+				add(label, call.Pos(), obj, errObj, n)
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 1 || len(vs.Names) != 1 {
+					continue
+				}
+				call, ok := vs.Values[0].(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if _, _, label, ok := c.closerCall(call); ok {
+					if obj := c.pass.Info.Defs[vs.Names[0]]; obj != nil {
+						add(label, call.Pos(), obj, nil, n)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+type passEvent struct {
+	obj    types.Object
+	callee *types.Func
+	argIdx int
+}
+
+type nodeOps struct {
+	closes    []types.Object // x.Close() observed
+	escapes   []types.Object // x returned, stored, sent, captured...
+	passes    []passEvent
+	reassigns []types.Object
+	adds      []*site
+}
+
+// classify extracts one CFG node's effects on the tracked obligations.
+func (c *checker) classify(n ast.Node, byObj map[types.Object][]*site, byDef map[ast.Node][]*site) nodeOps {
+	var ops nodeOps
+	ops.adds = byDef[n]
+
+	tracked := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := c.pass.Info.ObjectOf(id)
+		if len(byObj[obj]) == 0 {
+			return nil
+		}
+		return obj
+	}
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if obj := tracked(lhs); obj != nil {
+						if !defines(byDef[x], obj) {
+							ops.reassigns = append(ops.reassigns, obj)
+						}
+					} else if _, isIdent := lhs.(*ast.Ident); !isIdent {
+						walk(lhs)
+					}
+				}
+				for _, rhs := range x.Rhs {
+					walk(rhs)
+				}
+				return false
+			case *ast.CallExpr:
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+					if obj := tracked(sel.X); obj != nil {
+						if sel.Sel.Name == "Close" {
+							ops.closes = append(ops.closes, obj)
+						}
+						// Other method calls use the value without
+						// transferring ownership.
+						for _, arg := range x.Args {
+							walk(arg)
+						}
+						return false
+					}
+				}
+				callee := calleeOf(c.pass.Info, x)
+				for i, arg := range x.Args {
+					if obj := tracked(arg); obj != nil {
+						ops.passes = append(ops.passes, passEvent{obj: obj, callee: callee, argIdx: i})
+						continue
+					}
+					walk(arg)
+				}
+				walk(x.Fun)
+				return false
+			case *ast.SelectorExpr:
+				if obj := tracked(x.X); obj != nil {
+					if x.Sel.Name == "Close" {
+						// Method value x.Close handed somewhere: treat as
+						// a close (it is bound precisely to be called).
+						ops.closes = append(ops.closes, obj)
+					}
+					// Field reads keep ownership in place.
+					return false
+				}
+				return true
+			case *ast.RangeStmt:
+				walk(x.X)
+				for _, v := range []ast.Expr{x.Key, x.Value} {
+					if v == nil {
+						continue
+					}
+					if obj := tracked(v); obj != nil {
+						ops.reassigns = append(ops.reassigns, obj)
+					}
+				}
+				return false
+			case *ast.Ident:
+				if obj := tracked(x); obj != nil {
+					ops.escapes = append(ops.escapes, obj)
+				}
+			}
+			return true
+		})
+	}
+	walk(n)
+	return ops
+}
+
+func defines(ss []*site, obj types.Object) bool {
+	for _, s := range ss {
+		if s.obj == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func nilCheck(info *types.Info, cond ast.Expr) (types.Object, bool, bool) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil, false, false
+	}
+	op := be.Op.String()
+	if op != "!=" && op != "==" {
+		return nil, false, false
+	}
+	x, y := be.X, be.Y
+	if isNilIdent(info, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(info, y) {
+		return nil, false, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false, false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return nil, false, false
+	}
+	return obj, op == "!=", true
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func lhsObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := info.ObjectOf(id)
+	// A package-level variable escapes by construction: a value parked
+	// there outlives the function, and someone else may close it.
+	if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return nil
+	}
+	return obj
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isError(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

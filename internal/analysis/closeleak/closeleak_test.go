@@ -1,0 +1,12 @@
+package closeleak_test
+
+import (
+	"testing"
+
+	"gdbm/internal/analysis/analysistest"
+	"gdbm/internal/analysis/closeleak"
+)
+
+func TestCloseLeak(t *testing.T) {
+	analysistest.Run(t, closeleak.Analyzer, "testdata/src/closer", "")
+}

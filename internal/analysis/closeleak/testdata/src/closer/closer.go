@@ -1,0 +1,143 @@
+// Package closer is the closeleak fixture: a closeable engine obtained
+// from constructors, leaked and cleaned up.
+package closer
+
+import (
+	"errors"
+	"os"
+)
+
+// Engine is the closeable resource.
+type Engine struct{ open bool }
+
+func (e *Engine) Close() error               { e.open = false; return nil }
+func (e *Engine) Query(q string) (int, error) { return len(q), nil }
+
+func NewEngine() *Engine                      { return &Engine{open: true} }
+func OpenEngine(path string) (*Engine, error) { return &Engine{open: true}, nil }
+
+var shared = &Engine{}
+
+// current is a getter, not a constructor: the caller does not own the
+// result and must not close it. The name heuristic keeps it untracked.
+func current() *Engine { return shared }
+
+// --- violations -----------------------------------------------------
+
+func dropped() {
+	NewEngine() // want `closeable value from NewEngine is dropped`
+}
+
+func blankAssigned() {
+	_ = NewEngine() // want `closeable value from NewEngine is assigned to the blank identifier`
+}
+
+func leaked(q string) int {
+	e := NewEngine() // want `value from NewEngine is not closed on every path`
+	n, _ := e.Query(q)
+	return n
+}
+
+func leakOnErrorPath(path string, strict bool) error {
+	e, err := OpenEngine(path) // want `value from OpenEngine is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if strict {
+		return errors.New("strict mode refuses engines")
+	}
+	return e.Close()
+}
+
+func overwritten() error {
+	e := NewEngine() // want `value from NewEngine is overwritten before it is closed`
+	e = NewEngine()
+	return e.Close()
+}
+
+func handedToNonOwner(q string) {
+	e := NewEngine() // want `value from NewEngine is not closed on every path`
+	ping(e, q)
+}
+
+// ping uses the engine without taking ownership: it neither closes nor
+// retains it, so the caller still owes the Close.
+func ping(e *Engine, q string) {
+	e.Query(q)
+}
+
+// --- clean ----------------------------------------------------------
+
+func deferClosed(q string) (int, error) {
+	e := NewEngine()
+	defer e.Close()
+	return e.Query(q)
+}
+
+func deferClosure(path string) error {
+	e, err := OpenEngine(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		e.Close()
+	}()
+	_, qerr := e.Query(path)
+	return qerr
+}
+
+func closedBothArms(q string) error {
+	e := NewEngine()
+	if q == "" {
+		e.Close()
+		return errors.New("empty query")
+	}
+	_, err := e.Query(q)
+	e.Close()
+	return err
+}
+
+func returned() *Engine {
+	return NewEngine()
+}
+
+func aliasReturned() *Engine {
+	e := NewEngine()
+	return e
+}
+
+type pool struct{ engines []*Engine }
+
+func (p *pool) stored() {
+	e := NewEngine()
+	p.engines = append(p.engines, e)
+}
+
+// shutdown closes on the caller's behalf; the summaries prove it.
+func shutdown(e *Engine) {
+	e.Close()
+}
+
+func handedToOwner() {
+	e := NewEngine()
+	shutdown(e)
+}
+
+func getterUntracked(q string) int {
+	e := current()
+	n, _ := e.Query(q)
+	return n
+}
+
+func exitPath(abort bool) error {
+	e := NewEngine()
+	if abort {
+		os.Exit(3)
+	}
+	return e.Close()
+}
+
+func suppressed() {
+	//gdbvet:allow(closeleak): fixture exercises the suppression path
+	NewEngine()
+}

@@ -103,3 +103,50 @@ func wrongShapeSibling(d decoy) {
 func sanctioned(e eng) {
 	_, _ = e.Query("q") //gdbvet:allow(ctxflow): fixture demonstrating the suppression comment
 }
+
+func sanctionedSever(e eng) {
+	// Suppression works on the sever rule too: the directive is consumed
+	// (so it does not trip the unused-directive hygiene check) and the
+	// diagnostic is routed to the suppressed set, not reported here.
+	_, _ = e.QueryContext(context.Background(), "q") //gdbvet:allow(ctxflow): fixture demonstrating suppression of the sever rule
+}
+
+// Known holes — shapes the analyzer deliberately skips, pinned here so
+// the silence is a tested contract rather than an accident. If the
+// analyzer ever grows flow-sensitivity or callback tracking, these
+// lines acquire want comments instead of surprising downstream code.
+
+func rootViaVariable(ctx context.Context, e eng) {
+	// The package doc promises flow-insensitivity: a fresh root stored
+	// in a variable before the call is not chased. The dynamic
+	// cancellation tests are the backstop for this hole.
+	c := context.Background()
+	_, _ = e.QueryContext(c, "q")
+}
+
+func methodValueCallback(e eng, l lang) {
+	// A ctx-free entry point passed as a method value never appears as
+	// the function of a call expression, so rule 2 cannot see it being
+	// invoked inside the runner.
+	runQueries(e.Query)
+	runHooks(l.Exec, l.Run)
+}
+
+func methodValueThroughVariable(e eng) {
+	// Calling through a bound method value: the call's function is a
+	// plain identifier, not a selector, so the sibling lookup never runs.
+	q := e.Query
+	_, _ = q("q")
+}
+
+func closureCallback(e eng) {
+	// Contrast: a closure wrapping the ctx-free call IS convicted —
+	// traversal descends into function literals. Only the uninvoked
+	// method value escapes the check.
+	runQueries(func(stmt string) (result, error) {
+		return e.Query(stmt) // want `Query has a context-threading sibling QueryContext`
+	})
+}
+
+func runQueries(f func(string) (result, error)) { _, _ = f("q") }
+func runHooks(hooks ...any)                     {}

@@ -1,0 +1,95 @@
+// Package dataflow is the forward worklist solver the gdbvet analyzers
+// run over the cfg package's graphs. The lattice is pluggable: a
+// Problem supplies the entry fact, the join, and the per-node transfer
+// function, plus an optional per-edge hook that refines a fact along a
+// branch edge (the hook is how closeleak drops a Close obligation on
+// the `err != nil` arm of a constructor check).
+//
+// Facts are arbitrary values of type F. The solver never mutates a
+// fact; Transfer and Edge must return fresh or shared-immutable values,
+// and Join must be commutative and idempotent. Unreachable blocks are
+// never visited and appear in neither result map, so an analysis can
+// distinguish "no fact" from "empty fact".
+package dataflow
+
+import (
+	"go/ast"
+
+	"gdbm/internal/analysis/cfg"
+)
+
+// Problem describes one forward dataflow analysis.
+type Problem[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+	// Join combines facts meeting at a block. It must be commutative
+	// and idempotent.
+	Join func(a, b F) F
+	// Equal reports whether two facts are equal; it bounds the
+	// iteration.
+	Equal func(a, b F) bool
+	// Transfer pushes the fact across one node of a block, in order.
+	Transfer func(n ast.Node, f F) F
+	// Edge, if non-nil, refines the fact flowing along a conditional
+	// edge (e.Cond is the atomic condition, e.Branch its value on this
+	// edge). Unconditional edges pass the fact through unchanged.
+	Edge func(e cfg.Edge, f F) F
+}
+
+// Result holds the solved facts: In is the joined fact at block entry,
+// Out the fact after the block's last node. Blocks never reached hold
+// no entry.
+type Result[F any] struct {
+	In  map[*cfg.Block]F
+	Out map[*cfg.Block]F
+}
+
+// Forward solves the problem over g to a fixpoint and returns the
+// per-block facts.
+func Forward[F any](g *cfg.Graph, p Problem[F]) Result[F] {
+	res := Result[F]{
+		In:  make(map[*cfg.Block]F, len(g.Blocks)),
+		Out: make(map[*cfg.Block]F, len(g.Blocks)),
+	}
+	res.In[g.Entry] = p.Entry
+
+	// Worklist seeded with Entry; blocks enter the list when their In
+	// fact changes.
+	work := []*cfg.Block{g.Entry}
+	queued := map[*cfg.Block]bool{g.Entry: true}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		f := res.In[b]
+		for _, n := range b.Nodes {
+			f = p.Transfer(n, f)
+		}
+		res.Out[b] = f
+
+		for _, e := range b.Succs {
+			ef := f
+			if p.Edge != nil && e.Cond != nil {
+				ef = p.Edge(e, ef)
+			}
+			old, seen := res.In[e.To]
+			var next F
+			if seen {
+				next = p.Join(old, ef)
+				if p.Equal(old, next) {
+					continue
+				}
+			} else {
+				next = ef
+			}
+			res.In[e.To] = next
+			if !queued[e.To] {
+				queued[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return res
+}

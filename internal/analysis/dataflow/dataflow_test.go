@@ -1,0 +1,158 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"gdbm/internal/analysis/cfg"
+	"gdbm/internal/analysis/dataflow"
+)
+
+func build(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return cfg.Build(fd.Body, cfg.Options{})
+		}
+	}
+	t.Fatal("no function")
+	return nil
+}
+
+// checkedProblem is a must-analysis: the fact is true when check() has
+// been called on every path reaching the point.
+func checkedProblem() dataflow.Problem[bool] {
+	return dataflow.Problem[bool]{
+		Entry: false,
+		Join:  func(a, b bool) bool { return a && b },
+		Equal: func(a, b bool) bool { return a == b },
+		Transfer: func(n ast.Node, f bool) bool {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "check" {
+						return true
+					}
+				}
+			}
+			return f
+		},
+	}
+}
+
+func TestMustCheckBothArms(t *testing.T) {
+	g := build(t, `
+func f(p bool) {
+	if p {
+		check()
+	} else {
+		check()
+	}
+}`)
+	res := dataflow.Forward(g, checkedProblem())
+	if got, ok := res.In[g.Exit]; !ok || !got {
+		t.Errorf("check() on both arms: fact at exit = %v (reached=%v), want true", got, ok)
+	}
+}
+
+func TestMustCheckOneArmFails(t *testing.T) {
+	g := build(t, `
+func f(p bool) {
+	if p {
+		check()
+	}
+}`)
+	res := dataflow.Forward(g, checkedProblem())
+	if got := res.In[g.Exit]; got {
+		t.Error("check() on one arm must not satisfy the must-analysis")
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	// The loop may run zero times, so the check inside it does not
+	// dominate the exit.
+	g := build(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		check()
+	}
+}`)
+	res := dataflow.Forward(g, checkedProblem())
+	if got := res.In[g.Exit]; got {
+		t.Error("a check inside a maybe-zero-trip loop must not count")
+	}
+	// After an unconditional check before the loop it does.
+	g = build(t, `
+func f(n int) {
+	check()
+	for i := 0; i < n; i++ {
+		work()
+	}
+}`)
+	res = dataflow.Forward(g, checkedProblem())
+	if got := res.In[g.Exit]; !got {
+		t.Error("check before the loop dominates the exit")
+	}
+}
+
+// TestEdgeRefinement drops the fact on the false edge of the condition
+// ident "armed", modelling branch-sensitive obligation transfer.
+func TestEdgeRefinement(t *testing.T) {
+	g := build(t, `
+func f(armed bool) {
+	check()
+	if armed {
+		use()
+	} else {
+		other()
+	}
+}`)
+	p := checkedProblem()
+	p.Edge = func(e cfg.Edge, f bool) bool {
+		if id, ok := e.Cond.(*ast.Ident); ok && id.Name == "armed" && !e.Branch {
+			return false
+		}
+		return f
+	}
+	res := dataflow.Forward(g, p)
+	// The join of true (then arm) and false (refined else arm) is false.
+	if got := res.In[g.Exit]; got {
+		t.Error("edge refinement on the false arm must reach the exit join")
+	}
+}
+
+func TestUnreachableBlocksCarryNoFacts(t *testing.T) {
+	g := build(t, `
+func f() {
+	check()
+	return
+	dead()
+}`)
+	res := dataflow.Forward(g, checkedProblem())
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "dead" {
+				if _, reached := res.In[b]; reached {
+					t.Error("dead code after return must not be visited")
+				}
+			}
+		}
+	}
+	if got, ok := res.In[g.Exit]; !ok || !got {
+		t.Error("exit fact must come from the live path")
+	}
+}

@@ -1,0 +1,12 @@
+package itererr_test
+
+import (
+	"testing"
+
+	"gdbm/internal/analysis/analysistest"
+	"gdbm/internal/analysis/itererr"
+)
+
+func TestIterErr(t *testing.T) {
+	analysistest.Run(t, itererr.Analyzer, "testdata/src/iter", "")
+}

@@ -1,0 +1,205 @@
+// Package iter is the itererr fixture: a graph with callback iteration
+// and a Next/Err cursor, exercised both correctly and incorrectly.
+package iter
+
+import (
+	"fmt"
+	"os"
+)
+
+// Graph is a stand-in for the model.Graph callback-iteration surface.
+type Graph struct{ n int }
+
+func (g *Graph) Nodes(fn func(id string) bool) error      { return nil }
+func (g *Graph) Edges(fn func(from, to string) bool) error { return nil }
+
+// Cursor is the Next/Err iterator shape.
+type Cursor struct{ err error }
+
+func (c *Cursor) Next() bool    { return false }
+func (c *Cursor) Err() error    { return c.err }
+func (c *Cursor) Value() string { return "" }
+
+func (g *Graph) Scan() *Cursor                 { return &Cursor{} }
+func (g *Graph) ScanChecked() (*Cursor, error) { return &Cursor{}, nil }
+
+// --- violations -----------------------------------------------------
+
+func discarded(g *Graph) {
+	g.Nodes(func(string) bool { return true }) // want `error from g\.Nodes is discarded`
+}
+
+func blankAssigned(g *Graph) {
+	_ = g.Edges(func(string, string) bool { return true }) // want `error from g\.Edges is assigned to the blank identifier`
+}
+
+func inGoroutine(g *Graph) {
+	go g.Nodes(func(string) bool { return true }) // want `go statement discards the error from g\.Nodes`
+}
+
+func oneArmUnchecked(g *Graph, verbose bool) error {
+	err := g.Nodes(func(string) bool { return true }) // want `error from g\.Nodes is not checked on every path`
+	if verbose {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func overwritten(g *Graph) error {
+	err := g.Nodes(func(string) bool { return true }) // want `error from g\.Nodes is overwritten before it is checked`
+	err = g.Edges(func(string, string) bool { return true })
+	return err
+}
+
+func rangeSwallows(g *Graph, items []string) int {
+	var err error
+	_ = err // silence the compiler; the analyzer still tracks the site below
+	n := 0
+	err = g.Nodes(func(string) bool { return true }) // want `error from g\.Nodes is not checked on every path`
+	for range items {
+		n++
+	}
+	return n
+}
+
+func cursorUnchecked(g *Graph) []string {
+	var out []string
+	c := g.Scan() // want `iterator from g\.Scan reaches a return without Err\(\) being checked`
+	for c.Next() {
+		out = append(out, c.Value())
+	}
+	return out
+}
+
+func cursorDiscarded(g *Graph) {
+	g.Scan() // want `iterator from g\.Scan is discarded`
+}
+
+func cursorIgnoredByCallee(g *Graph) {
+	c := g.Scan() // want `iterator from g\.Scan reaches a return without Err\(\) being checked`
+	poke(c)
+}
+
+// poke neither checks the cursor's Err nor lets it escape, so handing
+// the cursor to it cannot discharge the caller's obligation.
+func poke(c *Cursor) {
+	c.Next()
+}
+
+// --- clean ----------------------------------------------------------
+
+func checkedBothArms(g *Graph) error {
+	err := g.Nodes(func(string) bool { return true })
+	if err != nil {
+		return fmt.Errorf("nodes: %w", err)
+	}
+	return nil
+}
+
+func returnedDirectly(g *Graph) error {
+	return g.Edges(func(string, string) bool { return true })
+}
+
+func passedOn(g *Graph) {
+	err := g.Nodes(func(string) bool { return true })
+	record(err)
+}
+
+func record(err error) {
+	if err != nil {
+		os.Exit(1)
+	}
+}
+
+func exitPath(g *Graph, abort bool) error {
+	err := g.Nodes(func(string) bool { return true })
+	if abort {
+		os.Exit(2)
+	}
+	return err
+}
+
+func deferredCheck(g *Graph) {
+	var err error
+	defer func() {
+		if err != nil {
+			panic(err)
+		}
+	}()
+	err = g.Nodes(func(string) bool { return true })
+}
+
+func rangeAfter(g *Graph, items []string) error {
+	err := g.Edges(func(string, string) bool { return true })
+	for _, it := range items {
+		_ = it
+	}
+	return err
+}
+
+func cursorChecked(g *Graph) ([]string, error) {
+	var out []string
+	c := g.Scan()
+	for c.Next() {
+		out = append(out, c.Value())
+	}
+	return out, c.Err()
+}
+
+func cursorPairedErr(g *Graph) error {
+	c, err := g.ScanChecked()
+	if err != nil {
+		return err
+	}
+	for c.Next() {
+	}
+	return c.Err()
+}
+
+func cursorEscapes(g *Graph) *Cursor {
+	return g.Scan()
+}
+
+func cursorAliased(g *Graph) *Cursor {
+	c := g.Scan()
+	return c
+}
+
+func cursorHandedOff(g *Graph) {
+	c := g.Scan()
+	drain(c)
+}
+
+// drain checks Err on the caller's behalf; the summaries prove it.
+func drain(c *Cursor) {
+	for c.Next() {
+	}
+	if err := c.Err(); err != nil {
+		panic(err)
+	}
+}
+
+// failsWithOtherError exits the iterErr-wins way: the path returning the
+// callback's own error never reads the iteration error, but it fails the
+// function, so nothing is swallowed.
+func failsWithOtherError(g *Graph) error {
+	var bad error
+	err := g.Nodes(func(id string) bool {
+		if id == "" {
+			bad = fmt.Errorf("empty id")
+			return false
+		}
+		return true
+	})
+	if bad != nil {
+		return bad
+	}
+	return err
+}
+
+func suppressed(g *Graph) {
+	//gdbvet:allow(itererr): fixture exercises the suppression path
+	g.Nodes(func(string) bool { return true })
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"gdbm/internal/analysis/analysistest"
+	"gdbm/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/src/locks", "")
+}

@@ -1,0 +1,121 @@
+// Package locks is the lockorder fixture: an AB-BA ordering cycle, a
+// same-expression re-entry, an RLock upgrade, and clean counterparts.
+package locks
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// --- AB-BA cycle ----------------------------------------------------
+
+func aThenB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `inconsistent lock order`
+	b.n++
+	b.mu.Unlock()
+}
+
+func bThenA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `inconsistent lock order`
+	a.n++
+	a.mu.Unlock()
+}
+
+// --- re-entry and upgrade on one expression -------------------------
+
+type S struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (s *S) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `already locked on this path`
+	s.n++
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *S) upgradeInline() {
+	s.mu.RLock()
+	s.mu.Lock() // want `RLock-then-Lock deadlocks`
+	s.n++
+	s.mu.Unlock()
+	s.mu.RUnlock()
+}
+
+func (s *S) readThenWriteCall() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bump() // want `may acquire the write lock`
+}
+
+func (s *S) bump() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return s.n
+}
+
+// --- clean ----------------------------------------------------------
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Consistent C-before-D order in both functions: no cycle.
+func cThenD(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	d.n++
+	d.mu.Unlock()
+}
+
+func cThenDAgain(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	c.n++
+	d.n++
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// Sequential lock/unlock/lock on one expression: released in between,
+// no re-entry edge.
+func (s *S) sequential() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.mu.Lock()
+	s.n--
+	s.mu.Unlock()
+}
+
+// Read lock around a call that only reads: no upgrade.
+func (s *S) readThenReadCall() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.peek()
+}
+
+func (s *S) peek() int {
+	return s.n
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoReturnCall returns a predicate for cfg.Options.NoReturn: it
+// recognizes the standard-library calls that terminate the goroutine
+// or the process (os.Exit, log.Fatal*, runtime.Goexit), so the
+// dataflow analyzers do not demand cleanup on paths that never return.
+func NoReturnCall(info *types.Info) func(*ast.CallExpr) bool {
+	return func(call *ast.CallExpr) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		pn, ok := info.Uses[id].(*types.PkgName)
+		if !ok {
+			return false
+		}
+		switch pn.Imported().Path() {
+		case "os":
+			return sel.Sel.Name == "Exit"
+		case "log":
+			switch sel.Sel.Name {
+			case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+				return true
+			}
+		case "runtime":
+			return sel.Sel.Name == "Goexit"
+		}
+		return false
+	}
+}
+
+// FuncBodies visits every function-like body in the files: each
+// FuncDecl body and each FuncLit body, outermost first. The dataflow
+// analyzers analyze each independently, because a literal's body runs
+// when the value is called, not where it appears.
+func FuncBodies(files []*ast.File, visit func(name string, body *ast.BlockStmt)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visit(fd.Name.Name, fd.Body)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				visit("func literal", lit.Body)
+			}
+			return true
+		})
+	}
+}

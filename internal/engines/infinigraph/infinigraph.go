@@ -373,11 +373,14 @@ func (db *DB) Edge(id model.EdgeID) (model.Edge, error) {
 func (db *DB) Nodes(fn func(model.Node) bool) error {
 	db.mu.RLock()
 	var snapshot []model.Node
-	lockedView{db}.Nodes(func(n model.Node) bool {
+	err := lockedView{db}.Nodes(func(n model.Node) bool {
 		snapshot = append(snapshot, n)
 		return true
 	})
 	db.mu.RUnlock()
+	if err != nil {
+		return err
+	}
 	for _, n := range snapshot {
 		if !fn(n) {
 			return nil
@@ -390,11 +393,14 @@ func (db *DB) Nodes(fn func(model.Node) bool) error {
 func (db *DB) Edges(fn func(model.Edge) bool) error {
 	db.mu.RLock()
 	var snapshot []model.Edge
-	lockedView{db}.Edges(func(e model.Edge) bool {
+	err := lockedView{db}.Edges(func(e model.Edge) bool {
 		snapshot = append(snapshot, e)
 		return true
 	})
 	db.mu.RUnlock()
+	if err != nil {
+		return err
+	}
 	for _, e := range snapshot {
 		if !fn(e) {
 			return nil

@@ -188,16 +188,19 @@ func (g *Hypergraph) Incident(id model.NodeID, fn func(model.HyperEdge) bool) er
 // Binary projects the hypergraph to a binary graph view: each 2-member
 // hyperedge becomes a directed edge, and each k>2 hyperedge is expanded into
 // the clique of ordered pairs of its members. The projection lets the shared
-// algorithm layer run over hypergraph engines.
-func (g *Hypergraph) Binary() *Graph {
+// algorithm layer run over hypergraph engines. An iteration error aborts
+// the projection: a partial view must not pass for the whole hypergraph.
+func (g *Hypergraph) Binary() (*Graph, error) {
 	bin := New()
 	idmap := make(map[model.NodeID]model.NodeID)
-	g.Nodes(func(n model.Node) bool {
+	if err := g.Nodes(func(n model.Node) bool {
 		nid, _ := bin.AddNode(n.Label, n.Props)
 		idmap[n.ID] = nid
 		return true
-	})
-	g.HyperEdges(func(e model.HyperEdge) bool {
+	}); err != nil {
+		return nil, err
+	}
+	if err := g.HyperEdges(func(e model.HyperEdge) bool {
 		if len(e.Members) == 2 {
 			bin.AddEdge(e.Label, idmap[e.Members[0]], idmap[e.Members[1]], e.Props)
 			return true
@@ -210,8 +213,10 @@ func (g *Hypergraph) Binary() *Graph {
 			}
 		}
 		return true
-	})
-	return bin
+	}); err != nil {
+		return nil, err
+	}
+	return bin, nil
 }
 
 var _ model.MutableHypergraph = (*Hypergraph)(nil)

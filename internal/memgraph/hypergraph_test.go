@@ -113,7 +113,10 @@ func TestBinaryProjection(t *testing.T) {
 	c, _ := g.AddNode("P", nil)
 	g.AddHyperEdge("pair", []model.NodeID{a, b}, nil)
 	g.AddHyperEdge("trio", []model.NodeID{a, b, c}, nil)
-	bin := g.Binary()
+	bin, err := g.Binary()
+	if err != nil {
+		t.Fatalf("Binary: %v", err)
+	}
 	if bin.Order() != 3 {
 		t.Errorf("binary order = %d", bin.Order())
 	}

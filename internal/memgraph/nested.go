@@ -82,10 +82,12 @@ func (g *Nested) Depth(id model.NodeID) (int, error) {
 	}
 	max := 0
 	var nodes []model.NodeID
-	c.Nodes(func(n model.Node) bool {
+	if err := c.Nodes(func(n model.Node) bool {
 		nodes = append(nodes, n.ID)
 		return true
-	})
+	}); err != nil {
+		return 0, err
+	}
 	for _, nid := range nodes {
 		d, err := c.Depth(nid)
 		if err != nil {
@@ -109,27 +111,34 @@ func (g *Nested) RemoveNode(id model.NodeID) error {
 // Flatten returns a flat Graph in which every hypernode's child nodes are
 // inlined and connected to the hypernode's neighbours via edges labelled
 // "nests". It demonstrates the survey's claim that nested graphs subsume the
-// other structures.
-func (g *Nested) Flatten() *Graph {
+// other structures. An iteration error at any nesting level aborts the
+// flattening: a partially-inlined graph must not pass for the whole.
+func (g *Nested) Flatten() (*Graph, error) {
 	flat := New()
-	g.flattenInto(flat, nil)
-	return flat
+	if err := g.flattenInto(flat, nil); err != nil {
+		return nil, err
+	}
+	return flat, nil
 }
 
-func (g *Nested) flattenInto(flat *Graph, parent *model.NodeID) {
+func (g *Nested) flattenInto(flat *Graph, parent *model.NodeID) error {
 	idmap := make(map[model.NodeID]model.NodeID)
-	g.Nodes(func(n model.Node) bool {
+	if err := g.Nodes(func(n model.Node) bool {
 		nid, _ := flat.AddNode(n.Label, n.Props)
 		idmap[n.ID] = nid
 		if parent != nil {
 			flat.AddEdge("nests", *parent, nid, nil)
 		}
 		return true
-	})
-	g.Edges(func(e model.Edge) bool {
+	}); err != nil {
+		return err
+	}
+	if err := g.Edges(func(e model.Edge) bool {
 		flat.AddEdge(e.Label, idmap[e.From], idmap[e.To], e.Props)
 		return true
-	})
+	}); err != nil {
+		return err
+	}
 	g.mu.RLock()
 	kids := make(map[model.NodeID]*Nested, len(g.children))
 	for id, c := range g.children {
@@ -138,8 +147,11 @@ func (g *Nested) flattenInto(flat *Graph, parent *model.NodeID) {
 	g.mu.RUnlock()
 	for id, c := range kids {
 		mapped := idmap[id]
-		c.flattenInto(flat, &mapped)
+		if err := c.flattenInto(flat, &mapped); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 var _ model.NestedGraph = (*Nested)(nil)

@@ -117,7 +117,10 @@ func TestFlatten(t *testing.T) {
 	child.AddEdge("in", c1, c2, nil)
 	g.Nest(a, child)
 
-	flat := g.Flatten()
+	flat, err := g.Flatten()
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
 	// Nodes: a, b, c1, c2 = 4. Edges: next, in, and 2 "nests" edges = 4.
 	if flat.Order() != 4 {
 		t.Errorf("flat order = %d, want 4", flat.Order())

@@ -121,6 +121,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	for i := 0; i < cfg.Ops; i++ {
 		if err := inst.Commit(i); err != nil {
+			inst.Close()
 			return nil, fmt.Errorf("crashtest: probe commit %d: %w", i, err)
 		}
 	}
@@ -135,10 +136,12 @@ func Run(cfg Config) (*Report, error) {
 	}
 	vis, err := inst.Visible()
 	if err != nil {
+		inst.Close()
 		return nil, fmt.Errorf("crashtest: probe visible: %w", err)
 	}
 	for i := 0; i < cfg.Ops; i++ {
 		if !vis[i] {
+			inst.Close()
 			return nil, fmt.Errorf("crashtest: op %d missing after clean reopen", i)
 		}
 	}
