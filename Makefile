@@ -2,7 +2,7 @@ GO ?= go
 COVER_FLOOR ?= 45.0
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint race race-storage race-kernels race-obs race-server bench cover fuzz-smoke serve-smoke bench-serve ci
+.PHONY: build test vet lint race race-storage race-kernels race-obs race-server race-snapshots bench cover fuzz-smoke serve-smoke bench-serve ci
 
 # Tier-1 verification: everything builds, every test passes.
 build:
@@ -51,6 +51,14 @@ race-kernels:
 race-obs:
 	$(GO) test -race ./internal/obs/... ./internal/report/... ./internal/enginetest/diff/...
 
+# The MVCC snapshot surface under the race detector: the versioned
+# adjacency store, both store-level acquire paths, the engine
+# snapshot/cancellation suite, and the writer-during-long-read twin
+# proof. See DESIGN.md "Snapshot & versioning contract".
+race-snapshots:
+	$(GO) test -race ./internal/adj/... ./internal/memgraph/ ./internal/kvgraph/ ./internal/engines/suite/
+	$(GO) test -race ./internal/enginetest/diff/ -run TestPinnedSnapshotSurvivesWriterTwins -count=1
+
 # The networked service under the race detector: session registry,
 # admission gate, and the token-bucket/load-harness pieces that hammer
 # them concurrently.
@@ -98,4 +106,4 @@ serve-smoke:
 bench-serve:
 	$(GO) run ./cmd/gdbload -selfserve -engine neograph -capacity 100 -out BENCH_serve.json
 
-ci: lint test race race-kernels race-obs race-server cover fuzz-smoke serve-smoke
+ci: lint test race race-kernels race-obs race-snapshots race-server cover fuzz-smoke serve-smoke

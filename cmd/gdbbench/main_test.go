@@ -53,7 +53,7 @@ func TestRunParallelSweepSmall(t *testing.T) {
 		t.Fatal(err)
 	}
 	body := readAll(t, out)
-	for _, want := range []string{`"gomaxprocs"`, `"kernel": "bfs"`, `"workers": 2`, `"speedup_vs_sequential"`} {
+	for _, want := range []string{`"gomaxprocs"`, `"degraded_host"`, `"kernel": "bfs"`, `"workers": 2`, `"speedup_vs_sequential"`} {
 		if !strings.Contains(body, want) {
 			t.Errorf("JSON missing %s:\n%s", want, body)
 		}

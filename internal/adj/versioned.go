@@ -1,0 +1,119 @@
+package adj
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gdbm/internal/model"
+)
+
+// Versioned publishes one immutable Snapshot per stable graph epoch with
+// copy-on-write block reuse. The owning store embeds one next to its
+// cache.Epoch and follows three rules:
+//
+//   - every mutation, while holding the store's exclusive lock, double-bumps
+//     the epoch (odd mid-mutation, even at rest) and calls MarkNode/MarkEdge
+//     for each record it touches (endpoints included for edge mutations);
+//   - AcquireView first calls TryPin with the current epoch — the O(1) path
+//     that succeeds whenever the published snapshot is already current — and
+//     only on a miss takes the store's reader lock and calls Pin;
+//   - Pin is called with writers excluded and epoch read under that
+//     exclusion, so the render sees a quiescent store and the dirty sets
+//     cannot grow mid-build.
+//
+// Mark and SetLayout take an internal mutex, so Versioned is safe even if
+// an owner's locking discipline is looser than the rules above; the rules
+// are what make TryPin's epoch comparison meaningful.
+type Versioned struct {
+	mu     sync.Mutex
+	layout Layout
+	cur    atomic.Pointer[Snapshot]
+	dirtyN map[uint32]struct{}
+	dirtyE map[uint32]struct{}
+	full   bool
+}
+
+// SetLayout selects the directory layout for subsequently built snapshots
+// and invalidates block reuse across the change. Call at construction
+// time, before the store is shared.
+func (v *Versioned) SetLayout(l Layout) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.layout != l {
+		v.layout = l
+		v.full = true
+	}
+}
+
+// MarkNode records that the block holding node id must be re-rendered.
+func (v *Versioned) MarkNode(id model.NodeID) {
+	if id == 0 {
+		return
+	}
+	v.mu.Lock()
+	if v.dirtyN == nil {
+		v.dirtyN = make(map[uint32]struct{})
+	}
+	v.dirtyN[uint32(uint64(id)>>blockShift)] = struct{}{}
+	v.mu.Unlock()
+}
+
+// MarkEdge records that the block holding edge id must be re-rendered.
+func (v *Versioned) MarkEdge(id model.EdgeID) {
+	if id == 0 {
+		return
+	}
+	v.mu.Lock()
+	if v.dirtyE == nil {
+		v.dirtyE = make(map[uint32]struct{})
+	}
+	v.dirtyE[uint32(uint64(id)>>blockShift)] = struct{}{}
+	v.mu.Unlock()
+}
+
+// MarkAll invalidates every block — for wholesale store replacement
+// (transaction rollback restores).
+func (v *Versioned) MarkAll() {
+	v.mu.Lock()
+	v.full = true
+	v.mu.Unlock()
+}
+
+// Current returns the published snapshot, if any — observability only.
+func (v *Versioned) Current() *Snapshot { return v.cur.Load() }
+
+// TryPin pins the published snapshot iff it renders exactly the given
+// epoch and the epoch is stable (even). This is the lock-free O(1)
+// acquire path: one atomic load, one pin. A nil release means the pin
+// missed and a render is needed — success is exactly "release != nil",
+// the shape the closeleak analyzer's nil-pardon understands.
+func (v *Versioned) TryPin(epoch uint64) (*Snapshot, model.ReleaseFunc) {
+	if epoch&1 == 1 { // mid-mutation; caller must serialize with the writer
+		return nil, nil
+	}
+	s := v.cur.Load()
+	if s == nil || s.epoch != epoch {
+		return nil, nil
+	}
+	release := s.Pin()
+	return s, release
+}
+
+// Pin returns a pinned snapshot of src at the given epoch, re-rendering
+// dirty blocks (sharing clean ones with the previous snapshot) when the
+// published version is stale. The caller must hold the store's
+// writer-excluding lock and must have read epoch under it.
+func (v *Versioned) Pin(epoch uint64, src Source) (*Snapshot, model.ReleaseFunc, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if s := v.cur.Load(); s != nil && s.epoch == epoch && s.layout == v.layout {
+		return s, s.Pin(), nil
+	}
+	s, err := Build(src, v.layout, epoch, v.cur.Load(), v.dirtyN, v.dirtyE, v.full)
+	if err != nil {
+		return nil, nil, err
+	}
+	v.cur.Store(s)
+	v.dirtyN, v.dirtyE, v.full = nil, nil, false
+	return s, s.Pin(), nil
+}

@@ -24,6 +24,16 @@
 // nothing either. The analysis is the same forward CFG dataflow as
 // itererr, with may-leak (union) join: a path that leaks is a finding
 // even when its sibling cleans up.
+//
+// A second obligation class covers the snapshot path: any call whose
+// result tuple includes a module-defined ReleaseFunc (model.ReleaseFunc
+// — the release handle of AcquireSnapshot/AcquireView) is tracked with
+// no owner-prefix gate, because receiving the func IS the ownership
+// transfer. A leaked release handle pins a snapshot epoch forever: the
+// copy-on-write machinery keeps the pinned version reachable and every
+// later rebuild piles on top. The obligation is discharged by calling
+// or deferring the func, or by letting it escape (returned, stored,
+// passed on); the paired-error pardon applies the same way.
 package closeleak
 
 import (
@@ -53,14 +63,39 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
+// siteKind separates the two obligation classes for message tailoring.
+type siteKind int
+
+const (
+	kindClose   siteKind = iota // a closeable value: Close() is owed
+	kindRelease                 // a ReleaseFunc: calling it is owed
+)
+
+// noun names what leaked, for diagnostics.
+func (k siteKind) noun() string {
+	if k == kindRelease {
+		return "release func"
+	}
+	return "value"
+}
+
+// owed names the discharge, for diagnostics.
+func (k siteKind) owed() string {
+	if k == kindRelease {
+		return "called"
+	}
+	return "closed"
+}
+
 // site is one live close obligation.
 type site struct {
-	id     int
-	label  string // printable constructor call, e.g. "engine.New"
-	pos    token.Pos
-	obj    types.Object // the closeable variable
-	errObj types.Object // the constructor's paired error result, if any
-	def    ast.Node
+	id       int
+	kind     siteKind
+	label    string // printable constructor call, e.g. "engine.New"
+	pos      token.Pos
+	obj      types.Object // the closeable variable
+	errObj   types.Object // the constructor's paired error result, if any
+	def      ast.Node
 	reported bool
 }
 
@@ -69,35 +104,47 @@ type checker struct {
 	module string
 }
 
-// closerCall matches a constructor-like call with a module-internal
-// closeable among its results; errIdx is the paired error result, or -1.
-func (c *checker) closerCall(call *ast.CallExpr) (resIdx, errIdx int, label string, ok bool) {
-	if !ownerName(call.Fun) {
-		return 0, -1, "", false
-	}
+// closerCall matches a call that transfers a discharge obligation to the
+// caller: a constructor-like call with a module-internal closeable among
+// its results, or any call returning a module-defined ReleaseFunc (no
+// name gate — handing out the release func is the transfer). errIdx is
+// the paired error result, or -1.
+func (c *checker) closerCall(call *ast.CallExpr) (resIdx, errIdx int, label string, kind siteKind, ok bool) {
 	tv, found := c.pass.Info.Types[call]
 	if !found || tv.IsType() {
-		return 0, -1, "", false
+		return 0, -1, "", kindClose, false
 	}
+	owner := ownerName(call.Fun)
 	if tuple, isTuple := tv.Type.(*types.Tuple); isTuple {
 		resIdx, errIdx = -1, -1
 		for i := 0; i < tuple.Len(); i++ {
 			t := tuple.At(i).Type()
-			if resIdx < 0 && c.closeable(t) {
-				resIdx = i
-			} else if isError(t) {
+			switch {
+			case c.releaseFunc(t):
+				// The release obligation wins over a closeable in the same
+				// tuple: AcquireView hands out a borrowed graph plus the
+				// owned release handle.
+				if resIdx < 0 || kind == kindClose {
+					resIdx, kind = i, kindRelease
+				}
+			case resIdx < 0 && owner && c.closeable(t):
+				resIdx, kind = i, kindClose
+			case isError(t):
 				errIdx = i
 			}
 		}
 		if resIdx < 0 {
-			return 0, -1, "", false
+			return 0, -1, "", kindClose, false
 		}
-		return resIdx, errIdx, types.ExprString(call.Fun), true
+		return resIdx, errIdx, types.ExprString(call.Fun), kind, true
 	}
-	if c.closeable(tv.Type) {
-		return 0, -1, types.ExprString(call.Fun), true
+	if c.releaseFunc(tv.Type) {
+		return 0, -1, types.ExprString(call.Fun), kindRelease, true
 	}
-	return 0, -1, "", false
+	if owner && c.closeable(tv.Type) {
+		return 0, -1, types.ExprString(call.Fun), kindClose, true
+	}
+	return 0, -1, "", kindClose, false
 }
 
 // ownerName reports whether the called expression's final name looks
@@ -118,6 +165,22 @@ func ownerName(fun ast.Expr) bool {
 		}
 	}
 	return false
+}
+
+// releaseFunc reports whether t is a module-defined named func type
+// called ReleaseFunc (model.ReleaseFunc, or a per-package alias of the
+// same shape).
+func (c *checker) releaseFunc(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "ReleaseFunc" || obj.Pkg() == nil || analysis.ModulePath(obj.Pkg().Path()) != c.module {
+		return false
+	}
+	_, isSig := named.Underlying().(*types.Signature)
+	return isSig
 }
 
 // closeable reports whether t is a module-defined type with Close in
@@ -220,7 +283,8 @@ func (c *checker) checkBody(name string, body *ast.BlockStmt) {
 				if dead && report && !s.reported {
 					s.reported = true
 					c.pass.Reportf(s.pos,
-						"value from %s is overwritten before it is closed", s.label)
+						"%s from %s is overwritten before it is %s",
+						s.kind.noun(), s.label, s.kind.owed())
 				}
 				return dead
 			})
@@ -303,8 +367,13 @@ func (c *checker) checkBody(name string, body *ast.BlockStmt) {
 			continue
 		}
 		s.reported = true
+		verb := "close it"
+		if s.kind == kindRelease {
+			verb = "call it"
+		}
 		c.pass.Reportf(s.pos,
-			"value from %s is not closed on every path to return; close it or let it escape", s.label)
+			"%s from %s is not %s on every path to return; %s or let it escape",
+			s.kind.noun(), s.label, s.kind.owed(), verb)
 	}
 }
 
@@ -312,9 +381,9 @@ func (c *checker) checkBody(name string, body *ast.BlockStmt) {
 // nested function literals) and reports the immediate discards.
 func (c *checker) collect(body *ast.BlockStmt) []*site {
 	var sites []*site
-	add := func(label string, pos token.Pos, obj, errObj types.Object, def ast.Node) {
+	add := func(label string, kind siteKind, pos token.Pos, obj, errObj types.Object, def ast.Node) {
 		sites = append(sites, &site{
-			id: len(sites), label: label, pos: pos,
+			id: len(sites), kind: kind, label: label, pos: pos,
 			obj: obj, errObj: errObj, def: def,
 		})
 	}
@@ -324,9 +393,10 @@ func (c *checker) collect(body *ast.BlockStmt) []*site {
 			return false
 		case *ast.ExprStmt:
 			if call, ok := n.X.(*ast.CallExpr); ok {
-				if _, _, label, ok := c.closerCall(call); ok {
+				if _, _, label, kind, ok := c.closerCall(call); ok {
 					c.pass.Reportf(call.Pos(),
-						"closeable value from %s is dropped; it can never be closed", label)
+						"%s from %s is dropped; it can never be %s",
+						kind.noun(), label, kind.owed())
 				}
 			}
 		case *ast.AssignStmt:
@@ -337,7 +407,7 @@ func (c *checker) collect(body *ast.BlockStmt) []*site {
 			if !ok {
 				return true
 			}
-			resIdx, errIdx, label, ok := c.closerCall(call)
+			resIdx, errIdx, label, kind, ok := c.closerCall(call)
 			if !ok || resIdx >= len(n.Lhs) {
 				return true
 			}
@@ -348,9 +418,10 @@ func (c *checker) collect(body *ast.BlockStmt) []*site {
 			}
 			if isBlank(n.Lhs[resIdx]) {
 				c.pass.Reportf(n.Pos(),
-					"closeable value from %s is assigned to the blank identifier; it can never be closed", label)
+					"%s from %s is assigned to the blank identifier; it can never be %s",
+					kind.noun(), label, kind.owed())
 			} else if obj != nil {
-				add(label, call.Pos(), obj, errObj, n)
+				add(label, kind, call.Pos(), obj, errObj, n)
 			}
 		case *ast.DeclStmt:
 			gd, ok := n.Decl.(*ast.GenDecl)
@@ -366,9 +437,9 @@ func (c *checker) collect(body *ast.BlockStmt) []*site {
 				if !ok {
 					continue
 				}
-				if _, _, label, ok := c.closerCall(call); ok {
+				if _, _, label, kind, ok := c.closerCall(call); ok {
 					if obj := c.pass.Info.Defs[vs.Names[0]]; obj != nil {
-						add(label, call.Pos(), obj, nil, n)
+						add(label, kind, call.Pos(), obj, nil, n)
 					}
 				}
 			}

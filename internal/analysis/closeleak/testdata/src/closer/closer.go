@@ -25,11 +25,11 @@ func current() *Engine { return shared }
 // --- violations -----------------------------------------------------
 
 func dropped() {
-	NewEngine() // want `closeable value from NewEngine is dropped`
+	NewEngine() // want `value from NewEngine is dropped`
 }
 
 func blankAssigned() {
-	_ = NewEngine() // want `closeable value from NewEngine is assigned to the blank identifier`
+	_ = NewEngine() // want `value from NewEngine is assigned to the blank identifier`
 }
 
 func leaked(q string) int {
@@ -140,4 +140,116 @@ func exitPath(abort bool) error {
 func suppressed() {
 	//gdbvet:allow(closeleak): fixture exercises the suppression path
 	NewEngine()
+}
+
+// --- release-func obligations ----------------------------------------
+
+// ReleaseFunc mirrors model.ReleaseFunc: receiving one transfers the
+// obligation to call it, with no constructor-name gate on the producer.
+type ReleaseFunc func()
+
+// Graph is a borrowed view; it has no Close and is never tracked.
+type Graph struct{ order int }
+
+func (g *Graph) Order() int { return g.order }
+
+// AcquireSnapshot mirrors engine.Concurrent: no owner prefix, yet the
+// returned release handle is an obligation.
+func AcquireSnapshot() (*Graph, ReleaseFunc, error) {
+	return &Graph{}, func() {}, nil
+}
+
+// acquireView mirrors model.Pinner for the unexported-producer shape.
+func acquireView() (*Graph, ReleaseFunc) {
+	return &Graph{}, func() {}
+}
+
+// plainFunc returns an unnamed func type: not tracked.
+func plainFunc() func() { return func() {} }
+
+func releaseLeaked(deep bool) int {
+	g, release, err := AcquireSnapshot() // want `release func from AcquireSnapshot is not called on every path`
+	if err != nil {
+		return 0
+	}
+	if deep {
+		n := g.Order() * 2
+		release()
+		return n
+	}
+	// This arm returns without releasing: the pinned epoch leaks.
+	return g.Order()
+}
+
+func releaseBlank() int {
+	g, _, err := AcquireSnapshot() // want `release func from AcquireSnapshot is assigned to the blank identifier`
+	if err != nil {
+		return 0
+	}
+	return g.Order()
+}
+
+func releaseLeakOnErrorPath(strict bool) (int, error) {
+	g, release, err := AcquireSnapshot() // want `release func from AcquireSnapshot is not called on every path`
+	if err != nil {
+		return 0, err
+	}
+	if strict {
+		return 0, errors.New("strict mode refuses snapshots")
+	}
+	n := g.Order()
+	release()
+	return n, nil
+}
+
+func releaseOverwritten() {
+	_, release := acquireView() // want `release func from acquireView is overwritten before it is called`
+	_, release = acquireView()
+	release()
+}
+
+func releaseDeferred() int {
+	g, release, err := AcquireSnapshot()
+	if err != nil {
+		return 0
+	}
+	defer release()
+	return g.Order()
+}
+
+func releaseCalledBothArms(deep bool) int {
+	g, release := acquireView()
+	if deep {
+		n := g.Order() * 2
+		release()
+		return n
+	}
+	release()
+	return g.Order()
+}
+
+func releaseErrorPardon() (int, error) {
+	// On the err != nil branch nothing was pinned; the paired-error
+	// pardon discharges the obligation exactly as for closeables.
+	g, release, err := AcquireSnapshot()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	return g.Order(), nil
+}
+
+func releaseEscapes() (*Graph, ReleaseFunc, error) {
+	// Returning the handle hands the obligation to the caller.
+	return AcquireSnapshot()
+}
+
+func releaseStored(fns *[]ReleaseFunc) {
+	_, release := acquireView()
+	*fns = append(*fns, release)
+}
+
+func unnamedFuncUntracked() {
+	f := plainFunc()
+	_ = f
 }

@@ -21,6 +21,21 @@
 //     surface exists for CLI tools and tests; dispatch code that has a
 //     request context must use the sibling.
 //
+// A third shape is convicted in a wider scope that also covers the
+// engine packages:
+//
+//  3. Calling a parallel query kernel (par.BFS, Reachable, Neighborhood,
+//     EvalPath, FindMatches, AggregateNodeProp, Degrees) with an inline
+//     context.Background()/TODO(). Engines dispatch these kernels from
+//     inside their Essentials closures; minting a fresh root there severs
+//     every caller's deadline at the last hop, exactly where it matters
+//     most — the kernels are the only cancellation-aware code on the
+//     path. Engines must thread the context they were handed
+//     (engine.ContextEssentials); only the ctx-free compatibility
+//     wrappers (Essentials() calling EssentialsCtx(context.Background()))
+//     may start a root, and those call EssentialsCtx, not a kernel, so
+//     they stay unconvicted.
+//
 // The check is name-based and flow-insensitive like the rest of the
 // suite: it does not chase a Background() stored in a variable first.
 // That hole is acceptable — the idiom the analyzer polices is the
@@ -43,6 +58,15 @@ var scope = []string{
 	"gdbm/cmd/gdbload",
 }
 
+// kernelScope is where rule 3 applies: everywhere rules 1–2 do, plus the
+// engine packages, whose Essentials closures are the last dispatch hop
+// before the parallel kernels. Rules 1–2 stay out of engine scope on
+// purpose — engines legitimately expose ctx-free compatibility surfaces
+// (Query wrapping QueryContext, Essentials wrapping EssentialsCtx).
+var kernelScope = []string{
+	"gdbm/internal/engines",
+}
+
 // Analyzer is the ctxflow check.
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxflow",
@@ -51,6 +75,11 @@ var Analyzer = &analysis.Analyzer{
 		"where a context-threading sibling exists",
 	AppliesTo: func(pkgPath string) bool {
 		for _, s := range scope {
+			if analysis.PathIsUnder(pkgPath, s) {
+				return true
+			}
+		}
+		for _, s := range kernelScope {
 			if analysis.PathIsUnder(pkgPath, s) {
 				return true
 			}
@@ -77,6 +106,19 @@ var ctxEntryPoints = map[string]bool{
 	"RunCtx":       true,
 }
 
+// parKernels is the set of parallel query kernels rule 3 guards. These
+// are the cancellation-aware leaves of the dispatch chain; feeding them
+// a fresh root discards every deadline accumulated above.
+var parKernels = map[string]bool{
+	"BFS":               true,
+	"Reachable":         true,
+	"Neighborhood":      true,
+	"EvalPath":          true,
+	"FindMatches":       true,
+	"AggregateNodeProp": true,
+	"Degrees":           true,
+}
+
 // isContextType reports whether t is context.Context.
 func isContextType(t types.Type) bool {
 	named, ok := t.(*types.Named)
@@ -94,6 +136,16 @@ func takesContextFirst(sig *types.Signature) bool {
 }
 
 func run(pass *analysis.Pass) error {
+	// Rules 1–2 run only in the server/dispatch scope; rule 3 runs
+	// everywhere the analyzer applies (including the engine packages).
+	dispatchScope := false
+	for _, s := range scope {
+		if analysis.PathIsUnder(pass.PkgPath, s) {
+			dispatchScope = true
+			break
+		}
+	}
+
 	// freshContext reports whether e is an inline context.Background() or
 	// context.TODO() call, returning which.
 	freshContext := func(e ast.Expr) (string, bool) {
@@ -127,6 +179,24 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			name := sel.Sel.Name
+
+			// Rule 3: a parallel kernel fed a fresh root context. Applies
+			// in engine scope too — the kernels are the cancellation-aware
+			// leaves, so a root minted here discards the caller's deadline
+			// at the last possible hop.
+			if sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature); ok &&
+				parKernels[name] && takesContextFirst(sig) && len(call.Args) > 0 {
+				if src, fresh := freshContext(call.Args[0]); fresh {
+					pass.Reportf(call.Pos(),
+						"%s severs the caller's context at the parallel kernel %s; thread the ctx handed to the dispatch site (EssentialsCtx) instead",
+						src, name)
+					return true
+				}
+			}
+
+			if !dispatchScope {
+				return true
+			}
 
 			// Rule 1: a query entry point fed a fresh root context.
 			if sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature); ok &&

@@ -11,12 +11,21 @@ func TestViolations(t *testing.T) {
 	analysistest.Run(t, ctxflow.Analyzer, "testdata/src/ctxsrv", "gdbm/internal/server/ctxsrv")
 }
 
+func TestKernelViolations(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "testdata/src/ctxeng", "gdbm/internal/engines/ctxeng")
+}
+
 func TestScope(t *testing.T) {
 	for _, p := range []string{
 		"gdbm/internal/server",
 		"gdbm/internal/server/loadgen",
 		"gdbm/cmd/gdbserver",
 		"gdbm/cmd/gdbload",
+		// Engine packages are in scope for the kernel rule.
+		"gdbm/internal/engines/neograph",
+		"gdbm/internal/engines/bitmapdb",
+		"gdbm/internal/engines/triplestore",
+		"gdbm/internal/engines/infinigraph",
 	} {
 		if !ctxflow.Analyzer.AppliesTo(p) {
 			t.Errorf("%s should be in ctxflow scope", p)
@@ -27,6 +36,7 @@ func TestScope(t *testing.T) {
 		"gdbm/cmd/gdbbench",
 		"gdbm/internal/query/gql",
 		"gdbm/internal/algo",
+		"gdbm/internal/algo/par",
 	} {
 		if ctxflow.Analyzer.AppliesTo(p) {
 			t.Errorf("%s should be out of ctxflow scope", p)

@@ -1,0 +1,97 @@
+// Package ctxeng is a ctxflow fixture for rule 3; analysistest presents
+// it under a virtual import path inside internal/engines, where only the
+// kernel rule applies — the dispatch rules 1–2 must stay silent here.
+package ctxeng
+
+import "context"
+
+type nodeID uint64
+
+// kern mimics the parallel kernel surface of internal/algo/par: every
+// entry point takes a context first.
+type kern struct{}
+
+func (kern) BFS(ctx context.Context, start nodeID) error                { return nil }
+func (kern) Reachable(ctx context.Context, a, b nodeID) (bool, error)   { return false, nil }
+func (kern) Neighborhood(ctx context.Context, n nodeID, k int) []nodeID { return nil }
+func (kern) EvalPath(ctx context.Context, expr string) []nodeID         { return nil }
+func (kern) FindMatches(ctx context.Context, p string) []nodeID         { return nil }
+func (kern) AggregateNodeProp(ctx context.Context, label string) int    { return 0 }
+func (kern) Degrees(ctx context.Context) (int, error)                   { return 0, nil }
+func (kern) SomethingElse(ctx context.Context, n nodeID) error          { return nil }
+func (kern) Neighbourhood(notCtx int, n nodeID) []nodeID                { return nil } // decoy: no ctx param
+
+// eng mimics an engine with both query surfaces. Rules 1–2 do not apply
+// in engine scope, so none of its calls below are convicted.
+type eng struct{}
+
+type result struct{}
+
+func (eng) Query(stmt string) (result, error) { return result{}, nil }
+func (eng) QueryContext(ctx context.Context, stmt string) (result, error) {
+	return result{}, nil
+}
+
+// Violations: a kernel fed an inline fresh root inside engine dispatch.
+
+func seversNeighborhood(ctx context.Context, p kern) {
+	p.Neighborhood(context.Background(), 1, 2) // want `context\.Background\(\) severs the caller's context at the parallel kernel Neighborhood`
+}
+
+func seversAggregate(ctx context.Context, p kern) {
+	p.AggregateNodeProp(context.TODO(), "person") // want `context\.TODO\(\) severs the caller's context at the parallel kernel AggregateNodeProp`
+}
+
+func seversBFS(p kern) {
+	_ = p.BFS(context.Background(), 1) // want `severs the caller's context at the parallel kernel BFS`
+}
+
+func seversInsideClosure(ctx context.Context, p kern) {
+	// The engines' real shape: the kernel call sits inside an Essentials
+	// closure. Traversal descends into function literals.
+	f := func(n nodeID, k int) []nodeID {
+		return p.Neighborhood(context.Background(), n, k) // want `severs the caller's context at the parallel kernel Neighborhood`
+	}
+	_ = f
+}
+
+// Allowed.
+
+func threads(ctx context.Context, p kern) {
+	_ = p.Neighborhood(ctx, 1, 2)
+	_ = p.AggregateNodeProp(ctx, "person")
+}
+
+func derived(ctx context.Context, p kern) {
+	c, cancel := context.WithTimeout(ctx, 0)
+	defer cancel()
+	_ = p.Neighborhood(c, 1, 2)
+}
+
+func notAKernel(p kern) {
+	// Background at a ctx-taking call that is not a kernel is legitimate
+	// in engine scope (compatibility wrappers, startup code).
+	_ = p.SomethingElse(context.Background(), 1)
+}
+
+func wrongShape(p kern) {
+	// Name collides with nothing: first parameter is not context.Context.
+	_ = p.Neighbourhood(0, 1)
+}
+
+func compatWrapper(e eng) (result, error) {
+	// The ctx-free compatibility wrapper idiom: engines expose Query()
+	// forwarding to QueryContext(context.Background(), ...). Rule 1 is
+	// dispatch-scope only, so this is NOT convicted here — the engine
+	// genuinely has no caller context in this surface.
+	return e.QueryContext(context.Background(), "q")
+}
+
+func ctxFreeSurface(e eng) {
+	// Rule 2 (sibling preference) is likewise dispatch-scope only.
+	_, _ = e.Query("q")
+}
+
+func sanctioned(p kern) {
+	_ = p.Neighborhood(context.Background(), 1, 2) //gdbvet:allow(ctxflow): fixture demonstrating suppression of the kernel rule
+}

@@ -5,6 +5,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -152,10 +153,27 @@ type Persistent interface {
 // capable servers (systems shipped with a transaction/concurrency story,
 // Section II): their read path may be shared by many goroutines at once,
 // and the parallel query kernels of internal/algo/par fan traversals out
-// across it. AcquireSnapshot follows the model.Snapshotter contract; the
-// returned view must be safe for unsynchronized concurrent readers.
+// across it. AcquireSnapshot follows the model.Snapshotter contract at
+// frozen isolation: an immutable, epoch-pinned copy-on-write view that is
+// O(1) to acquire on a quiescent store and safe for unsynchronized
+// concurrent readers; writers never block pinned readers. Engines
+// delegate to their store's model.Pinner (AcquireView) — deliberately a
+// different method name, so embedding a pinning store does not leak this
+// capability onto archetypes whose profile forbids it.
 type Concurrent interface {
 	AcquireSnapshot() (model.Graph, model.ReleaseFunc, error)
+}
+
+// ContextEssentials is implemented by engines whose Essentials closures
+// can run under a caller-supplied context. The parallel kernels behind
+// KNeighborhood and Summarization honour cancellation; Essentials()
+// (context-free) is equivalent to EssentialsCtx(context.Background()).
+// Callers holding a request context — the query service, harnesses with
+// deadlines — must use EssentialsCtx so cancellation reaches the kernels
+// instead of being severed at the dispatch site (the shape the ctxflow
+// analyzer convicts inside engine packages).
+type ContextEssentials interface {
+	EssentialsCtx(ctx context.Context) Essentials
 }
 
 // Options configures engine construction.

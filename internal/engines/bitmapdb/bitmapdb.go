@@ -10,6 +10,7 @@ import (
 	"context"
 	"path/filepath"
 
+	"gdbm/internal/adj"
 	"gdbm/internal/algo"
 	"gdbm/internal/algo/par"
 	"gdbm/internal/cache"
@@ -61,9 +62,14 @@ func New(opts engine.Options) (*DB, error) {
 		if resB > 0 {
 			db.results = cache.NewResults(resB)
 		}
+		// DEX's snapshots use the bitmap directory variant — the
+		// compressed-bitmap organization the archetype is named for.
+		db.kg.SetViewLayout(adj.LayoutBitmap)
 		db.Core = propcore.New(db.kg)
 	} else {
-		db.Core = propcore.New(memgraph.New())
+		mg := memgraph.New()
+		mg.SetViewLayout(adj.LayoutBitmap)
+		db.Core = propcore.New(mg)
 	}
 	lbl := index.NewBitmap()
 	db.labels = lbl
@@ -142,7 +148,14 @@ func (db *DB) Features() engine.Features {
 // Essentials implements engine.Engine: DEX's API composes every essential
 // query class except regular simple paths and pattern matching.
 func (db *DB) Essentials() engine.Essentials {
-	es := db.essentials()
+	return db.EssentialsCtx(context.Background())
+}
+
+// EssentialsCtx implements engine.ContextEssentials: the parallel kernels
+// run under the caller's context, so deadlines and cancellation reach
+// them instead of being severed by a fresh background root.
+func (db *DB) EssentialsCtx(ctx context.Context) engine.Essentials {
+	es := db.essentialsCtx(ctx)
 	if db.results == nil {
 		return es
 	}
@@ -167,7 +180,7 @@ func (db *DB) CacheStats() map[string]cache.Stats {
 	return out
 }
 
-func (db *DB) essentials() engine.Essentials {
+func (db *DB) essentialsCtx(ctx context.Context) engine.Essentials {
 	return engine.Essentials{
 		NodeAdjacency: func(a, b model.NodeID) (bool, error) {
 			return algo.Adjacent(db.Core, a, b, model.Both)
@@ -181,7 +194,7 @@ func (db *DB) essentials() engine.Essentials {
 				return nil, err
 			}
 			defer release()
-			return par.Neighborhood(context.Background(), g, n, k, model.Both, par.Options{})
+			return par.Neighborhood(ctx, g, n, k, model.Both, par.Options{})
 		},
 		FixedLengthPaths: func(from, to model.NodeID, length int) ([]algo.Path, error) {
 			return algo.FixedLengthPaths(db.Core, from, to, length, model.Out, 0)
@@ -195,19 +208,21 @@ func (db *DB) essentials() engine.Essentials {
 				return model.Null(), err
 			}
 			defer release()
-			return par.AggregateNodeProp(context.Background(), g, label, prop, kind, par.Options{})
+			return par.AggregateNodeProp(ctx, g, label, prop, kind, par.Options{})
 		},
 	}
 }
 
 // AcquireSnapshot implements engine.Concurrent (the model.Snapshotter
-// contract). Main-memory instances return a frozen deep copy; disk-backed
-// instances return the live kv-backed graph (live isolation — its reads
-// are internally synchronized).
+// contract) at frozen isolation, delegating to the store's copy-on-write
+// views (bitmap directory layout): O(1) on a quiescent store, immutable
+// under concurrent writers, in both configurations.
 func (db *DB) AcquireSnapshot() (model.Graph, model.ReleaseFunc, error) {
-	if mg, ok := db.Core.Graph().(*memgraph.Graph); ok {
-		return mg.Snapshot(), func() {}, nil
+	if p, ok := db.Core.Graph().(model.Pinner); ok {
+		return p.AcquireView()
 	}
+	// Unreachable with the stores in this repository (both implement
+	// model.Pinner); the live graph remains as a defensive fallback.
 	return db.Core.Graph(), func() {}, nil
 }
 
@@ -228,9 +243,11 @@ func (db *DB) Close() error {
 }
 
 var (
-	_ engine.Engine       = (*DB)(nil)
-	_ engine.GraphAPI     = (*DB)(nil)
-	_ engine.SchemaHolder = (*DB)(nil)
-	_ engine.Loader       = (*DB)(nil)
-	_ engine.CacheStatser = (*DB)(nil)
+	_ engine.Engine            = (*DB)(nil)
+	_ engine.GraphAPI          = (*DB)(nil)
+	_ engine.SchemaHolder      = (*DB)(nil)
+	_ engine.Loader            = (*DB)(nil)
+	_ engine.CacheStatser      = (*DB)(nil)
+	_ engine.Concurrent        = (*DB)(nil)
+	_ engine.ContextEssentials = (*DB)(nil)
 )

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"gdbm/internal/adj"
 	"gdbm/internal/algo"
 	"gdbm/internal/algo/par"
 	"gdbm/internal/cache"
@@ -39,13 +40,17 @@ type partition struct {
 	in    map[model.NodeID][]model.EdgeID
 }
 
-// DB is the engine instance.
+// DB is the engine instance. Mutations double-bump epoch and mark the
+// touched ID blocks in ver, which publishes the frozen copy-on-write
+// snapshots AcquireSnapshot pins (see the adj package).
 type DB struct {
 	mu     sync.RWMutex
 	parts  []*partition
 	edges  map[model.EdgeID]*model.Edge
 	nextN  model.NodeID
 	nextE  model.EdgeID
+	epoch  cache.Epoch
+	ver    adj.Versioned
 	idx    *index.Manager
 	cons   *constraint.Set
 	schema *model.Schema
@@ -140,12 +145,15 @@ func (db *DB) CrossEdges() int {
 func (db *DB) AddNode(label string, props model.Properties) (model.NodeID, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.epoch.Bump()
+	defer db.epoch.Bump()
 	m := constraint.Mutation{Kind: constraint.AddNode, Node: model.Node{Label: label, Props: props}}
 	if err := db.cons.Check(lockedView{db}, m); err != nil {
 		return 0, err
 	}
 	db.nextN++
 	id := db.nextN
+	db.ver.MarkNode(id)
 	db.shardOf(id).nodes[id] = &model.Node{ID: id, Label: label, Props: props.Clone()}
 	db.idx.OnNodeWrite(model.Node{ID: id, Label: label, Props: props}, "", nil)
 	if db.spill != nil {
@@ -162,6 +170,8 @@ func (db *DB) AddNode(label string, props model.Properties) (model.NodeID, error
 func (db *DB) AddEdge(label string, from, to model.NodeID, props model.Properties) (model.EdgeID, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.epoch.Bump()
+	defer db.epoch.Bump()
 	fp, tp := db.shardOf(from), db.shardOf(to)
 	if _, ok := fp.nodes[from]; !ok {
 		return 0, model.NodeNotFound(from)
@@ -180,6 +190,9 @@ func (db *DB) AddEdge(label string, from, to model.NodeID, props model.Propertie
 	}
 	db.nextE++
 	id := db.nextE
+	db.ver.MarkEdge(id)
+	db.ver.MarkNode(from)
+	db.ver.MarkNode(to)
 	db.edges[id] = &model.Edge{ID: id, Label: label, From: from, To: to, Props: props.Clone()}
 	fp.out[from] = append(fp.out[from], id)
 	tp.in[to] = append(tp.in[to], id)
@@ -193,6 +206,8 @@ func (db *DB) AddEdge(label string, from, to model.NodeID, props model.Propertie
 func (db *DB) RemoveNode(id model.NodeID) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.epoch.Bump()
+	defer db.epoch.Bump()
 	p := db.shardOf(id)
 	n, ok := p.nodes[id]
 	if !ok {
@@ -205,6 +220,7 @@ func (db *DB) RemoveNode(id model.NodeID) error {
 		db.removeEdgeLocked(eid)
 	}
 	db.idx.OnNodeDelete(*n)
+	db.ver.MarkNode(id)
 	delete(p.nodes, id)
 	delete(p.out, id)
 	delete(p.in, id)
@@ -215,6 +231,8 @@ func (db *DB) RemoveNode(id model.NodeID) error {
 func (db *DB) RemoveEdge(id model.EdgeID) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.epoch.Bump()
+	defer db.epoch.Bump()
 	if _, ok := db.edges[id]; !ok {
 		return model.EdgeNotFound(id)
 	}
@@ -227,6 +245,9 @@ func (db *DB) removeEdgeLocked(id model.EdgeID) {
 	if !ok {
 		return
 	}
+	db.ver.MarkEdge(id)
+	db.ver.MarkNode(e.From)
+	db.ver.MarkNode(e.To)
 	fp, tp := db.shardOf(e.From), db.shardOf(e.To)
 	fp.out[e.From] = removeID(fp.out[e.From], id)
 	tp.in[e.To] = removeID(tp.in[e.To], id)
@@ -250,10 +271,13 @@ func removeID(s []model.EdgeID, id model.EdgeID) []model.EdgeID {
 func (db *DB) SetNodeProp(id model.NodeID, key string, v model.Value) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.epoch.Bump()
+	defer db.epoch.Bump()
 	n, ok := db.shardOf(id).nodes[id]
 	if !ok {
 		return model.NodeNotFound(id)
 	}
+	db.ver.MarkNode(id)
 	updated := *n
 	updated.Props = n.Props.Clone()
 	if updated.Props == nil {
@@ -273,10 +297,13 @@ func (db *DB) SetNodeProp(id model.NodeID, key string, v model.Value) error {
 func (db *DB) SetEdgeProp(id model.EdgeID, key string, v model.Value) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.epoch.Bump()
+	defer db.epoch.Bump()
 	e, ok := db.edges[id]
 	if !ok {
 		return model.EdgeNotFound(id)
 	}
+	db.ver.MarkEdge(id)
 	// Copy-on-write: Neighbors/Edges hand out record copies sharing the old
 	// map past the read lock, so the map must be replaced, not mutated.
 	props := e.Props.Clone()
@@ -533,8 +560,20 @@ func (db *DB) Features() engine.Features {
 	}
 }
 
-// Essentials implements engine.Engine.
+// Essentials implements engine.Engine; kernels run under a background
+// context. Callers holding a request context should prefer EssentialsCtx.
 func (db *DB) Essentials() engine.Essentials {
+	return db.essentialsCtx(context.Background())
+}
+
+// EssentialsCtx implements engine.ContextEssentials: the parallel kernels
+// run under the caller's context, so deadlines and cancellation reach
+// them instead of being severed by a fresh background root.
+func (db *DB) EssentialsCtx(ctx context.Context) engine.Essentials {
+	return db.essentialsCtx(ctx)
+}
+
+func (db *DB) essentialsCtx(ctx context.Context) engine.Essentials {
 	return engine.Essentials{
 		NodeAdjacency: func(a, b model.NodeID) (bool, error) {
 			return algo.Adjacent(db, a, b, model.Both)
@@ -548,7 +587,7 @@ func (db *DB) Essentials() engine.Essentials {
 				return nil, err
 			}
 			defer release()
-			return par.Neighborhood(context.Background(), g, n, k, model.Both, par.Options{})
+			return par.Neighborhood(ctx, g, n, k, model.Both, par.Options{})
 		},
 		FixedLengthPaths: func(from, to model.NodeID, length int) ([]algo.Path, error) {
 			return algo.FixedLengthPaths(db, from, to, length, model.Out, 0)
@@ -562,18 +601,58 @@ func (db *DB) Essentials() engine.Essentials {
 				return model.Null(), err
 			}
 			defer release()
-			return par.AggregateNodeProp(context.Background(), g, label, prop, kind, par.Options{})
+			return par.AggregateNodeProp(ctx, g, label, prop, kind, par.Options{})
 		},
 	}
 }
 
 // AcquireSnapshot implements engine.Concurrent (the model.Snapshotter
-// contract) at the live isolation level: the store itself is the view —
-// every read takes the shard lock and copies records out, so any number of
-// goroutines may traverse concurrently, mirroring InfiniteGraph's
-// distributed concurrent-traversal design.
+// contract) at frozen isolation: an immutable copy-on-write snapshot of
+// all shards merged, pinned at the current stable epoch. The fast path is
+// O(1) — one atomic load and a pin when the store is quiescent — and a
+// re-render after mutations touches only the dirty ID blocks, mirroring
+// InfiniteGraph's concurrent distributed traversal over stable views.
 func (db *DB) AcquireSnapshot() (model.Graph, model.ReleaseFunc, error) {
-	return db, func() {}, nil
+	if s, rel := db.ver.TryPin(db.epoch.Current()); rel != nil {
+		return s, rel, nil
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, rel, err := db.ver.Pin(db.epoch.Current(), igSource{db})
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, rel, nil
+}
+
+// igSource adapts the shard maps to the snapshot builder. Its methods are
+// unlocked: Versioned.Pin runs with db.mu read-held (excluding writers),
+// so the partitions are quiescent for the whole render.
+type igSource struct{ db *DB }
+
+func (s igSource) MaxNodeID() (model.NodeID, error) { return s.db.nextN, nil }
+func (s igSource) MaxEdgeID() (model.EdgeID, error) { return s.db.nextE, nil }
+
+func (s igSource) NodeByID(id model.NodeID) (model.Node, bool, error) {
+	if n, ok := s.db.shardOf(id).nodes[id]; ok {
+		return *n, true, nil
+	}
+	return model.Node{}, false, nil
+}
+
+func (s igSource) EdgeByID(id model.EdgeID) (model.Edge, bool, error) {
+	if e, ok := s.db.edges[id]; ok {
+		return *e, true, nil
+	}
+	return model.Edge{}, false, nil
+}
+
+func (s igSource) OutEdges(id model.NodeID) ([]model.EdgeID, error) {
+	return s.db.shardOf(id).out[id], nil
+}
+
+func (s igSource) InEdges(id model.NodeID) ([]model.EdgeID, error) {
+	return s.db.shardOf(id).in[id], nil
 }
 
 // LoadNode implements engine.Loader, declaring unseen types first.
@@ -605,8 +684,11 @@ func (db *DB) Close() error {
 }
 
 var (
-	_ engine.Engine       = (*DB)(nil)
-	_ engine.CacheStatser = (*DB)(nil)
-	_ engine.GraphAPI     = (*DB)(nil)
-	_ engine.Loader       = (*DB)(nil)
+	_ engine.Engine            = (*DB)(nil)
+	_ engine.CacheStatser      = (*DB)(nil)
+	_ engine.GraphAPI          = (*DB)(nil)
+	_ engine.Loader            = (*DB)(nil)
+	_ engine.Concurrent        = (*DB)(nil)
+	_ engine.ContextEssentials = (*DB)(nil)
+	_ adj.Source               = igSource{}
 )

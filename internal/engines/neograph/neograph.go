@@ -179,14 +179,21 @@ func (db *DB) CacheStats() map[string]cache.Stats {
 // framework composes adjacency, neighborhoods, fixed-length and shortest
 // paths, and summarization.
 func (db *DB) Essentials() engine.Essentials {
-	es := db.essentials()
+	return db.EssentialsCtx(context.Background())
+}
+
+// EssentialsCtx implements engine.ContextEssentials: the parallel kernels
+// run under the caller's context, so deadlines and cancellation reach
+// them instead of being severed by a fresh background root.
+func (db *DB) EssentialsCtx(ctx context.Context) engine.Essentials {
+	es := db.essentialsCtx(ctx)
 	if db.results == nil {
 		return es
 	}
 	return engine.CachedEssentials(db.Name(), es, db.results, db.kg.Epoch)
 }
 
-func (db *DB) essentials() engine.Essentials {
+func (db *DB) essentialsCtx(ctx context.Context) engine.Essentials {
 	return engine.Essentials{
 		NodeAdjacency: func(a, b model.NodeID) (bool, error) {
 			return algo.Adjacent(db.Core, a, b, model.Both)
@@ -200,7 +207,7 @@ func (db *DB) essentials() engine.Essentials {
 				return nil, err
 			}
 			defer release()
-			return par.Neighborhood(context.Background(), g, n, k, model.Both, par.Options{})
+			return par.Neighborhood(ctx, g, n, k, model.Both, par.Options{})
 		},
 		FixedLengthPaths: func(from, to model.NodeID, length int) ([]algo.Path, error) {
 			return algo.FixedLengthPaths(db.Core, from, to, length, model.Out, 0)
@@ -214,19 +221,21 @@ func (db *DB) essentials() engine.Essentials {
 				return model.Null(), err
 			}
 			defer release()
-			return par.AggregateNodeProp(context.Background(), g, label, prop, kind, par.Options{})
+			return par.AggregateNodeProp(ctx, g, label, prop, kind, par.Options{})
 		},
 	}
 }
 
 // AcquireSnapshot implements engine.Concurrent (the model.Snapshotter
-// contract). Main-memory instances return a frozen deep copy of the store;
-// disk-backed instances return the live kv-backed graph, whose reads are
-// internally synchronized (live isolation).
+// contract) at frozen isolation, delegating to the store's copy-on-write
+// views: O(1) on a quiescent store, immutable under concurrent writers,
+// in both configurations.
 func (db *DB) AcquireSnapshot() (model.Graph, model.ReleaseFunc, error) {
-	if mg, ok := db.Core.Graph().(*memgraph.Graph); ok {
-		return mg.Snapshot(), func() {}, nil
+	if p, ok := db.Core.Graph().(model.Pinner); ok {
+		return p.AcquireView()
 	}
+	// Unreachable with the stores in this repository (both implement
+	// model.Pinner); the live graph remains as a defensive fallback.
 	return db.Core.Graph(), func() {}, nil
 }
 
@@ -267,10 +276,12 @@ func (db *DB) Close() error {
 }
 
 var (
-	_ engine.Engine         = (*DB)(nil)
-	_ engine.GraphAPI       = (*DB)(nil)
-	_ engine.Querier        = (*DB)(nil)
-	_ engine.ContextQuerier = (*DB)(nil)
-	_ engine.Loader         = (*DB)(nil)
-	_ engine.CacheStatser   = (*DB)(nil)
+	_ engine.Engine            = (*DB)(nil)
+	_ engine.GraphAPI          = (*DB)(nil)
+	_ engine.Querier           = (*DB)(nil)
+	_ engine.ContextQuerier    = (*DB)(nil)
+	_ engine.ContextEssentials = (*DB)(nil)
+	_ engine.Concurrent        = (*DB)(nil)
+	_ engine.Loader            = (*DB)(nil)
+	_ engine.CacheStatser      = (*DB)(nil)
 )

@@ -347,7 +347,14 @@ func (db *DB) Features() engine.Features {
 // adjacency, k-neighborhood and aggregate summarization. Path utilities are
 // not part of its query surface (Table VII row).
 func (db *DB) Essentials() engine.Essentials {
-	es := db.essentials()
+	return db.EssentialsCtx(context.Background())
+}
+
+// EssentialsCtx implements engine.ContextEssentials: the parallel kernels
+// run under the caller's context, so deadlines and cancellation reach
+// them instead of being severed by a fresh background root.
+func (db *DB) EssentialsCtx(ctx context.Context) engine.Essentials {
+	es := db.essentialsCtx(ctx)
 	if db.results == nil {
 		return es
 	}
@@ -372,7 +379,7 @@ func (db *DB) CacheStats() map[string]cache.Stats {
 	return out
 }
 
-func (db *DB) essentials() engine.Essentials {
+func (db *DB) essentialsCtx(ctx context.Context) engine.Essentials {
 	return engine.Essentials{
 		NodeAdjacency: func(a, b model.NodeID) (bool, error) {
 			return algo.Adjacent(db.Core, a, b, model.Both)
@@ -386,7 +393,7 @@ func (db *DB) essentials() engine.Essentials {
 				return nil, err
 			}
 			defer release()
-			return par.Neighborhood(context.Background(), g, n, k, model.Both, par.Options{})
+			return par.Neighborhood(ctx, g, n, k, model.Both, par.Options{})
 		},
 		Summarization: func(kind algo.AggKind, label, prop string) (model.Value, error) {
 			// In the triple model a "label" is a type statement, not a
@@ -397,7 +404,7 @@ func (db *DB) essentials() engine.Essentials {
 					return model.Null(), err
 				}
 				defer release()
-				return par.AggregateNodeProp(context.Background(), g, "", prop, kind, par.Options{})
+				return par.AggregateNodeProp(ctx, g, "", prop, kind, par.Options{})
 			}
 			typeTerm, ok := db.TermID(label)
 			if !ok {
@@ -442,13 +449,15 @@ func (db *DB) essentials() engine.Essentials {
 }
 
 // AcquireSnapshot implements engine.Concurrent (the model.Snapshotter
-// contract). Main-memory instances return a frozen deep copy; disk-backed
-// instances return the live kv-backed graph (live isolation — its reads
-// are internally synchronized).
+// contract) at frozen isolation, delegating to the store's copy-on-write
+// views: O(1) on a quiescent store, immutable under concurrent writers,
+// in both the main-memory and kv-backed configurations.
 func (db *DB) AcquireSnapshot() (model.Graph, model.ReleaseFunc, error) {
-	if mg, ok := db.Core.Graph().(*memgraph.Graph); ok {
-		return mg.Snapshot(), func() {}, nil
+	if p, ok := db.Core.Graph().(model.Pinner); ok {
+		return p.AcquireView()
 	}
+	// Unreachable with the stores in this repository (both implement
+	// model.Pinner); the live graph remains as a defensive fallback.
 	return db.Core.Graph(), func() {}, nil
 }
 
@@ -524,10 +533,12 @@ func (db *DB) Close() error {
 }
 
 var (
-	_ engine.Engine         = (*DB)(nil)
-	_ engine.Querier        = (*DB)(nil)
-	_ engine.ContextQuerier = (*DB)(nil)
-	_ engine.Reasoner       = (*DB)(nil)
-	_ engine.Loader         = (*DB)(nil)
-	_ engine.CacheStatser   = (*DB)(nil)
+	_ engine.Engine            = (*DB)(nil)
+	_ engine.Querier           = (*DB)(nil)
+	_ engine.ContextQuerier    = (*DB)(nil)
+	_ engine.ContextEssentials = (*DB)(nil)
+	_ engine.Concurrent        = (*DB)(nil)
+	_ engine.Reasoner          = (*DB)(nil)
+	_ engine.Loader            = (*DB)(nil)
+	_ engine.CacheStatser      = (*DB)(nil)
 )

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 
+	adjpkg "gdbm/internal/adj"
 	"gdbm/internal/cache"
 	"gdbm/internal/model"
 	"gdbm/internal/obs"
@@ -39,6 +40,7 @@ type Graph struct {
 	mu    sync.Mutex // serializes mutations
 	st    kv.Store
 	epoch cache.Epoch
+	ver   adjpkg.Versioned // copy-on-write views, see view.go
 	adj   *cache.Adjacency // nil: adjacency caching disabled
 
 	// Observability counters; nil-safe no-ops until SetMetrics.
@@ -194,6 +196,7 @@ func (g *Graph) AddNode(label string, props model.Properties) (model.NodeID, err
 	if err != nil {
 		return 0, err
 	}
+	g.ver.MarkNode(model.NodeID(id))
 	rec, err := encodeNodeRecord(model.Node{Label: label, Props: props})
 	if err != nil {
 		return 0, err
@@ -220,6 +223,9 @@ func (g *Graph) AddEdge(label string, from, to model.NodeID, props model.Propert
 	if err != nil {
 		return 0, err
 	}
+	g.ver.MarkEdge(model.EdgeID(id))
+	g.ver.MarkNode(from)
+	g.ver.MarkNode(to)
 	rec, err := encodeEdgeRecord(model.Edge{From: from, To: to, Label: label, Props: props})
 	if err != nil {
 		return 0, err
@@ -297,6 +303,7 @@ func (g *Graph) RemoveNode(id model.NodeID) error {
 			return err
 		}
 	}
+	g.ver.MarkNode(id)
 	_, err := g.st.Delete(u64key("n!", uint64(id)))
 	return err
 }
@@ -315,6 +322,9 @@ func (g *Graph) removeEdgeLocked(id model.EdgeID) error {
 	if err != nil {
 		return err
 	}
+	g.ver.MarkEdge(id)
+	g.ver.MarkNode(e.From)
+	g.ver.MarkNode(e.To)
 	if _, err := g.st.Delete(u64key("e!", uint64(id))); err != nil {
 		return err
 	}
@@ -337,6 +347,7 @@ func (g *Graph) SetNodeProp(id model.NodeID, key string, v model.Value) error {
 	if err != nil {
 		return err
 	}
+	g.ver.MarkNode(id)
 	if n.Props == nil {
 		n.Props = model.Properties{}
 	}
@@ -358,6 +369,7 @@ func (g *Graph) SetEdgeProp(id model.EdgeID, key string, v model.Value) error {
 	if err != nil {
 		return err
 	}
+	g.ver.MarkEdge(id)
 	if e.Props == nil {
 		e.Props = model.Properties{}
 	}

@@ -1,0 +1,62 @@
+package kvgraph
+
+import (
+	"testing"
+
+	"gdbm/internal/adj"
+	"gdbm/internal/model"
+	"gdbm/internal/storage/kv"
+)
+
+// TestAcquireViewPinsDrain mirrors the memgraph release-discipline test
+// over the kv-layered store: cold render, warm lock-free pin of the same
+// snapshot, idempotent release draining pins to zero, and invalidation
+// on mutation.
+func TestAcquireViewPinsDrain(t *testing.T) {
+	g := New(kv.NewMemory())
+	n1, err := g.AddNode("P", model.Props("rank", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := g.AddNode("P", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge("knows", n1, n2, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	v1, rel1, err := g.AcquireView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, rel2, err := g.AcquireView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := v1.(*adj.Snapshot), v2.(*adj.Snapshot)
+	if s1 != s2 {
+		t.Fatal("warm AcquireView rebuilt instead of pinning the published snapshot")
+	}
+	rel1()
+	rel1() // idempotent
+	rel2()
+	if got := s1.Pins(); got != 0 {
+		t.Fatalf("pins after releases = %d, want 0", got)
+	}
+
+	if err := g.RemoveEdge(model.EdgeID(1)); err != nil {
+		t.Fatal(err)
+	}
+	v3, rel3, err := g.AcquireView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel3()
+	if v3.(*adj.Snapshot) == s1 {
+		t.Fatal("AcquireView returned a stale snapshot after a mutation")
+	}
+	if v3.Size() != 0 || s1.Size() != 1 {
+		t.Fatalf("sizes after removal: new=%d old=%d, want 0/1", v3.Size(), s1.Size())
+	}
+}

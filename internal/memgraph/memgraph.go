@@ -7,6 +7,8 @@ package memgraph
 import (
 	"sync"
 
+	"gdbm/internal/adj"
+	"gdbm/internal/cache"
 	"gdbm/internal/model"
 )
 
@@ -16,7 +18,9 @@ type adjacency struct {
 }
 
 // Graph is an in-memory attributed directed multigraph. It is safe for
-// concurrent use; reads take a shared lock.
+// concurrent use; reads take a shared lock. Every mutation double-bumps
+// the epoch and marks the touched ID blocks in ver, which publishes the
+// O(1) copy-on-write views of AcquireView (see view.go).
 type Graph struct {
 	mu       sync.RWMutex
 	nodes    map[model.NodeID]*model.Node
@@ -24,6 +28,8 @@ type Graph struct {
 	adj      map[model.NodeID]*adjacency
 	nextNode model.NodeID
 	nextEdge model.EdgeID
+	epoch    cache.Epoch
+	ver      adj.Versioned
 }
 
 // New returns an empty graph.
@@ -53,7 +59,10 @@ func (g *Graph) Size() int {
 func (g *Graph) AddNode(label string, props model.Properties) (model.NodeID, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.epoch.Bump()
+	defer g.epoch.Bump()
 	g.nextNode++
+	g.ver.MarkNode(g.nextNode)
 	id := g.nextNode
 	g.nodes[id] = &model.Node{ID: id, Label: label, Props: props.Clone()}
 	g.adj[id] = &adjacency{}
@@ -65,6 +74,8 @@ func (g *Graph) AddNode(label string, props model.Properties) (model.NodeID, err
 func (g *Graph) AddEdge(label string, from, to model.NodeID, props model.Properties) (model.EdgeID, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.epoch.Bump()
+	defer g.epoch.Bump()
 	if _, ok := g.nodes[from]; !ok {
 		return 0, model.NodeNotFound(from)
 	}
@@ -73,6 +84,9 @@ func (g *Graph) AddEdge(label string, from, to model.NodeID, props model.Propert
 	}
 	g.nextEdge++
 	id := g.nextEdge
+	g.ver.MarkEdge(id)
+	g.ver.MarkNode(from)
+	g.ver.MarkNode(to)
 	g.edges[id] = &model.Edge{ID: id, Label: label, From: from, To: to, Props: props.Clone()}
 	g.adj[from].out = append(g.adj[from].out, id)
 	g.adj[to].in = append(g.adj[to].in, id)
@@ -83,6 +97,8 @@ func (g *Graph) AddEdge(label string, from, to model.NodeID, props model.Propert
 func (g *Graph) RemoveNode(id model.NodeID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.epoch.Bump()
+	defer g.epoch.Bump()
 	a, ok := g.adj[id]
 	if !ok {
 		return model.NodeNotFound(id)
@@ -90,6 +106,7 @@ func (g *Graph) RemoveNode(id model.NodeID) error {
 	for _, eid := range append(append([]model.EdgeID(nil), a.out...), a.in...) {
 		g.removeEdgeLocked(eid)
 	}
+	g.ver.MarkNode(id)
 	delete(g.nodes, id)
 	delete(g.adj, id)
 	return nil
@@ -99,6 +116,8 @@ func (g *Graph) RemoveNode(id model.NodeID) error {
 func (g *Graph) RemoveEdge(id model.EdgeID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.epoch.Bump()
+	defer g.epoch.Bump()
 	if _, ok := g.edges[id]; !ok {
 		return model.EdgeNotFound(id)
 	}
@@ -111,6 +130,9 @@ func (g *Graph) removeEdgeLocked(id model.EdgeID) {
 	if !ok {
 		return
 	}
+	g.ver.MarkEdge(id)
+	g.ver.MarkNode(e.From)
+	g.ver.MarkNode(e.To)
 	if a := g.adj[e.From]; a != nil {
 		a.out = removeID(a.out, id)
 	}
@@ -158,10 +180,13 @@ func (g *Graph) Edge(id model.EdgeID) (model.Edge, error) {
 func (g *Graph) SetNodeProp(id model.NodeID, key string, v model.Value) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.epoch.Bump()
+	defer g.epoch.Bump()
 	n, ok := g.nodes[id]
 	if !ok {
 		return model.NodeNotFound(id)
 	}
+	g.ver.MarkNode(id)
 	props := n.Props.Clone()
 	if props == nil {
 		props = model.Properties{}
@@ -176,10 +201,13 @@ func (g *Graph) SetNodeProp(id model.NodeID, key string, v model.Value) error {
 func (g *Graph) SetEdgeProp(id model.EdgeID, key string, v model.Value) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.epoch.Bump()
+	defer g.epoch.Bump()
 	e, ok := g.edges[id]
 	if !ok {
 		return model.EdgeNotFound(id)
 	}
+	g.ver.MarkEdge(id)
 	props := e.Props.Clone()
 	if props == nil {
 		props = model.Properties{}

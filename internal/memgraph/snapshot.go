@@ -33,10 +33,13 @@ func (g *Graph) Snapshot() *Graph {
 }
 
 // RestoreFrom replaces the receiver's state with the snapshot's. The
-// snapshot must not be used afterwards.
+// snapshot must not be used afterwards. Wholesale replacement invalidates
+// every copy-on-write view block and moves the epoch.
 func (g *Graph) RestoreFrom(s *Graph) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.epoch.Bump()
+	defer g.epoch.Bump()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	g.nodes = s.nodes
@@ -44,4 +47,5 @@ func (g *Graph) RestoreFrom(s *Graph) {
 	g.adj = s.adj
 	g.nextNode = s.nextNode
 	g.nextEdge = s.nextEdge
+	g.ver.MarkAll()
 }

@@ -1,0 +1,85 @@
+package memgraph
+
+import (
+	"gdbm/internal/adj"
+	"gdbm/internal/model"
+)
+
+// This file is the graph's read-concurrency surface: epoch-based
+// copy-on-write views rendered into succinct adjacency snapshots
+// (internal/adj). Every mutation double-bumps the epoch under the write
+// lock (odd mid-mutation, even at rest — the same discipline kvgraph uses
+// for the cache layer) and marks the touched ID blocks dirty; AcquireView
+// pins the published snapshot in O(1) when the store is quiescent and
+// re-renders only dirty blocks otherwise.
+
+// Epoch returns the graph's mutation epoch. Stable states are even; the
+// count only moves forward.
+func (g *Graph) Epoch() uint64 { return g.epoch.Current() }
+
+// SetViewLayout selects the snapshot directory layout (the bitmap variant
+// for the DEX-style engine). Call at construction time, before the graph
+// is shared.
+func (g *Graph) SetViewLayout(l adj.Layout) { g.ver.SetLayout(l) }
+
+// AcquireView pins an immutable point-in-time view of the graph. The fast
+// path is O(1): when the published snapshot already renders the current
+// stable epoch, acquisition is one atomic load and a pin, independent of
+// graph size. Otherwise the read lock is taken (excluding writers, not
+// readers) and the dirty blocks are re-rendered. The release must be
+// called exactly once; it is idempotent.
+func (g *Graph) AcquireView() (model.Graph, model.ReleaseFunc, error) {
+	if s, rel := g.ver.TryPin(g.epoch.Current()); rel != nil {
+		return s, rel, nil
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s, rel, err := g.ver.Pin(g.epoch.Current(), memSource{g})
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, rel, nil
+}
+
+// memSource adapts the graph's internals to the snapshot builder. Its
+// methods are unlocked: Versioned.Pin is called with g.mu held (read side,
+// which excludes writers), so the maps are quiescent for the whole render.
+type memSource struct{ g *Graph }
+
+func (s memSource) MaxNodeID() (model.NodeID, error) { return s.g.nextNode, nil }
+func (s memSource) MaxEdgeID() (model.EdgeID, error) { return s.g.nextEdge, nil }
+
+func (s memSource) NodeByID(id model.NodeID) (model.Node, bool, error) {
+	n, ok := s.g.nodes[id]
+	if !ok {
+		return model.Node{}, false, nil
+	}
+	return *n, true, nil
+}
+
+func (s memSource) EdgeByID(id model.EdgeID) (model.Edge, bool, error) {
+	e, ok := s.g.edges[id]
+	if !ok {
+		return model.Edge{}, false, nil
+	}
+	return *e, true, nil
+}
+
+func (s memSource) OutEdges(id model.NodeID) ([]model.EdgeID, error) {
+	if a := s.g.adj[id]; a != nil {
+		return a.out, nil
+	}
+	return nil, nil
+}
+
+func (s memSource) InEdges(id model.NodeID) ([]model.EdgeID, error) {
+	if a := s.g.adj[id]; a != nil {
+		return a.in, nil
+	}
+	return nil, nil
+}
+
+var (
+	_ model.Pinner = (*Graph)(nil)
+	_ adj.Source   = memSource{}
+)

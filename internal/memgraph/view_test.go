@@ -1,0 +1,67 @@
+package memgraph
+
+import (
+	"testing"
+
+	"gdbm/internal/adj"
+	"gdbm/internal/model"
+)
+
+// TestAcquireViewPinsDrain is the release-discipline regression test for
+// the closeleak ReleaseFunc sweep: every acquire path (cold render and
+// warm TryPin) must hand back a release that is idempotent and drains
+// the pin count to zero, and a warm acquire must reuse the published
+// snapshot rather than rebuilding.
+func TestAcquireViewPinsDrain(t *testing.T) {
+	g := New()
+	n1, err := g.AddNode("P", model.Props("rank", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := g.AddNode("P", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge("knows", n1, n2, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	v1, rel1, err := g.AcquireView() // cold: renders the first snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, rel2, err := g.AcquireView() // warm: lock-free pin of the same one
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := v1.(*adj.Snapshot), v2.(*adj.Snapshot)
+	if s1 != s2 {
+		t.Fatal("warm AcquireView rebuilt instead of pinning the published snapshot")
+	}
+	if got := s1.Pins(); got != 2 {
+		t.Fatalf("pins after two acquires = %d, want 2", got)
+	}
+	rel1()
+	rel1() // idempotent: must not double-decrement
+	rel2()
+	if got := s1.Pins(); got != 0 {
+		t.Fatalf("pins after releases = %d, want 0", got)
+	}
+
+	// A mutation invalidates the published snapshot; the next acquire
+	// renders the new epoch and the old pinned view stays intact.
+	if _, err := g.AddNode("P", nil); err != nil {
+		t.Fatal(err)
+	}
+	v3, rel3, err := g.AcquireView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel3()
+	if v3.(*adj.Snapshot) == s1 {
+		t.Fatal("AcquireView returned a stale snapshot after a mutation")
+	}
+	if v3.Order() != 3 || s1.Order() != 2 {
+		t.Fatalf("orders after mutation: new=%d old=%d, want 3/2", v3.Order(), s1.Order())
+	}
+}

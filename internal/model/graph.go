@@ -130,20 +130,34 @@ type ReleaseFunc func()
 // Snapshotter is the read-concurrency contract of stores that can expose a
 // read view to many goroutines at once. AcquireSnapshot returns a Graph
 // that is safe for unsynchronized use by any number of concurrent readers
-// until released. Isolation is implementation-defined at one of two levels,
-// which implementations must document:
+// until released, at frozen isolation: the view is an immutable
+// point-in-time rendering, unaffected by later mutations, pinned to the
+// store's stable epoch at acquisition.
 //
-//   - frozen: a point-in-time copy, unaffected by later mutations (the
-//     main-memory stores, via a deep copy);
-//   - live: the store itself, where every Graph method observes an atomic
-//     committed state but successive calls may see later writes (the
-//     disk-backed stores, whose pages are internally latched).
+// Since the epoch-versioned copy-on-write views (internal/adj), frozen is
+// the only isolation level: acquisition is O(1) on a quiescent store (one
+// atomic load and a pin — no copying), writers never block pinned readers,
+// and a re-render after mutations touches only the dirty ID blocks. The
+// parallel query kernels (internal/algo/par) rely on the immutability for
+// their determinism guarantee — results identical to the sequential
+// kernels on the pinned state.
 //
-// The parallel query kernels (internal/algo/par) require only the weaker,
-// live level; their determinism guarantee — results identical to the
-// sequential kernels — holds on any snapshot not mutated mid-kernel.
+// The returned release follows the ReleaseFunc contract: call it exactly
+// once when done; the implementations here make it idempotent.
 type Snapshotter interface {
 	AcquireSnapshot() (Graph, ReleaseFunc, error)
+}
+
+// Pinner is the store-level face of the same contract, implemented by the
+// mutable stores (memgraph, kvgraph) that render copy-on-write views. It
+// is deliberately a different method name from Snapshotter: engines embed
+// the stores, and the capability registry must stay free to forbid the
+// engine-level Concurrent surface (AcquireSnapshot) on archetypes whose
+// paper profile lacks it without a promoted method leaking it for free.
+// Engines whose profile allows Concurrent delegate AcquireSnapshot to
+// AcquireView.
+type Pinner interface {
+	AcquireView() (Graph, ReleaseFunc, error)
 }
 
 // MutableGraph extends Graph with update operations.

@@ -33,8 +33,13 @@ type ParallelSweep struct {
 	Degree int   `json:"degree"`
 	Seed   int64 `json:"seed"`
 	Stamp
-	Note    string           `json:"note"`
-	Results []ParallelResult `json:"results"`
+	// DegradedHost is true when the run had a single schedulable CPU
+	// (GOMAXPROCS=1 or NumCPU=1). Speedup figures from such a run measure
+	// coordination overhead, not scaling, and must not be quoted as the
+	// kernels' parallel performance.
+	DegradedHost bool             `json:"degraded_host"`
+	Note         string           `json:"note"`
+	Results      []ParallelResult `json:"results"`
 }
 
 type memSink struct{ g *memgraph.Graph }
@@ -126,11 +131,13 @@ func RunParallelSweep(nodes, degree int, seed int64, workerCounts []int) (*Paral
 		return nil, err
 	}
 
+	stamp := NewStamp()
 	sweep := &ParallelSweep{
-		Nodes:  nodes,
-		Degree: degree,
-		Seed:   seed,
-		Stamp:  NewStamp(),
+		Nodes:        nodes,
+		Degree:       degree,
+		Seed:         seed,
+		Stamp:        stamp,
+		DegradedHost: stamp.GoMaxProcs <= 1 || stamp.NumCPU <= 1,
 		Note: "speedup is parallel vs sequential wall time on this host; " +
 			"with GOMAXPROCS=1 the parallel kernels pay coordination overhead " +
 			"and cannot exceed 1.0 — rerun on a multi-core host for scaling",
@@ -186,6 +193,11 @@ func WriteParallelJSON(fsys vfs.FS, path string, sweep *ParallelSweep) error {
 func RenderParallel(w interface{ Write([]byte) (int, error) }, sweep *ParallelSweep) {
 	fmt.Fprintf(w, "parallel kernel sweep: R-MAT n=%d degree=%d seed=%d (GOMAXPROCS=%d, NumCPU=%d)\n\n",
 		sweep.Nodes, sweep.Degree, sweep.Seed, sweep.GoMaxProcs, sweep.NumCPU)
+	if sweep.DegradedHost {
+		fmt.Fprintf(w, "*** DEGRADED HOST: single schedulable CPU — the speedup column below\n")
+		fmt.Fprintf(w, "*** measures coordination overhead, not parallel scaling. Do not quote\n")
+		fmt.Fprintf(w, "*** these figures; rerun on a multi-core host.\n\n")
+	}
 	kernel := ""
 	for _, r := range sweep.Results {
 		if r.Kernel != kernel {
