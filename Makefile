@@ -2,7 +2,7 @@ GO ?= go
 COVER_FLOOR ?= 45.0
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint race race-storage race-kernels race-obs race-server race-snapshots bench cover fuzz-smoke serve-smoke bench-serve ci
+.PHONY: build test vet lint race race-storage race-kernels race-obs race-server race-snapshots race-plan bench cover fuzz-smoke serve-smoke bench-serve ci
 
 # Tier-1 verification: everything builds, every test passes.
 build:
@@ -59,6 +59,14 @@ race-snapshots:
 	$(GO) test -race ./internal/adj/... ./internal/memgraph/ ./internal/kvgraph/ ./internal/engines/suite/
 	$(GO) test -race ./internal/enginetest/diff/ -run TestPinnedSnapshotSurvivesWriterTwins -count=1
 
+# The planner surface under the race detector: cardinality statistics,
+# the cost-based/WCO planner, and the plan-differential + metamorphic
+# twins that prove plan choice never changes answers. See DESIGN.md
+# "Planning & statistics contract".
+race-plan:
+	$(GO) test -race ./internal/query/stats/ ./internal/query/plan/
+	$(GO) test -race ./internal/enginetest/diff/ -run 'TestPlanDifferential|TestPlanMetamorphic' -count=1
+
 # The networked service under the race detector: session registry,
 # admission gate, and the token-bucket/load-harness pieces that hammer
 # them concurrently.
@@ -71,6 +79,7 @@ race-server:
 bench:
 	$(GO) run ./cmd/gdbbench -parallel -table none -out BENCH_parallel.json
 	$(GO) run ./cmd/gdbbench -cache -table none -out BENCH_cache.json
+	$(GO) run ./cmd/gdbbench -plan -table none -nodes 20000 -degree 6 -out BENCH_plan.json
 
 # Per-package coverage with a floor: any tested package below COVER_FLOOR
 # fails the build. Packages without tests, command mains and examples are
@@ -94,6 +103,7 @@ cover:
 fuzz-smoke:
 	$(GO) test ./internal/query/ -run '^$$' -fuzz FuzzParseQuery -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/format/ -run '^$$' -fuzz FuzzFormatRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/query/plan/ -run '^$$' -fuzz FuzzCompileMatchSpec -fuzztime $(FUZZTIME)
 
 # Overload drill: build the real gdbserver/gdbload binaries, burst at 2×
 # the configured capacity, and assert shed-not-crash plus a clean SIGTERM
@@ -106,4 +116,4 @@ serve-smoke:
 bench-serve:
 	$(GO) run ./cmd/gdbload -selfserve -engine neograph -capacity 100 -out BENCH_serve.json
 
-ci: lint test race race-kernels race-obs race-snapshots race-server cover fuzz-smoke serve-smoke
+ci: lint test race race-kernels race-obs race-snapshots race-server race-plan cover fuzz-smoke serve-smoke

@@ -12,6 +12,8 @@
 //	gdbbench -cache -out BENCH_cache.json -table none
 //	gdbbench -trace -table none    # traced query sweep (per-query spans)
 //	gdbbench -trace -slowlog slow.log -slowms 1 -table none
+//	gdbbench -plan -table none     # planner sweep (naive vs cost vs WCO)
+//	gdbbench -plan -planpatterns triangle,reorder -out BENCH_plan.json -table none
 package main
 
 import (
@@ -38,6 +40,8 @@ type benchConfig struct {
 	parallel   bool
 	cacheSweep bool
 	trace      bool
+	planSweep  bool
+	planPats   string // comma-separated subset for -plan; "" = all
 	cacheBytes int64
 	workers    string
 	out        string
@@ -59,6 +63,8 @@ func main() {
 	flag.BoolVar(&cfg.parallel, "parallel", false, "run the parallel kernel sweep")
 	flag.BoolVar(&cfg.cacheSweep, "cache", false, "run the cold/warm cache sweep")
 	flag.BoolVar(&cfg.trace, "trace", false, "run the traced query sweep (per-query spans)")
+	flag.BoolVar(&cfg.planSweep, "plan", false, "run the query-planner sweep (naive vs cost-based vs WCO)")
+	flag.StringVar(&cfg.planPats, "planpatterns", "", "comma-separated patterns for -plan (default: all)")
 	flag.Int64Var(&cfg.cacheBytes, "cachebytes", 4<<20, "total cache budget per engine for -cache")
 	flag.StringVar(&cfg.workers, "workers", "1,2,4,8", "comma-separated worker counts for -parallel")
 	flag.StringVar(&cfg.out, "out", "", "write the -parallel, -cache or -trace sweep as JSON to this file")
@@ -118,6 +124,17 @@ func validateFlags(cfg benchConfig) ([]string, error) {
 	}
 	if cfg.slowlog != "" && !cfg.trace {
 		return nil, fmt.Errorf("-slowlog only applies to the traced sweep: add -trace")
+	}
+	if cfg.planPats != "" && !cfg.planSweep {
+		return nil, fmt.Errorf("-planpatterns only applies to the planner sweep: add -plan")
+	}
+	if cfg.planSweep {
+		if cfg.nodes <= 0 || cfg.degree <= 0 {
+			return nil, fmt.Errorf("-plan needs positive -nodes and -degree, got nodes=%d degree=%d", cfg.nodes, cfg.degree)
+		}
+		if _, err := planPatternList(cfg.planPats); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.slowms != 0 && cfg.slowlog == "" {
 		return nil, fmt.Errorf("-slowms only applies to a slow-query log: add -slowlog")
@@ -274,6 +291,24 @@ func run(cfg benchConfig) error {
 		}
 	}
 
+	if cfg.planSweep {
+		pats, err := planPatternList(cfg.planPats)
+		if err != nil {
+			return err
+		}
+		sweep, err := gdbm.RunPlanSweep(cfg.nodes, cfg.degree, cfg.seed, pats)
+		if err != nil {
+			return err
+		}
+		gdbm.RenderPlan(os.Stdout, sweep)
+		if cfg.out != "" {
+			if err := gdbm.WritePlanJSON(vfs.OSFS, cfg.out, sweep); err != nil {
+				return err
+			}
+			fmt.Println("wrote", cfg.out)
+		}
+	}
+
 	if cfg.trace {
 		var slow *gdbm.SlowLog
 		if cfg.slowlog != "" {
@@ -316,6 +351,33 @@ func run(cfg benchConfig) error {
 		}
 	}
 	return nil
+}
+
+// planPatternList resolves -planpatterns ("" = every pattern), rejecting
+// names the sweep does not implement.
+func planPatternList(s string) ([]string, error) {
+	if s == "" {
+		return gdbm.PlanPatterns, nil
+	}
+	known := map[string]bool{}
+	for _, p := range gdbm.PlanPatterns {
+		known[p] = true
+	}
+	var pats []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !known[part] {
+			return nil, fmt.Errorf("unknown pattern %q in -planpatterns (have: %s)", part, strings.Join(gdbm.PlanPatterns, ", "))
+		}
+		pats = append(pats, part)
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("-planpatterns lists no patterns")
+	}
+	return pats, nil
 }
 
 func parseWorkers(s string) ([]int, error) {

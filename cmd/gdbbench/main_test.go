@@ -99,6 +99,25 @@ func TestRunTraceSweepSmall(t *testing.T) {
 	}
 }
 
+func TestRunPlanSweepSmall(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "plan.json")
+	cfg := benchConfig{table: "none", planSweep: true, planPats: "triangle,reorder", out: out,
+		nodes: 400, degree: 3, seed: 7, dir: dir, dirSet: true}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, out)
+	for _, want := range []string{`"pattern": "triangle"`, `"pattern": "reorder"`, `"planner": "wco"`, `"speedup_vs_naive"`, `"gomaxprocs"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("plan JSON missing %s:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, `"pattern": "diamond"`) {
+		t.Errorf("plan JSON includes diamond despite -planpatterns subset:\n%s", body)
+	}
+}
+
 // TestValidateFlagMatrix pins the fail-fast contract: inconsistent flag
 // combinations must be rejected before any directory is created or any
 // engine warms up.
@@ -121,6 +140,11 @@ func TestValidateFlagMatrix(t *testing.T) {
 		{"slowms without slowlog", benchConfig{table: "none", trace: true, slowms: 5}, "-slowlog"},
 		{"negative slowms", benchConfig{table: "none", trace: true, slowlog: "s.log", slowms: -1}, "non-negative"},
 		{"trace with slowlog", benchConfig{table: "none", trace: true, slowlog: "s.log", slowms: 5}, ""},
+		{"planpatterns without plan", benchConfig{table: "none", planPats: "triangle"}, "-plan"},
+		{"plan unknown pattern", benchConfig{table: "none", planSweep: true, nodes: 100, degree: 2, planPats: "bogus"}, "unknown pattern"},
+		{"plan empty pattern list", benchConfig{table: "none", planSweep: true, nodes: 100, degree: 2, planPats: " , "}, "no patterns"},
+		{"plan zero nodes", benchConfig{table: "none", planSweep: true, degree: 2}, "positive"},
+		{"plan pattern subset", benchConfig{table: "none", planSweep: true, nodes: 100, degree: 2, planPats: " triangle , reorder "}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

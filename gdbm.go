@@ -287,6 +287,23 @@ var RenderCache = report.RenderCache
 // WriteCacheJSON writes a cache sweep as JSON through the vfs seam.
 var WriteCacheJSON = report.WriteCacheJSON
 
+// PlanSweep is the query-planner benchmark result set: every pattern timed
+// under the naive, cost-based, and worst-case-optimal planners.
+type PlanSweep = report.PlanSweep
+
+// PlanPatterns names the benchable planner patterns.
+var PlanPatterns = report.PlanPatterns
+
+// RunPlanSweep times each pattern under all three planners on one seeded
+// hub-skewed graph, verifying the planners agree on the answer first.
+var RunPlanSweep = report.RunPlanSweep
+
+// RenderPlan prints a plan sweep.
+var RenderPlan = report.RenderPlan
+
+// WritePlanJSON writes a plan sweep as JSON through the vfs seam.
+var WritePlanJSON = report.WritePlanJSON
+
 // Observability (see internal/obs and DESIGN.md "Observability contract").
 type (
 	// Registry hands out named metric collectors; wire one into an engine

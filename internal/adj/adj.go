@@ -24,6 +24,7 @@ package adj
 
 import (
 	"encoding/binary"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -254,6 +255,54 @@ func (s *Snapshot) Neighbors(id model.NodeID, dir model.Direction, fn func(model
 		}
 	}
 	return nil
+}
+
+// SortedNeighborIDs implements model.SortedAdjacency: the far-endpoint IDs
+// of id's incident edges in dir with the given label ("" = any), ascending,
+// one entry per matching edge. CSR rows are ordered by edge ID, not
+// neighbor ID, so the collected endpoints are sorted here — still without
+// touching node records. Multiplicity matches Neighbors exactly: parallel
+// edges repeat, and a self-loop under Both appears once per direction.
+func (s *Snapshot) SortedNeighborIDs(id model.NodeID, dir model.Direction, label string) ([]model.NodeID, error) {
+	if id == 0 {
+		return nil, model.NodeNotFound(id)
+	}
+	b := uint64(id) >> blockShift
+	if b >= uint64(len(s.nb)) || s.nb[b] == nil {
+		return nil, model.NodeNotFound(id)
+	}
+	blk := s.nb[b]
+	slot, ok := blk.dir.rank(uint32(uint64(id) & blockMask))
+	if !ok {
+		return nil, model.NodeNotFound(id)
+	}
+	var ids []model.NodeID
+	collect := func(eid model.EdgeID, out bool) bool {
+		e, ok := s.edgeAt(eid)
+		if !ok {
+			return true // unreachable on a consistent render; skip defensively
+		}
+		if label != "" && e.Label != label {
+			return true
+		}
+		far := e.From
+		if out {
+			far = e.To
+		}
+		if _, ok := s.nodeAt(far); !ok {
+			return true
+		}
+		ids = append(ids, far)
+		return true
+	}
+	if dir == model.Out || dir == model.Both {
+		blk.out.forEach(slot, func(eid model.EdgeID) bool { return collect(eid, true) })
+	}
+	if dir == model.In || dir == model.Both {
+		blk.in.forEach(slot, func(eid model.EdgeID) bool { return collect(eid, false) })
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
 }
 
 // Degree returns the incident edge count in the given direction, decoded

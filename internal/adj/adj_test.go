@@ -428,3 +428,54 @@ func TestRowsRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestSortedNeighborIDs checks the native sorted-adjacency capability
+// against a reference collected through Neighbors: same IDs, same
+// multiplicity (parallel edges, self-loops), ascending order, label filter
+// applied, across both layouts and all directions.
+func TestSortedNeighborIDs(t *testing.T) {
+	src := newMapSource()
+	a := src.addNode("X")
+	b := src.addNode("X")
+	c := src.addNode("X")
+	src.addEdge("e", a, b)
+	src.addEdge("e", a, b) // parallel
+	src.addEdge("f", a, c)
+	src.addEdge("e", c, a)
+	src.addEdge("e", b, b) // self-loop
+	for _, layout := range []Layout{LayoutVarint, LayoutBitmap} {
+		s := build(t, src, layout)
+		for id := a; id <= c; id++ {
+			for _, dir := range []model.Direction{model.Out, model.In, model.Both} {
+				for _, label := range []string{"", "e", "f", "ghost"} {
+					got, err := s.SortedNeighborIDs(id, dir, label)
+					if err != nil {
+						t.Fatalf("SortedNeighborIDs(%d,%v,%q): %v", id, dir, label, err)
+					}
+					var want []model.NodeID
+					err = s.Neighbors(id, dir, func(e model.Edge, far model.Node) bool {
+						if label == "" || e.Label == label {
+							want = append(want, far.ID)
+						}
+						return true
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+					if fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Errorf("layout %v node %d dir %v label %q: got %v want %v", layout, id, dir, label, got, want)
+					}
+					for i := 1; i < len(got); i++ {
+						if got[i-1] > got[i] {
+							t.Fatalf("unsorted: %v", got)
+						}
+					}
+				}
+			}
+		}
+		if _, err := s.SortedNeighborIDs(999, model.Out, ""); err == nil {
+			t.Error("missing node should error")
+		}
+	}
+}

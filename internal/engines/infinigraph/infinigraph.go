@@ -22,6 +22,7 @@ import (
 	"gdbm/internal/index"
 	"gdbm/internal/kvgraph"
 	"gdbm/internal/model"
+	"gdbm/internal/query/stats"
 	"gdbm/internal/storage/kv"
 )
 
@@ -59,6 +60,7 @@ type DB struct {
 	crossEdges int
 	spill      *kvgraph.Graph // external-memory mirror when Dir is set
 	disk       *kv.Disk
+	pstats     stats.Versioned // planner statistics, epoch-keyed (planstats.go)
 }
 
 // New opens an infinigraph with opts.Partitions shards (default 4).

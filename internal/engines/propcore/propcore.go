@@ -5,12 +5,14 @@
 package propcore
 
 import (
+	"sort"
 	"sync"
 
 	"gdbm/internal/constraint"
 	"gdbm/internal/index"
 	"gdbm/internal/model"
 	"gdbm/internal/query/plan"
+	"gdbm/internal/query/stats"
 	"gdbm/internal/storage/tx"
 )
 
@@ -208,6 +210,38 @@ func (c *Core) SetEdgeProp(id model.EdgeID, key string, v model.Value) error {
 	updated.Props[key] = v
 	c.Idx.OnEdgeWrite(updated, old.Label, oldProps)
 	return nil
+}
+
+// PlanStats implements stats.Provider by delegating to the storage graph;
+// engines embedding a Core expose it by promotion, which is what routes
+// their query front-ends onto the cost-based planner (plan.CompileFor).
+// Stores without statistics answer (nil, nil): planner falls back to naive.
+func (c *Core) PlanStats() (*stats.Stats, error) {
+	if sp, ok := c.g.(stats.Provider); ok {
+		return sp.PlanStats()
+	}
+	return nil, nil
+}
+
+// SortedNeighborIDs implements model.SortedAdjacency, serving the
+// worst-case-optimal join natively from the storage graph's snapshot rows
+// when available and by collect-and-sort over Neighbors otherwise.
+func (c *Core) SortedNeighborIDs(id model.NodeID, dir model.Direction, label string) ([]model.NodeID, error) {
+	if sa, ok := c.g.(model.SortedAdjacency); ok {
+		return sa.SortedNeighborIDs(id, dir, label)
+	}
+	var ids []model.NodeID
+	err := c.g.Neighbors(id, dir, func(e model.Edge, n model.Node) bool {
+		if label == "" || e.Label == label {
+			ids = append(ids, n.ID)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
 }
 
 // IndexedNodes implements plan.Source via the index manager.

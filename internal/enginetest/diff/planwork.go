@@ -1,0 +1,268 @@
+package diff
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gdbm/internal/model"
+	"gdbm/internal/query"
+	"gdbm/internal/query/plan"
+)
+
+// This file is the plan-differential workload: seeded pattern blueprints
+// rendered into plan.MatchSpec values. A blueprint is deliberately NOT a
+// MatchSpec — it is the abstract pattern, so the metamorphic transforms
+// (node/edge permutation, Both-edge reversal, variable renaming) operate on
+// structure and re-render, rather than rewriting compiled expressions. Two
+// renderings of equivalent blueprints must produce byte-identical results
+// under every planner on every engine.
+
+// PlanNode is one abstract pattern node: an optional label constraint and
+// an optional rank-equality constraint (-1 = none).
+type PlanNode struct {
+	Label  string
+	RankEq int
+}
+
+// PlanEdge joins blueprint nodes by index.
+type PlanEdge struct {
+	From, To  int
+	Label     string
+	Dir       model.Direction
+	VarLength bool
+	Min, Max  int
+}
+
+// PlanPat is one differential test case in abstract form.
+type PlanPat struct {
+	Nodes []PlanNode
+	Edges []PlanEdge
+	// ReturnNodes lists the node indices projected (as their rank
+	// property — never raw IDs, which differ across engines).
+	ReturnNodes []int
+	Distinct    bool
+	Count       bool // global count(*) instead of projection
+	Limit       int  // -1 = none; >=0 renders with a total OrderBy
+	Offset      int
+}
+
+// Render materializes the blueprint as a MatchSpec. Variable names derive
+// from prefix, so renaming is just re-rendering with a different prefix.
+// When Limit/Offset are active the spec carries an OrderBy over ALL
+// returned columns: only a totally-ordered prefix is deterministic under
+// join reordering (rows tying on every rendered column are
+// interchangeable, and render identically).
+func (p PlanPat) Render(prefix string) (*plan.MatchSpec, []string) {
+	spec := &plan.MatchSpec{Limit: -1}
+	for _, n := range p.Nodes {
+		np := plan.NodePat{Var: fmt.Sprintf("%s%d", prefix, len(spec.Nodes)), Label: n.Label}
+		if n.RankEq >= 0 {
+			np.Props = model.Props("rank", n.RankEq)
+		}
+		spec.Nodes = append(spec.Nodes, np)
+	}
+	for _, e := range p.Edges {
+		spec.Edges = append(spec.Edges, plan.EdgePat{
+			From: e.From, To: e.To, Label: e.Label, Dir: e.Dir,
+			VarLength: e.VarLength, Min: e.Min, Max: e.Max,
+		})
+	}
+	var cols []string
+	if p.Count {
+		spec.Aggs = []plan.AggItem{{Name: "n", Fn: "count"}}
+		return spec, []string{"n"}
+	}
+	for k, ni := range p.ReturnNodes {
+		name := fmt.Sprintf("c%d", k)
+		spec.Return = append(spec.Return, plan.Item{
+			Name: name,
+			Expr: query.Var{Name: spec.Nodes[ni].Var, Prop: "rank"},
+		})
+		cols = append(cols, name)
+	}
+	spec.Distinct = p.Distinct
+	if p.Limit >= 0 || p.Offset > 0 {
+		spec.Limit = p.Limit
+		spec.Offset = p.Offset
+		for _, c := range cols {
+			spec.OrderBy = append(spec.OrderBy, plan.OrderKey{Expr: query.Var{Name: c}})
+		}
+	}
+	return spec, cols
+}
+
+// Ordered reports whether renderings compare positionally (total OrderBy
+// active) instead of as sorted multisets.
+func (p PlanPat) Ordered() bool { return !p.Count && (p.Limit >= 0 || p.Offset > 0) }
+
+// fixedPlanPats are the hand-written cyclic cores every run must cover:
+// the shapes the WCO operator exists for.
+func fixedPlanPats() []PlanPat {
+	none := -1
+	return []PlanPat{
+		{ // triangle
+			Nodes: []PlanNode{{"", none}, {"", none}, {"", none}},
+			Edges: []PlanEdge{
+				{From: 0, To: 1, Label: "knows", Dir: model.Out},
+				{From: 1, To: 2, Label: "knows", Dir: model.Out},
+				{From: 0, To: 2, Label: "knows", Dir: model.Out},
+			},
+			ReturnNodes: []int{0, 1, 2}, Limit: -1,
+		},
+		{ // triangle, undirected
+			Nodes: []PlanNode{{"person", none}, {"", none}, {"", none}},
+			Edges: []PlanEdge{
+				{From: 0, To: 1, Label: "", Dir: model.Both},
+				{From: 1, To: 2, Label: "", Dir: model.Both},
+				{From: 0, To: 2, Label: "", Dir: model.Both},
+			},
+			ReturnNodes: []int{0, 1, 2}, Limit: -1, Distinct: true,
+		},
+		{ // diamond
+			Nodes: []PlanNode{{"", none}, {"", none}, {"", none}, {"", none}},
+			Edges: []PlanEdge{
+				{From: 0, To: 1, Label: "knows", Dir: model.Out},
+				{From: 0, To: 2, Label: "near", Dir: model.Out},
+				{From: 1, To: 3, Label: "near", Dir: model.Out},
+				{From: 2, To: 3, Label: "knows", Dir: model.Out},
+			},
+			ReturnNodes: []int{0, 3}, Limit: -1,
+		},
+		{ // cyclic core feeding a var-length tail
+			Nodes: []PlanNode{{"", none}, {"", none}, {"", none}, {"", none}},
+			Edges: []PlanEdge{
+				{From: 0, To: 1, Label: "knows", Dir: model.Out},
+				{From: 1, To: 2, Label: "knows", Dir: model.Out},
+				{From: 0, To: 2, Label: "knows", Dir: model.Out},
+				{From: 2, To: 3, Label: "", Dir: model.Out, VarLength: true, Min: 1, Max: 2},
+			},
+			ReturnNodes: []int{0, 3}, Limit: -1,
+		},
+		{ // triangle counted
+			Nodes: []PlanNode{{"", none}, {"", none}, {"", none}},
+			Edges: []PlanEdge{
+				{From: 0, To: 1, Label: "", Dir: model.Out},
+				{From: 1, To: 2, Label: "", Dir: model.Out},
+				{From: 0, To: 2, Label: "", Dir: model.Out},
+			},
+			Count: true, Limit: -1,
+		},
+	}
+}
+
+// GeneratePlanPats derives n deterministic pattern blueprints from seed,
+// prefixed by the fixed cyclic cores. Sizes are bounded so the worst
+// blueprint stays small enough to run under three planners on every
+// engine: at most 4 nodes, and 3+ node patterns are kept connected-ish by
+// construction (disconnected cross-products are exercised with 2 nodes).
+func GeneratePlanPats(seed int64, n int) []PlanPat {
+	rng := rand.New(rand.NewSource(seed))
+	pats := fixedPlanPats()
+	dirs := []model.Direction{model.Out, model.In, model.Both}
+	for len(pats) < n {
+		var p PlanPat
+		nn := 1 + rng.Intn(4)
+		for i := 0; i < nn; i++ {
+			node := PlanNode{RankEq: -1}
+			if rng.Intn(2) == 0 {
+				node.Label = nodeLabels[rng.Intn(len(nodeLabels))]
+			}
+			if rng.Intn(5) == 0 {
+				node.RankEq = rng.Intn(7)
+			}
+			p.Nodes = append(p.Nodes, node)
+		}
+		// Edge count: enough to usually connect 3+ patterns, sometimes
+		// extra edges that close cycles or duplicate pairs.
+		ne := 0
+		if nn > 1 {
+			ne = nn - 1 + rng.Intn(3)
+		}
+		for j := 0; j < ne; j++ {
+			e := PlanEdge{Dir: dirs[rng.Intn(len(dirs))]}
+			if j < nn-1 && nn > 2 {
+				// Spanning-ish: attach node j+1 to an earlier node.
+				e.From = rng.Intn(j + 1)
+				e.To = j + 1
+			} else {
+				e.From = rng.Intn(nn)
+				e.To = rng.Intn(nn)
+			}
+			if rng.Intn(5) > 0 {
+				e.Label = edgeLabels[rng.Intn(len(edgeLabels))]
+			}
+			if rng.Intn(8) == 0 {
+				e.VarLength = true
+				e.Min = rng.Intn(2)
+				e.Max = e.Min + 1 + rng.Intn(2)
+				e.Dir = model.Out
+			}
+			p.Edges = append(p.Edges, e)
+		}
+		switch rng.Intn(10) {
+		case 0:
+			p.Count = true
+		default:
+			k := 1 + rng.Intn(nn)
+			perm := rng.Perm(nn)
+			p.ReturnNodes = append(p.ReturnNodes, perm[:k]...)
+			p.Distinct = rng.Intn(4) == 0
+		}
+		p.Limit = -1
+		if !p.Count && rng.Intn(5) == 0 {
+			p.Limit = 1 + rng.Intn(5)
+			p.Offset = rng.Intn(3)
+		}
+		pats = append(pats, p)
+	}
+	return pats
+}
+
+// seedPlanGraph loads the deterministic plan-differential graph through the
+// Loader: 24 nodes over the three labels with rank i%7, a chain/skip edge
+// mesh, explicit triangles and diamonds (so the cyclic cores are
+// populated), one parallel edge and one self-loop (the multiplicity edge
+// cases the WCO operator must reproduce exactly).
+func seedPlanGraph(tb interface {
+	Helper()
+	Fatalf(string, ...interface{})
+}, ld interface {
+	LoadNode(string, model.Properties) (model.NodeID, error)
+	LoadEdge(string, model.NodeID, model.NodeID, model.Properties) (model.EdgeID, error)
+}) []model.NodeID {
+	tb.Helper()
+	const n = 24
+	ids := make([]model.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := ld.LoadNode(nodeLabels[i%len(nodeLabels)], model.Props("rank", i%7))
+		if err != nil {
+			tb.Fatalf("seedPlanGraph LoadNode %d: %v", i, err)
+		}
+		ids = append(ids, id)
+	}
+	addEdge := func(label string, a, b int) {
+		if _, err := ld.LoadEdge(label, ids[a], ids[b], nil); err != nil {
+			tb.Fatalf("seedPlanGraph LoadEdge %s %d->%d: %v", label, a, b, err)
+		}
+	}
+	for j := 0; j < 2*n; j++ {
+		addEdge(edgeLabels[j%len(edgeLabels)], j%n, (j*7+1)%n)
+	}
+	// Deterministic triangles: i -> i+1 -> i+2 -> closed by i -> i+2.
+	for i := 0; i < n-2; i += 3 {
+		addEdge("knows", i, i+1)
+		addEdge("knows", i+1, i+2)
+		addEdge("knows", i, i+2)
+	}
+	// Diamonds over "near": i -> {i+2, i+4} -> i+6.
+	for i := 0; i < n-6; i += 5 {
+		addEdge("near", i, i+2)
+		addEdge("near", i, i+4)
+		addEdge("near", i+2, i+6)
+		addEdge("near", i+4, i+6)
+	}
+	// Multiplicity edge cases.
+	addEdge("knows", 0, 1) // parallel with the first triangle edge
+	addEdge("owns", 5, 5)  // self-loop
+	return ids
+}

@@ -22,6 +22,7 @@ import (
 	"gdbm/internal/cache"
 	"gdbm/internal/model"
 	"gdbm/internal/obs"
+	"gdbm/internal/query/stats"
 	"gdbm/internal/storage/kv"
 )
 
@@ -42,6 +43,7 @@ type Graph struct {
 	epoch cache.Epoch
 	ver   adjpkg.Versioned // copy-on-write views, see view.go
 	adj   *cache.Adjacency // nil: adjacency caching disabled
+	stats stats.Versioned  // planner statistics, epoch-keyed (planstats.go)
 
 	// Observability counters; nil-safe no-ops until SetMetrics.
 	mNodeReads, mEdgeReads, mAdjScans *obs.Counter

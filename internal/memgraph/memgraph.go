@@ -10,6 +10,7 @@ import (
 	"gdbm/internal/adj"
 	"gdbm/internal/cache"
 	"gdbm/internal/model"
+	"gdbm/internal/query/stats"
 )
 
 type adjacency struct {
@@ -30,6 +31,7 @@ type Graph struct {
 	nextEdge model.EdgeID
 	epoch    cache.Epoch
 	ver      adj.Versioned
+	stats    stats.Versioned // planner statistics, epoch-keyed (planstats.go)
 }
 
 // New returns an empty graph.

@@ -148,6 +148,18 @@ type Snapshotter interface {
 	AcquireSnapshot() (Graph, ReleaseFunc, error)
 }
 
+// SortedAdjacency is an optional Graph capability: the IDs of the
+// neighbors of a node in a direction, filtered by edge label ("" = any),
+// in ascending NodeID order with one entry per matching edge (parallel
+// edges repeat their endpoint; a self-loop under Both appears once per
+// direction, mirroring Neighbors enumeration). The worst-case-optimal
+// join operator leapfrogs over these lists without loading node records;
+// graphs that do not implement it are served by a collect-and-sort
+// fallback over Neighbors.
+type SortedAdjacency interface {
+	SortedNeighborIDs(id NodeID, dir Direction, label string) ([]NodeID, error)
+}
+
 // Pinner is the store-level face of the same contract, implemented by the
 // mutable stores (memgraph, kvgraph) that render copy-on-write views. It
 // is deliberately a different method name from Snapshotter: engines embed

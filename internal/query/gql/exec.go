@@ -38,7 +38,7 @@ func runRead(st *Statement, src plan.Source) (*plan.Result, error) {
 	if st.Match == nil {
 		return &plan.Result{}, nil
 	}
-	op, err := plan.Compile(st.Match)
+	op, err := plan.CompileFor(st.Match, src)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +79,7 @@ func execParsed(ctx context.Context, st *Statement, m Mutator) (*plan.Result, er
 		spec.Return = nil
 		spec.Aggs = nil
 		spec.GroupBy = nil
-		op, err := plan.Compile(&spec)
+		op, err := plan.CompileFor(&spec, m)
 		if err != nil {
 			return nil, err
 		}

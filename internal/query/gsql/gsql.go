@@ -585,7 +585,7 @@ func execSelect(ctx context.Context, l *query.Lexer, e Engine) (*Result, error) 
 		}
 		spec.Limit = int(n)
 	}
-	op, err := plan.Compile(&spec)
+	op, err := plan.CompileFor(&spec, e)
 	if err != nil {
 		return nil, err
 	}

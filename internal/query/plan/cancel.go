@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"gdbm/internal/model"
+	"gdbm/internal/query/stats"
 )
 
 // cancelStride is how many streamed records pass between context checks.
@@ -120,6 +121,40 @@ func (c *cancelSource) Neighbors(id model.NodeID, dir model.Direction, fn func(m
 			return fn(e, n)
 		})
 	})
+}
+
+// SortedNeighborIDs forwards the sorted-adjacency capability so the
+// intersection operator stays cancellable: a native list costs one tick,
+// and the collect-and-sort fallback streams through the wrapper's
+// Neighbors, ticking once per record as every other scan does.
+func (c *cancelSource) SortedNeighborIDs(id model.NodeID, dir model.Direction, label string) ([]model.NodeID, error) {
+	if sa, ok := c.src.(model.SortedAdjacency); ok {
+		if err := c.tick(); err != nil {
+			return nil, err
+		}
+		return sa.SortedNeighborIDs(id, dir, label)
+	}
+	var ids []model.NodeID
+	err := c.Neighbors(id, dir, func(e model.Edge, n model.Node) bool {
+		if label == "" || e.Label == label {
+			ids = append(ids, n.ID)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortNodeIDs(ids)
+	return ids, nil
+}
+
+// PlanStats forwards the statistics capability so plan selection sees
+// through the cancellation wrapper.
+func (c *cancelSource) PlanStats() (*stats.Stats, error) {
+	if sp, ok := c.src.(stats.Provider); ok {
+		return sp.PlanStats()
+	}
+	return nil, nil
 }
 
 func (c *cancelSource) IndexedNodes(label, prop string, v model.Value, fn func(model.Node) bool) (bool, error) {

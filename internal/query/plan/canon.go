@@ -1,0 +1,135 @@
+package plan
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"gdbm/internal/model"
+)
+
+// Pattern canonicalization: the cost-based planner must produce the same
+// estimate (and, up to automorphism, the same plan) no matter how the
+// pattern was declared — node order, edge order, Both-edge orientation,
+// and variable names are all presentation, not semantics. The greedy
+// search therefore never tie-breaks on a declaration index; it uses the
+// ranks computed here, which derive only from pattern structure via
+// Weisfeiler-Leman color refinement over the pattern multigraph.
+//
+// Nodes left indistinguishable after refinement are automorphic for every
+// pattern small enough to plan (1-WL separates non-isomorphic graphs below
+// six nodes), so breaking their ties by declaration index cannot change
+// any cost: the symmetric choices price identically.
+
+// canonRanks orders pattern nodes and edges canonically. nodeOrder/
+// edgeOrder list indices in canonical order; nodeRank/edgeRank invert them.
+type canonRanks struct {
+	nodeOrder, edgeOrder []int
+	nodeRank, edgeRank   []int
+}
+
+// canonicalize computes canonRanks for a prepared spec.
+func canonicalize(spec *MatchSpec) canonRanks {
+	n := len(spec.Nodes)
+	colors := make([]uint64, n)
+	for i, np := range spec.Nodes {
+		h := fnv.New64a()
+		h.Write([]byte(np.Label))
+		h.Write([]byte{0})
+		props := make([]string, 0, len(np.Props))
+		for k, v := range np.Props {
+			props = append(props, k+"="+string(v.EncodeKey(nil)))
+		}
+		sort.Strings(props)
+		for _, s := range props {
+			h.Write([]byte(s))
+			h.Write([]byte{1})
+		}
+		colors[i] = h.Sum64()
+	}
+
+	// edgeSig describes edge ei as seen from endpoint `from` — direction is
+	// relative, so a flipped Both edge signs identically. Variable names
+	// are deliberately absent (renaming is presentation); whether an edge
+	// binds one is not (it gates WCO eligibility).
+	edgeSig := func(ei, from int) string {
+		e := spec.Edges[ei]
+		dir := e.Dir
+		if from == e.To {
+			dir = dir.Reverse()
+		}
+		return fmt.Sprintf("%s/%d/%t/%d/%d/%t", e.Label, dir, e.VarLength, e.Min, e.Max, e.Var != "")
+	}
+
+	for round := 0; round < n; round++ {
+		next := make([]uint64, n)
+		for i := range spec.Nodes {
+			var sigs []string
+			for ei, e := range spec.Edges {
+				if e.From == i {
+					sigs = append(sigs, fmt.Sprintf("%s>%016x", edgeSig(ei, i), colors[e.To]))
+				}
+				if e.To == i {
+					sigs = append(sigs, fmt.Sprintf("%s>%016x", edgeSig(ei, i), colors[e.From]))
+				}
+			}
+			sort.Strings(sigs)
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%016x|", colors[i])
+			for _, s := range sigs {
+				h.Write([]byte(s))
+				h.Write([]byte{2})
+			}
+			next[i] = h.Sum64()
+		}
+		colors = next
+	}
+
+	cr := canonRanks{
+		nodeOrder: make([]int, n),
+		edgeOrder: make([]int, len(spec.Edges)),
+		nodeRank:  make([]int, n),
+		edgeRank:  make([]int, len(spec.Edges)),
+	}
+	for i := range cr.nodeOrder {
+		cr.nodeOrder[i] = i
+	}
+	sort.Slice(cr.nodeOrder, func(a, b int) bool {
+		ia, ib := cr.nodeOrder[a], cr.nodeOrder[b]
+		if colors[ia] != colors[ib] {
+			return colors[ia] < colors[ib]
+		}
+		return ia < ib
+	})
+	for rank, i := range cr.nodeOrder {
+		cr.nodeRank[i] = rank
+	}
+
+	// Edge keys combine the refined endpoint colors with the edge's own
+	// signature; Both edges use the unordered color pair so reversal
+	// cannot move an edge in the canonical order.
+	ekey := func(ei int) string {
+		e := spec.Edges[ei]
+		a, b := colors[e.From], colors[e.To]
+		if e.Dir == model.Both && a > b {
+			a, b = b, a
+		}
+		return fmt.Sprintf("%s/%016x/%016x", edgeSig(ei, e.From), a, b)
+	}
+	keys := make([]string, len(spec.Edges))
+	for ei := range spec.Edges {
+		keys[ei] = ekey(ei)
+		cr.edgeOrder[ei] = ei
+	}
+	sort.Slice(cr.edgeOrder, func(a, b int) bool {
+		ia, ib := cr.edgeOrder[a], cr.edgeOrder[b]
+		if keys[ia] != keys[ib] {
+			return keys[ia] < keys[ib]
+		}
+		return ia < ib
+	})
+	for rank, ei := range cr.edgeOrder {
+		cr.edgeRank[ei] = rank
+	}
+	return cr
+}

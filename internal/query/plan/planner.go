@@ -47,13 +47,8 @@ type MatchSpec struct {
 // disconnected pattern components; Where becomes a Filter, then projection
 // and modifiers.
 func Compile(spec *MatchSpec) (Op, error) {
-	if len(spec.Nodes) == 0 {
-		return nil, fmt.Errorf("plan: empty match pattern")
-	}
-	for i, n := range spec.Nodes {
-		if n.Var == "" {
-			spec.Nodes[i].Var = fmt.Sprintf("_n%d", i)
-		}
+	if err := prepare(spec); err != nil {
+		return nil, err
 	}
 	bound := make([]bool, len(spec.Nodes))
 	edgeDone := make([]bool, len(spec.Edges))
@@ -138,6 +133,60 @@ func Compile(spec *MatchSpec) (Op, error) {
 		}
 	}
 
+	return applyModifiers(root, spec), nil
+}
+
+// prepare normalizes and validates a MatchSpec in place: anonymous node
+// patterns receive synthetic variables, then the pattern is checked for the
+// shapes no planner can execute. Both planners share it, so an invalid spec
+// fails identically — same error, no panics — regardless of which planner a
+// front-end selects. prepare is idempotent.
+func prepare(spec *MatchSpec) error {
+	if len(spec.Nodes) == 0 {
+		return fmt.Errorf("plan: empty match pattern")
+	}
+	for i, n := range spec.Nodes {
+		if n.Var == "" {
+			spec.Nodes[i].Var = fmt.Sprintf("_n%d", i)
+		}
+	}
+	vars := make(map[string]bool, len(spec.Nodes))
+	for _, n := range spec.Nodes {
+		if vars[n.Var] {
+			return fmt.Errorf("plan: duplicate variable %q", n.Var)
+		}
+		vars[n.Var] = true
+	}
+	for ei, e := range spec.Edges {
+		if e.From < 0 || e.From >= len(spec.Nodes) || e.To < 0 || e.To >= len(spec.Nodes) {
+			return fmt.Errorf("plan: edge %d endpoint out of range", ei)
+		}
+		if e.VarLength {
+			if e.Var != "" {
+				return fmt.Errorf("plan: var-length edge %d cannot bind a variable", ei)
+			}
+			if e.Min < 0 {
+				return fmt.Errorf("plan: edge %d has negative minimum length", ei)
+			}
+			continue
+		}
+		if e.Var == "" {
+			continue
+		}
+		if vars[e.Var] {
+			return fmt.Errorf("plan: duplicate variable %q", e.Var)
+		}
+		vars[e.Var] = true
+	}
+	return nil
+}
+
+// applyModifiers wraps the pattern-matching tree with the spec's predicate,
+// projection and result modifiers, in the fixed order every planner shares:
+// Filter, Aggregate/Project, Distinct, OrderBy, Limit/Offset. Keeping this
+// in one place is what makes reordered plans answer-equivalent — only the
+// pattern subtree differs between planners.
+func applyModifiers(root Op, spec *MatchSpec) Op {
 	if spec.Where != nil {
 		root = &Filter{Child: root, Cond: spec.Where}
 	}
@@ -159,7 +208,7 @@ func Compile(spec *MatchSpec) (Op, error) {
 		}
 		root = &Limit{Child: root, N: n, Offset: spec.Offset}
 	}
-	return root, nil
+	return root
 }
 
 func constrainNode(child Op, n NodePat) Op {

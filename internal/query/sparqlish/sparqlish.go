@@ -360,7 +360,7 @@ func RunCtx(ctx context.Context, input string, src plan.Source) (*plan.Result, e
 		return nil, err
 	}
 	defer tr.StartSpan("exec")()
-	op, err := plan.Compile(&q.Spec)
+	op, err := plan.CompileFor(&q.Spec, src)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,254 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"gdbm/internal/memgraph"
+	"gdbm/internal/model"
+	"gdbm/internal/query/plan"
+	"gdbm/internal/storage/vfs"
+)
+
+// PlanPatterns names the benchable patterns in rendering order. Triangle
+// and diamond are the cyclic cores the worst-case-optimal operator exists
+// for; reorder is a chain whose selective end is declared last, so the
+// naive declaration-order plan starts from the worst scan.
+var PlanPatterns = []string{"triangle", "diamond", "reorder"}
+
+// PlanResult is one (pattern, planner) measurement. Rows is the result
+// cardinality — identical across planners by the differential guarantee,
+// and re-checked here: a speedup that changes the answer is a bug, not a
+// win.
+type PlanResult struct {
+	Pattern string  `json:"pattern"`
+	Planner string  `json:"planner"` // naive | cost | wco
+	Ns      int64   `json:"ns"`
+	Rows    int64   `json:"rows"`
+	Plan    string  `json:"plan"`
+	Speedup float64 `json:"speedup_vs_naive"`
+}
+
+// PlanSweep is the full planner comparison on one seeded graph.
+type PlanSweep struct {
+	Stamp
+	Nodes   int          `json:"nodes"`
+	Degree  int          `json:"degree"`
+	Seed    int64        `json:"seed"`
+	Note    string       `json:"note"`
+	Results []PlanResult `json:"results"`
+}
+
+// planBenchGraph builds the seeded benchmark graph: a hub-skewed "knows"
+// graph (a few low-id hubs attract a quarter of all edges, so degree is
+// heavy-tailed like real social graphs) with a tiny "hub" label partition
+// the reorder pattern can anchor on.
+func planBenchGraph(nodes, degree int, seed int64) (*memgraph.Graph, error) {
+	g := memgraph.New()
+	rng := rand.New(rand.NewSource(seed))
+	hubs := nodes / 200
+	if hubs < 2 {
+		hubs = 2
+	}
+	ids := make([]model.NodeID, nodes)
+	for i := 0; i < nodes; i++ {
+		label := "person"
+		switch {
+		case i < hubs:
+			label = "hub"
+		case i%7 == 0:
+			label = "place"
+		}
+		id, err := g.AddNode(label, model.Props("rank", i%100))
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	for i := 0; i < nodes; i++ {
+		for d := 0; d < degree; d++ {
+			to := rng.Intn(nodes)
+			if rng.Intn(4) == 0 {
+				to = rng.Intn(hubs * 8)
+			}
+			if _, err := g.AddEdge("knows", ids[i], ids[to], nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < nodes/2; i++ {
+		if _, err := g.AddEdge("near", ids[rng.Intn(nodes)], ids[rng.Intn(nodes)], nil); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// planBenchSpec renders one named pattern as a counting MatchSpec — the
+// count aggregate forces full enumeration (what the planner order decides)
+// without materializing row storage into the measurement.
+func planBenchSpec(pattern string) (*plan.MatchSpec, error) {
+	spec := &plan.MatchSpec{
+		Limit: -1,
+		Aggs:  []plan.AggItem{{Name: "n", Fn: "count"}},
+	}
+	switch pattern {
+	case "triangle":
+		spec.Nodes = []plan.NodePat{{Var: "a"}, {Var: "b"}, {Var: "c"}}
+		spec.Edges = []plan.EdgePat{
+			{From: 0, To: 1, Label: "knows", Dir: model.Out},
+			{From: 1, To: 2, Label: "knows", Dir: model.Out},
+			{From: 0, To: 2, Label: "knows", Dir: model.Out},
+		}
+	case "diamond":
+		spec.Nodes = []plan.NodePat{{Var: "a"}, {Var: "b"}, {Var: "c"}, {Var: "d"}}
+		spec.Edges = []plan.EdgePat{
+			{From: 0, To: 1, Label: "knows", Dir: model.Out},
+			{From: 0, To: 2, Label: "knows", Dir: model.Out},
+			{From: 1, To: 3, Label: "knows", Dir: model.Out},
+			{From: 2, To: 3, Label: "knows", Dir: model.Out},
+		}
+	case "reorder":
+		// Both ends carry a label and one property, so the naive planner's
+		// constraint-count heuristic ties and falls back to declaration
+		// order — anchoring on the populous person partition. Cardinality
+		// statistics see that hub{rank:0} is a near-singleton and anchor
+		// there instead.
+		spec.Nodes = []plan.NodePat{
+			{Var: "a", Label: "person", Props: model.Props("rank", 0)},
+			{Var: "b"},
+			{Var: "c", Label: "hub", Props: model.Props("rank", 0)},
+		}
+		spec.Edges = []plan.EdgePat{
+			{From: 0, To: 1, Label: "knows", Dir: model.Out},
+			{From: 1, To: 2, Label: "knows", Dir: model.Out},
+		}
+	default:
+		return nil, fmt.Errorf("unknown plan pattern %q (have: %v)", pattern, PlanPatterns)
+	}
+	return spec, nil
+}
+
+// RunPlanSweep times every requested pattern under the naive, cost-based,
+// and worst-case-optimal planners on the same seeded graph, asserting all
+// three return the same count before any timing is reported.
+func RunPlanSweep(nodes, degree int, seed int64, patterns []string) (*PlanSweep, error) {
+	g, err := planBenchGraph(nodes, degree, seed)
+	if err != nil {
+		return nil, err
+	}
+	st, err := g.PlanStats()
+	if err != nil {
+		return nil, err
+	}
+	src := plan.UnindexedSource{Graph: g}
+	sweep := &PlanSweep{
+		Stamp:  NewStamp(),
+		Nodes:  nodes,
+		Degree: degree,
+		Seed:   seed,
+		Note: "all planners run the same count query on the same graph and must agree " +
+			"on the count before timing is recorded; speedup is naive_ns/ns on this host",
+	}
+	type planner struct {
+		name    string
+		compile func(*plan.MatchSpec) (plan.Op, error)
+	}
+	planners := []planner{
+		{"naive", plan.Compile},
+		{"cost", func(s *plan.MatchSpec) (plan.Op, error) {
+			op, _, err := plan.Planner{Stats: st}.Compile(s)
+			return op, err
+		}},
+		{"wco", func(s *plan.MatchSpec) (plan.Op, error) {
+			op, _, err := plan.Planner{Stats: st, WCO: true}.Compile(s)
+			return op, err
+		}},
+	}
+	for _, pattern := range patterns {
+		var patResults []PlanResult
+		wantRows := int64(-1)
+		for _, pl := range planners {
+			spec, err := planBenchSpec(pattern)
+			if err != nil {
+				return nil, err
+			}
+			op, err := pl.compile(spec)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", pattern, pl.name, err)
+			}
+			var count int64
+			run := func() error {
+				res, err := plan.Collect(op, src, []string{"n"})
+				if err != nil {
+					return err
+				}
+				c, ok := res.Rows[0][0].AsInt()
+				if !ok {
+					return fmt.Errorf("count is not an int: %v", res.Rows[0][0])
+				}
+				count = c
+				return nil
+			}
+			ns, err := timeOp(run)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", pattern, pl.name, err)
+			}
+			if wantRows == -1 {
+				wantRows = count
+			} else if count != wantRows {
+				return nil, fmt.Errorf("%s: planner %s counted %d, %s counted %d — refusing to report a speedup that changes the answer",
+					pattern, pl.name, count, planners[0].name, wantRows)
+			}
+			patResults = append(patResults, PlanResult{
+				Pattern: pattern,
+				Planner: pl.name,
+				Ns:      ns,
+				Rows:    count,
+				Plan:    op.String(),
+			})
+		}
+		naiveNs := patResults[0].Ns
+		for i := range patResults {
+			patResults[i].Speedup = float64(naiveNs) / float64(patResults[i].Ns)
+		}
+		sweep.Results = append(sweep.Results, patResults...)
+	}
+	return sweep, nil
+}
+
+// WritePlanJSON writes the sweep to path through the vfs seam.
+func WritePlanJSON(fsys vfs.FS, path string, sweep *PlanSweep) error {
+	data, err := json.MarshalIndent(sweep, "", "  ")
+	if err != nil {
+		return err
+	}
+	f, w, err := vfs.Create(fsys, path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RenderPlan prints the sweep as a per-pattern planner table.
+func RenderPlan(w io.Writer, sweep *PlanSweep) {
+	fmt.Fprintf(w, "plan sweep: hub-skewed n=%d degree=%d seed=%d (gomaxprocs=%d)\n\n",
+		sweep.Nodes, sweep.Degree, sweep.Seed, sweep.GoMaxProcs)
+	pattern := ""
+	for _, r := range sweep.Results {
+		if r.Pattern != pattern {
+			pattern = r.Pattern
+			fmt.Fprintf(w, "%s (rows=%d)\n", pattern, r.Rows)
+		}
+		fmt.Fprintf(w, "  %-6s %12v  %6.2fx  %s\n",
+			r.Planner, time.Duration(r.Ns).Round(time.Microsecond), r.Speedup, r.Plan)
+	}
+	fmt.Fprintf(w, "\n%s\n", sweep.Note)
+}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gdbm/internal/storage/vfs"
+)
+
+// TestRunPlanSweep runs the full sweep small and checks the invariants the
+// JSON consumers rely on: every pattern appears under all three planners,
+// counts agree within a pattern, naive speedup is exactly 1, and at least
+// one WCO plan actually contains the Intersect operator.
+func TestRunPlanSweep(t *testing.T) {
+	sweep, err := RunPlanSweep(400, 3, 7, PlanPatterns)
+	if err != nil {
+		t.Fatalf("RunPlanSweep: %v", err)
+	}
+	if got, want := len(sweep.Results), 3*len(PlanPatterns); got != want {
+		t.Fatalf("got %d results, want %d", got, want)
+	}
+	rows := map[string]int64{}
+	sawIntersect := false
+	for _, r := range sweep.Results {
+		if r.Ns <= 0 {
+			t.Errorf("%s/%s: non-positive time %d", r.Pattern, r.Planner, r.Ns)
+		}
+		if r.Planner == "naive" && r.Speedup != 1 {
+			t.Errorf("%s: naive speedup %v, want 1", r.Pattern, r.Speedup)
+		}
+		if prev, ok := rows[r.Pattern]; ok && prev != r.Rows {
+			t.Errorf("%s: planner %s counted %d, earlier planner counted %d", r.Pattern, r.Planner, r.Rows, prev)
+		}
+		rows[r.Pattern] = r.Rows
+		if r.Planner == "wco" && strings.Contains(r.Plan, "Intersect") {
+			sawIntersect = true
+		}
+	}
+	if !sawIntersect {
+		t.Errorf("no wco plan used Intersect; the sweep is not exercising the WCO operator")
+	}
+	for _, p := range PlanPatterns {
+		if rows[p] == 0 {
+			t.Errorf("pattern %s matched zero rows; the benchmark graph is too sparse to measure", p)
+		}
+	}
+
+	var render strings.Builder
+	RenderPlan(&render, sweep)
+	for _, frag := range []string{"triangle", "diamond", "reorder", "naive", "wco"} {
+		if !strings.Contains(render.String(), frag) {
+			t.Errorf("rendering lacks %q:\n%s", frag, render.String())
+		}
+	}
+
+	fs := vfs.NewFaultFS()
+	if err := WritePlanJSON(fs, "BENCH_plan.json", sweep); err != nil {
+		t.Fatalf("WritePlanJSON: %v", err)
+	}
+	f, err := fs.OpenFile("BENCH_plan.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	var back PlanSweep
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("written JSON does not parse: %v", err)
+	}
+	for _, frag := range []string{`"gomaxprocs"`, `"pattern"`, `"speedup_vs_naive"`, `"rows"`} {
+		if !strings.Contains(string(data), frag) {
+			t.Errorf("JSON lacks %q", frag)
+		}
+	}
+}
+
+// TestPlanBenchSpecUnknown pins the error path -planpatterns validation
+// relies on.
+func TestPlanBenchSpecUnknown(t *testing.T) {
+	if _, err := planBenchSpec("bogus"); err == nil {
+		t.Fatalf("planBenchSpec(bogus) succeeded, want error")
+	}
+}
