@@ -106,14 +106,18 @@ fuzz-smoke:
 	$(GO) test ./internal/query/plan/ -run '^$$' -fuzz FuzzCompileMatchSpec -fuzztime $(FUZZTIME)
 
 # Overload drill: build the real gdbserver/gdbload binaries, burst at 2×
-# the configured capacity, and assert shed-not-crash plus a clean SIGTERM
-# drain. See DESIGN.md "Overload & degradation contract".
+# the configured capacity, run a binary-protocol pass and a streamed
+# multi-chunk large result, and assert shed-not-crash plus a clean SIGTERM
+# drain. See DESIGN.md "Overload & degradation contract" and "Wire &
+# streaming contract".
 serve-smoke:
 	$(GO) test ./cmd/gdbserver/ -run TestServeSmoke -count=1 -v
 
 # Closed-loop serve benchmark: in-process server over real TCP, open-loop
-# Poisson arrivals at 0.5×/1×/2× capacity, host-stamped JSON out.
+# Poisson arrivals at 0.5×/1×/2× capacity, host-stamped JSON out. -proto
+# both runs the sweep once per response encoding and appends the JSON-vs-
+# binary comparison rows (p50/p99, bytes per query).
 bench-serve:
-	$(GO) run ./cmd/gdbload -selfserve -engine neograph -capacity 100 -out BENCH_serve.json
+	$(GO) run ./cmd/gdbload -selfserve -engine neograph -capacity 100 -proto both -out BENCH_serve.json
 
 ci: lint test race race-kernels race-obs race-snapshots race-server race-plan cover fuzz-smoke serve-smoke

@@ -7,6 +7,8 @@
 //	gdbload -addr http://127.0.0.1:8080 -engine neograph -capacity 200
 //	gdbload -selfserve -capacity 100 -out BENCH_serve.json
 //	gdbload -arrival gamma -cv 2 ...   # burstier-than-Poisson arrivals
+//	gdbload -proto binary ...          # framed responses (Accept: application/x-gdbw)
+//	gdbload -proto both ...            # JSON-vs-binary comparison rows
 //
 // -selfserve starts an in-process server on a loopback port so the
 // benchmark is one command; the numbers still flow through real TCP.
@@ -45,6 +47,7 @@ type loadConfig struct {
 	arrival     string
 	cv          float64
 	seed        int64
+	proto       string
 	retries     int
 	retryBase   time.Duration
 	timeoutMS   int
@@ -64,6 +67,7 @@ func main() {
 	flag.DurationVar(&cfg.duration, "duration", 3*time.Second, "arrival window per point")
 	flag.StringVar(&cfg.arrival, "arrival", "poisson", "arrival process: poisson or gamma")
 	flag.Float64Var(&cfg.cv, "cv", 1, "coefficient of variation for gamma arrivals")
+	flag.StringVar(&cfg.proto, "proto", "json", "response encoding: json, binary (Accept: application/x-gdbw), or both (run the sweep once per protocol and emit a comparison)")
 	flag.Int64Var(&cfg.seed, "seed", 42, "arrival and jitter seed")
 	flag.IntVar(&cfg.retries, "retries", 3, "max retries per request after a shed")
 	flag.DurationVar(&cfg.retryBase, "retry-base", 50*time.Millisecond, "exponential backoff base")
@@ -142,34 +146,116 @@ func run(cfg loadConfig) error {
 		lc.Stmt = func(int) string { return stmt }
 	}
 
-	sweep, err := loadgen.RunSweep(lc, cfg.capacity, mults)
+	switch cfg.proto {
+	case "", "json", "binary":
+		lc.Proto = cfg.proto
+		sweep, err := loadgen.RunSweep(lc, cfg.capacity, mults)
+		if err != nil {
+			return err
+		}
+		printSweep(sweep)
+		if cfg.out != "" {
+			return writeOut(cfg.out, sweep)
+		}
+		return nil
+	case "both":
+		// Same arrival schedule (same seed) per protocol: the comparison
+		// differs only in response encoding.
+		lc.Proto = "json"
+		js, err := loadgen.RunSweep(lc, cfg.capacity, mults)
+		if err != nil {
+			return err
+		}
+		lc.Proto = "binary"
+		bs, err := loadgen.RunSweep(lc, cfg.capacity, mults)
+		if err != nil {
+			return err
+		}
+		printSweep(js)
+		printSweep(bs)
+		cmp := compareProtos(js, bs)
+		for _, c := range cmp {
+			fmt.Printf("x%-4g json p50=%6.2fms p99=%6.2fms %7.0f B/q | binary p50=%6.2fms p99=%6.2fms %7.0f B/q\n",
+				c.Multiplier, c.JSONP50MS, c.JSONP99MS, c.JSONBytesPerQuery,
+				c.BinaryP50MS, c.BinaryP99MS, c.BinaryBytesPerQuery)
+		}
+		if cfg.out != "" {
+			return writeOut(cfg.out, comparedSweep{Sweep: *js, BinaryPoints: bs.Points, ProtoComparison: cmp})
+		}
+		return nil
+	default:
+		return fmt.Errorf("bad -proto %q (json, binary or both)", cfg.proto)
+	}
+}
+
+// comparedSweep is the -proto both payload: the JSON sweep keeps the
+// backward-compatible top-level shape (points, stamp), the binary sweep and
+// the per-multiplier comparison rows ride alongside under one shared stamp.
+type comparedSweep struct {
+	loadgen.Sweep
+	BinaryPoints    []loadgen.SweepPoint `json:"binary_points"`
+	ProtoComparison []protoComparison    `json:"proto_comparison"`
+}
+
+// protoComparison is one JSON-vs-binary row at a capacity multiplier.
+type protoComparison struct {
+	Multiplier          float64 `json:"multiplier"`
+	JSONP50MS           float64 `json:"json_p50_ms"`
+	JSONP99MS           float64 `json:"json_p99_ms"`
+	JSONBytesPerQuery   float64 `json:"json_bytes_per_query"`
+	BinaryP50MS         float64 `json:"binary_p50_ms"`
+	BinaryP99MS         float64 `json:"binary_p99_ms"`
+	BinaryBytesPerQuery float64 `json:"binary_bytes_per_query"`
+}
+
+func compareProtos(js, bs *loadgen.Sweep) []protoComparison {
+	var out []protoComparison
+	for i, jp := range js.Points {
+		if i >= len(bs.Points) {
+			break
+		}
+		bp := bs.Points[i]
+		out = append(out, protoComparison{
+			Multiplier:          jp.Multiplier,
+			JSONP50MS:           jp.P50MS,
+			JSONP99MS:           jp.P99MS,
+			JSONBytesPerQuery:   jp.BytesPerQuery,
+			BinaryP50MS:         bp.P50MS,
+			BinaryP99MS:         bp.P99MS,
+			BinaryBytesPerQuery: bp.BytesPerQuery,
+		})
+	}
+	return out
+}
+
+func printSweep(sweep *loadgen.Sweep) {
+	proto := sweep.Proto
+	if proto == "" {
+		proto = "json"
+	}
+	for _, p := range sweep.Points {
+		fmt.Printf("%-6s x%-4g offered=%-5d goodput=%7.1f rps  shed=%5.1f%%  p50=%7.2fms  p99=%7.2fms  ttfb50=%6.2fms  %6.0f B/q  gaveup=%d\n",
+			proto, p.Multiplier, p.Offered, p.GoodputRPS, 100*p.ShedRate, p.P50MS, p.P99MS, p.TTFBP50MS, p.BytesPerQuery, p.GaveUp)
+	}
+}
+
+func writeOut(path string, doc any) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
-
-	for _, p := range sweep.Points {
-		fmt.Printf("x%-4g offered=%-5d goodput=%7.1f rps  shed=%5.1f%%  p50=%7.2fms  p99=%7.2fms  gaveup=%d\n",
-			p.Multiplier, p.Offered, p.GoodputRPS, 100*p.ShedRate, p.P50MS, p.P99MS, p.GaveUp)
+	f, w, err := vfs.Create(vfs.OSFS, path)
+	if err != nil {
+		return err
 	}
-
-	if cfg.out != "" {
-		data, err := json.MarshalIndent(sweep, "", "  ")
-		if err != nil {
-			return err
-		}
-		f, w, err := vfs.Create(vfs.OSFS, cfg.out)
-		if err != nil {
-			return err
-		}
-		if _, err := w.Write(append(data, '\n')); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Println("wrote", cfg.out)
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
 	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
 	return nil
 }
 

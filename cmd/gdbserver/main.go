@@ -1,6 +1,8 @@
-// Command gdbserver serves the graph engines over HTTP/JSON with admission
+// Command gdbserver serves the graph engines over HTTP with admission
 // control per SLO class, request deadlines threaded into the query kernels,
-// and graceful drain on SIGTERM/SIGINT.
+// and graceful drain on SIGTERM/SIGINT. Query results stream as they are
+// produced: chunked JSON by default, or length-prefixed binary frames when
+// the client sends Accept: application/x-gdbw (see internal/server/wire).
 //
 // Usage:
 //
@@ -52,14 +54,17 @@ type serverConfig struct {
 	burst    int
 	inflight int
 	queue    int
+	weight   float64
 	deadline time.Duration
 
 	batchRate     float64
 	batchBurst    int
 	batchInflight int
 	batchQueue    int
+	batchWeight   float64
 	batchDeadline time.Duration
 
+	chunkRows int
 	maxConns  int
 	drainWait time.Duration
 }
@@ -75,12 +80,15 @@ func main() {
 	flag.IntVar(&cfg.burst, "burst", server.DefaultInteractive.Burst, "interactive burst")
 	flag.IntVar(&cfg.inflight, "inflight", server.DefaultInteractive.MaxInflight, "interactive max in-flight queries")
 	flag.IntVar(&cfg.queue, "queue", server.DefaultInteractive.MaxQueue, "interactive queue depth")
+	flag.Float64Var(&cfg.weight, "weight", server.DefaultInteractive.Weight, "interactive share of pooled slots while contested")
 	flag.DurationVar(&cfg.deadline, "deadline", server.DefaultInteractive.Deadline, "interactive per-query deadline")
 	flag.Float64Var(&cfg.batchRate, "batch-rate", server.DefaultBatch.Rate, "batch admission rate (req/s)")
 	flag.IntVar(&cfg.batchBurst, "batch-burst", server.DefaultBatch.Burst, "batch burst")
 	flag.IntVar(&cfg.batchInflight, "batch-inflight", server.DefaultBatch.MaxInflight, "batch max in-flight queries")
 	flag.IntVar(&cfg.batchQueue, "batch-queue", server.DefaultBatch.MaxQueue, "batch queue depth")
+	flag.Float64Var(&cfg.batchWeight, "batch-weight", server.DefaultBatch.Weight, "batch share of pooled slots while contested")
 	flag.DurationVar(&cfg.batchDeadline, "batch-deadline", server.DefaultBatch.Deadline, "batch per-query deadline")
+	flag.IntVar(&cfg.chunkRows, "chunk-rows", 0, "rows per streamed response chunk (0 = server default)")
 	flag.IntVar(&cfg.maxConns, "max-conns", 256, "max accepted TCP connections")
 	flag.DurationVar(&cfg.drainWait, "drain-wait", 30*time.Second, "max time to wait for in-flight queries on shutdown")
 	flag.Parse()
@@ -95,13 +103,14 @@ func run(cfg serverConfig) error {
 	sc := server.Config{
 		Interactive: server.ClassConfig{
 			Rate: cfg.rate, Burst: cfg.burst, MaxInflight: cfg.inflight,
-			MaxQueue: cfg.queue, Deadline: cfg.deadline,
+			MaxQueue: cfg.queue, Weight: cfg.weight, Deadline: cfg.deadline,
 		},
 		Batch: server.ClassConfig{
 			Rate: cfg.batchRate, Burst: cfg.batchBurst, MaxInflight: cfg.batchInflight,
-			MaxQueue: cfg.batchQueue, Deadline: cfg.batchDeadline,
+			MaxQueue: cfg.batchQueue, Weight: cfg.batchWeight, Deadline: cfg.batchDeadline,
 		},
-		Metrics: obs.NewRegistry(),
+		Metrics:   obs.NewRegistry(),
+		ChunkRows: cfg.chunkRows,
 	}
 	if cfg.engines != "" {
 		for _, n := range strings.Split(cfg.engines, ",") {

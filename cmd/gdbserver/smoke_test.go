@@ -2,8 +2,10 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -12,13 +14,17 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"gdbm/internal/server/wire"
 )
 
 // TestServeSmoke is the end-to-end overload drill `make serve-smoke` runs:
 // build the real binaries, start gdbserver on a loopback port, drive a
-// short gdbload burst at 2× the configured capacity, and SIGTERM the
+// short gdbload burst at 2× the configured capacity, run a binary-protocol
+// pass and a streamed multi-chunk large-result request, and SIGTERM the
 // server. Pass criteria: the burst is shed (not crashed into), nothing
-// hard-fails, and the drain completes cleanly with exit status 0.
+// hard-fails, both encodings deliver complete results, and the drain
+// completes cleanly with exit status 0.
 func TestServeSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs real binaries")
@@ -34,12 +40,16 @@ func TestServeSmoke(t *testing.T) {
 	}
 
 	const capacity = 50
+	const seedNodes = 200
 	srv := exec.Command(serverBin,
 		"-addr", "127.0.0.1:0",
 		"-engines", "neograph",
-		"-seed-nodes", "200",
+		"-seed-nodes", fmt.Sprint(seedNodes),
 		"-rate", fmt.Sprint(capacity), "-burst", "10",
 		"-inflight", "8", "-queue", "8",
+		// Small chunks so the large-result request below streams across
+		// several flushes rather than fitting one chunk.
+		"-chunk-rows", "32",
 	)
 	stdout, err := srv.StdoutPipe()
 	if err != nil {
@@ -129,9 +139,98 @@ func TestServeSmoke(t *testing.T) {
 		t.Error("no request completed at 2× load; server collapsed instead of shedding")
 	}
 
+	// Binary protocol through the real client: a gentle pass must complete
+	// framed responses and account response bytes.
+	binJSON := filepath.Join(dir, "smoke_serve_bin.json")
+	load = exec.Command(loadBin,
+		"-addr", "http://"+addr,
+		"-engine", "neograph",
+		"-capacity", fmt.Sprint(capacity),
+		"-multipliers", "0.5",
+		"-duration", "800ms",
+		"-proto", "binary",
+		"-retries", "2",
+		"-out", binJSON,
+	)
+	loadOut, err = load.CombinedOutput()
+	if err != nil {
+		t.Fatalf("gdbload -proto binary: %v\n%s", err, loadOut)
+	}
+	var binSweep struct {
+		Proto  string `json:"proto"`
+		Points []struct {
+			Completed     int     `json:"completed"`
+			Failed        int     `json:"failed"`
+			BytesPerQuery float64 `json:"bytes_per_query"`
+		} `json:"points"`
+	}
+	raw, err = os.ReadFile(binJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &binSweep); err != nil {
+		t.Fatalf("parse %s: %v", binJSON, err)
+	}
+	if binSweep.Proto != "binary" || len(binSweep.Points) != 1 {
+		t.Fatalf("binary sweep shape: proto=%q points=%d", binSweep.Proto, len(binSweep.Points))
+	}
+	bp := binSweep.Points[0]
+	if bp.Completed == 0 || bp.Failed != 0 {
+		t.Errorf("binary pass: completed=%d failed=%d\n%s", bp.Completed, bp.Failed, loadOut)
+	}
+	if bp.BytesPerQuery <= 0 {
+		t.Errorf("binary pass did not account response bytes: %+v", bp)
+	}
+
+	// Streamed large result: one row per seeded node, forced across many
+	// 32-row chunks, byte-complete on both encodings.
+	stmt := `MATCH (a:N) RETURN a.idx AS i`
+	body, _ := json.Marshal(map[string]any{"stmt": stmt, "engine": "neograph"})
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	framed, err := wire.Collect(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("collect framed stream: %v", err)
+	}
+	if len(framed.Rows) != seedNodes || framed.End.Rows != seedNodes {
+		t.Errorf("framed large result: %d rows, end declares %d, want %d", len(framed.Rows), framed.End.Rows, seedNodes)
+	}
+	jr, err := http.Post("http://"+addr+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jres struct {
+		Rows [][]any `json:"rows"`
+	}
+	err = json.NewDecoder(jr.Body).Decode(&jres)
+	jr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jres.Rows) != seedNodes {
+		t.Errorf("streamed JSON large result: %d rows, want %d", len(jres.Rows), seedNodes)
+	}
+
 	// Graceful drain on SIGTERM: clean exit, explicit drain markers.
+	http.DefaultClient.CloseIdleConnections()
 	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
+	}
+	// Read stdout to EOF before Wait: Wait closes the pipe and would race
+	// the scanner out of the final drain lines.
+	var rest string
+	select {
+	case rest = <-restc:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
 	}
 	exited := make(chan error, 1)
 	go func() { exited <- srv.Wait() }()
@@ -143,7 +242,6 @@ func TestServeSmoke(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("server did not exit after SIGTERM")
 	}
-	rest := <-restc
 	if !strings.Contains(rest, "drained cleanly") {
 		t.Errorf("missing clean-drain marker; server output:\n%s", rest)
 	}

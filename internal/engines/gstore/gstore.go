@@ -100,6 +100,23 @@ func (db *DB) QueryContext(ctx context.Context, stmt string) (*plan.Result, erro
 	return engine.CachedQuery(db.results, db.g.Epoch, db.Name(), "gsql", stmt, exec)
 }
 
+// QueryStream implements engine.StreamQuerier: SELECTs emit rows into sink
+// as the plan produces them. Instances with a result cache keep the cached
+// path (materialize or hit, then replay) so streaming never bypasses cache
+// coherence; the rows are identical either way.
+func (db *DB) QueryStream(ctx context.Context, stmt string, sink plan.Sink) error {
+	defer obs.FromContext(ctx).StartSpan("query")()
+	if db.results == nil || !engine.ReadOnlyStmt(stmt, "SELECT") {
+		return gsql.ExecStreamCtx(ctx, stmt, gsqlSurface{db}, sink)
+	}
+	res, err := engine.CachedQuery(db.results, db.g.Epoch, db.Name(), "gsql", stmt,
+		func() (*plan.Result, error) { return gsql.ExecCtx(ctx, stmt, gsqlSurface{db}) })
+	if err != nil {
+		return err
+	}
+	return plan.Replay(res, sink)
+}
+
 type gsqlSurface struct{ db *DB }
 
 func (s gsqlSurface) Schema() *model.Schema                    { return s.db.schema }

@@ -157,6 +157,23 @@ func (db *DB) QueryContext(ctx context.Context, stmt string) (*plan.Result, erro
 	return engine.CachedQuery(db.results, db.kg.Epoch, db.Name(), "gql", stmt, exec)
 }
 
+// QueryStream implements engine.StreamQuerier: read statements emit rows
+// into sink as the plan produces them. Instances with a result cache keep
+// the cached path (materialize or hit, then replay) so streaming never
+// bypasses cache coherence; the rows are identical either way.
+func (db *DB) QueryStream(ctx context.Context, stmt string, sink plan.Sink) error {
+	defer obs.FromContext(ctx).StartSpan("query")()
+	if db.results == nil || !engine.ReadOnlyStmt(stmt, "MATCH") {
+		return gql.ExecStreamCtx(ctx, stmt, db.Core, sink)
+	}
+	res, err := engine.CachedQuery(db.results, db.kg.Epoch, db.Name(), "gql", stmt,
+		func() (*plan.Result, error) { return gql.ExecCtx(ctx, stmt, db.Core) })
+	if err != nil {
+		return err
+	}
+	return plan.Replay(res, sink)
+}
+
 // CacheStats implements engine.CacheStatser; main-memory instances report
 // no tiers.
 func (db *DB) CacheStats() map[string]cache.Stats {

@@ -100,6 +100,13 @@ func (db *DB) QueryContext(ctx context.Context, stmt string) (*plan.Result, erro
 	return gsql.ExecCtx(ctx, stmt, gsqlSurface{db})
 }
 
+// QueryStream implements engine.StreamQuerier: SELECTs emit rows into sink
+// as the plan produces them; the rows are identical to QueryContext's.
+func (db *DB) QueryStream(ctx context.Context, stmt string, sink plan.Sink) error {
+	defer obs.FromContext(ctx).StartSpan("query")()
+	return gsql.ExecStreamCtx(ctx, stmt, gsqlSurface{db}, sink)
+}
+
 // gsqlSurface adapts DB to gsql.Engine.
 type gsqlSurface struct{ db *DB }
 

@@ -259,6 +259,32 @@ func (db *DB) QueryContext(ctx context.Context, stmt string) (*plan.Result, erro
 	return sparqlish.RunCtx(ctx, stmt, db.Core)
 }
 
+// QueryStream implements engine.StreamQuerier: SELECT/ASK emit rows into
+// sink as the plan produces them. INSERT DATA (one counter row, whole by
+// construction) and the cached read path materialize and replay, so
+// streaming never bypasses cache coherence; the rows are identical to
+// QueryContext's either way.
+func (db *DB) QueryStream(ctx context.Context, stmt string, sink plan.Sink) error {
+	defer obs.FromContext(ctx).StartSpan("query")()
+	trimmed := strings.TrimSpace(stmt)
+	if strings.HasPrefix(strings.ToUpper(trimmed), "INSERT DATA") {
+		res, err := db.insertData(trimmed)
+		if err != nil {
+			return err
+		}
+		return plan.Replay(res, sink)
+	}
+	if db.results != nil && engine.ReadOnlyStmt(trimmed, "SELECT", "ASK") {
+		res, err := engine.CachedQuery(db.results, db.kg.Epoch, db.Name(), "sparqlish", trimmed,
+			func() (*plan.Result, error) { return sparqlish.RunCtx(ctx, stmt, db.Core) })
+		if err != nil {
+			return err
+		}
+		return plan.Replay(res, sink)
+	}
+	return sparqlish.RunStreamCtx(ctx, stmt, db.Core, sink)
+}
+
 // insertData parses INSERT DATA { <s> <p> <o> . ... }.
 func (db *DB) insertData(stmt string) (*plan.Result, error) {
 	open := strings.IndexByte(stmt, '{')

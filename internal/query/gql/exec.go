@@ -67,6 +67,38 @@ func ExecCtx(ctx context.Context, input string, m Mutator) (*plan.Result, error)
 	return execParsed(ctx, st, m)
 }
 
+// ExecStreamCtx is ExecCtx delivering the result into sink incrementally.
+// Read statements stream rows as the operator tree produces them; write
+// statements (whose result is a counter row that only exists after the last
+// mutation) execute fully and replay. The rows and their order are exactly
+// ExecCtx's.
+func ExecStreamCtx(ctx context.Context, input string, m Mutator, sink plan.Sink) error {
+	tr := obs.FromContext(ctx)
+	endParse := tr.StartSpan("parse")
+	st, err := Parse(input)
+	endParse()
+	if err != nil {
+		return err
+	}
+	defer tr.StartSpan("exec")()
+	if st.ReadOnly() {
+		if st.Match == nil {
+			return plan.Replay(&plan.Result{}, sink)
+		}
+		src := plan.WithCancel(ctx, m)
+		op, err := plan.CompileFor(st.Match, src)
+		if err != nil {
+			return err
+		}
+		return plan.Stream(op, src, st.Columns(), sink)
+	}
+	res, err := execParsed(ctx, st, m)
+	if err != nil {
+		return err
+	}
+	return plan.Replay(res, sink)
+}
+
 func execParsed(ctx context.Context, st *Statement, m Mutator) (*plan.Result, error) {
 	if st.ReadOnly() {
 		return runRead(st, plan.WithCancel(ctx, m))

@@ -89,6 +89,46 @@ func ExecCtx(ctx context.Context, input string, e Engine) (*Result, error) {
 	return nil, fmt.Errorf("gsql: unknown statement %q", t.Text)
 }
 
+// ExecStreamCtx is ExecCtx delivering the result into sink incrementally.
+// The tabular SELECT form streams rows as the plan produces them; graph
+// instructions and DML/DDL (whose single result row exists whole) execute
+// fully and replay. The rows and their order are exactly ExecCtx's.
+func ExecStreamCtx(ctx context.Context, input string, e Engine, sink plan.Sink) error {
+	defer obs.FromContext(ctx).StartSpan("exec")()
+	l := query.NewLexer(input)
+	t, err := l.Peek()
+	if err != nil {
+		return err
+	}
+	if t.Kind != query.TokIdent {
+		return fmt.Errorf("gsql: expected a statement keyword")
+	}
+	var res *Result
+	switch strings.ToUpper(t.Text) {
+	case "CREATE":
+		res, err = execCreate(l, e)
+	case "DROP":
+		res, err = execDrop(l, e)
+	case "INSERT":
+		res, err = execInsert(l, e)
+	case "UPDATE":
+		res, err = execUpdate(l, e)
+	case "DELETE":
+		res, err = execDelete(l, e)
+	case "SELECT":
+		res, err = execSelectSink(ctx, l, e, sink)
+		if err == nil && res == nil {
+			return nil // the tabular path already streamed into sink
+		}
+	default:
+		return fmt.Errorf("gsql: unknown statement %q", t.Text)
+	}
+	if err != nil {
+		return err
+	}
+	return plan.Replay(res, sink)
+}
+
 func one(cols []string, vals ...model.Value) *Result {
 	return &Result{Cols: cols, Rows: [][]model.Value{vals}}
 }
@@ -406,6 +446,16 @@ func execDelete(l *query.Lexer, e Engine) (*Result, error) {
 // --- queries ---
 
 func execSelect(ctx context.Context, l *query.Lexer, e Engine) (*Result, error) {
+	return execSelectSink(ctx, l, e, nil)
+}
+
+// execSelectSink is execSelect with an optional streaming sink. With a nil
+// sink the tabular path materializes through plan.Collect as before. With a
+// sink, the tabular path streams rows through plan.Stream and returns a nil
+// Result; the non-tabular instruction forms (ORDER, SIZE, PATH, ...) whose
+// single row exists whole either way still return a materialized Result for
+// the caller to replay.
+func execSelectSink(ctx context.Context, l *query.Lexer, e Engine, sink plan.Sink) (*Result, error) {
 	l.Next() // SELECT
 	// Graph instructions run the algo kernels with the request context, so a
 	// deadline interrupts the traversal rather than the response alone.
@@ -588,6 +638,9 @@ func execSelect(ctx context.Context, l *query.Lexer, e Engine) (*Result, error) 
 	op, err := plan.CompileFor(&spec, e)
 	if err != nil {
 		return nil, err
+	}
+	if sink != nil {
+		return nil, plan.Stream(op, plan.WithCancel(ctx, e), cols, sink)
 	}
 	return plan.Collect(op, plan.WithCancel(ctx, e), cols)
 }

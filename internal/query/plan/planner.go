@@ -310,19 +310,12 @@ func (r *Result) Clone() *Result {
 }
 
 // Collect runs an operator tree and materializes the output rows under the
-// given column order.
+// given column order. It is Stream into an in-memory sink, so collected and
+// streamed executions share one row-production path.
 func Collect(op Op, src Source, cols []string) (*Result, error) {
-	res := &Result{Cols: cols}
-	err := op.Run(src, func(row query.Row) error {
-		out := make([]model.Value, len(cols))
-		for i, c := range cols {
-			out[i] = row[c].Scalar()
-		}
-		res.Rows = append(res.Rows, out)
-		return nil
-	})
-	if err != nil {
+	var c collector
+	if err := Stream(op, src, cols, &c); err != nil {
 		return nil, err
 	}
-	return res, nil
+	return &c.res, nil
 }

@@ -366,3 +366,22 @@ func RunCtx(ctx context.Context, input string, src plan.Source) (*plan.Result, e
 	}
 	return plan.Collect(op, plan.WithCancel(ctx, src), q.Vars)
 }
+
+// RunStreamCtx is RunCtx delivering the result into sink incrementally as
+// the operator tree produces rows; the rows and their order are exactly
+// RunCtx's.
+func RunStreamCtx(ctx context.Context, input string, src plan.Source, sink plan.Sink) error {
+	tr := obs.FromContext(ctx)
+	endParse := tr.StartSpan("parse")
+	q, err := Parse(input)
+	endParse()
+	if err != nil {
+		return err
+	}
+	defer tr.StartSpan("exec")()
+	op, err := plan.CompileFor(&q.Spec, src)
+	if err != nil {
+		return err
+	}
+	return plan.Stream(op, plan.WithCancel(ctx, src), q.Vars, sink)
+}

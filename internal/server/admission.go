@@ -36,10 +36,16 @@ type ClassConfig struct {
 	// Burst is the token-bucket depth: how far above Rate a short spike
 	// may go before shedding starts.
 	Burst int
-	// MaxInflight bounds concurrently executing requests.
+	// MaxInflight is this class's contribution to the shared execution-slot
+	// pool. Slots are pooled across classes and divided by Weight, so this
+	// is a sizing input, not a per-class ceiling.
 	MaxInflight int
 	// MaxQueue bounds requests waiting for an execution slot.
 	MaxQueue int
+	// Weight is this class's share of the pooled execution slots while it
+	// is backlogged: a class with weight w gets w/Σweights of contested
+	// dispatches. Values below 1 are clamped to 1.
+	Weight float64
 	// Deadline caps per-request execution time; requests may ask for less
 	// but never more. Zero means no cap.
 	Deadline time.Duration
@@ -54,13 +60,15 @@ type Shed struct {
 	RetryAfter time.Duration
 }
 
-// admission is one class's gate chain plus its metrics. Metrics ride the
-// shared obs.Registry under server.<class>.*.
+// admission is one class's admission chain plus its metrics: a per-class
+// token bucket for rate shedding in front of the shared weighted-fair
+// scheduler for concurrency. Metrics ride the shared obs.Registry under
+// server.<class>.*.
 type admission struct {
 	class  Class
 	cfg    ClassConfig
 	bucket *Bucket
-	gate   *Gate
+	sched  *sched
 	now    func() time.Time
 
 	offered   *obs.Counter
@@ -80,13 +88,13 @@ type admission struct {
 // short backoff rather than a bucket computation.
 const queueRetryAfter = 250 * time.Millisecond
 
-func newAdmission(class Class, cfg ClassConfig, m *obs.Registry, now func() time.Time) *admission {
+func newAdmission(class Class, cfg ClassConfig, sc *sched, m *obs.Registry, now func() time.Time) *admission {
 	p := "server." + string(class) + "."
 	return &admission{
 		class:     class,
 		cfg:       cfg,
 		bucket:    NewBucket(cfg.Rate, cfg.Burst),
-		gate:      NewGate(cfg.MaxInflight, cfg.MaxQueue),
+		sched:     sc,
 		now:       now,
 		offered:   m.Counter(p + "offered"),
 		admitted:  m.Counter(p + "admitted"),
@@ -102,19 +110,20 @@ func newAdmission(class Class, cfg ClassConfig, m *obs.Registry, now func() time
 }
 
 // Admit runs the admission chain for one request: token bucket first (cheap,
-// sheds sustained overload), then the bounded gate (sheds concurrency
-// overload). On admit it returns a non-nil done function the caller must
-// call exactly once with the request outcome. On shed it returns a verdict.
-// err is non-nil only when ctx aborted while queued.
+// sheds sustained overload), then the shared weighted-fair scheduler (sheds
+// concurrency overload, divides contested slots by class weight). On admit
+// it returns a non-nil done function the caller must call exactly once with
+// the request outcome. On shed it returns a verdict. err is non-nil only
+// when ctx aborted while queued.
 func (a *admission) Admit(ctx context.Context) (done func(outcome string), shed *Shed, err error) {
 	a.offered.Inc()
 	if ok, retry := a.bucket.Take(a.now()); !ok {
 		a.shedRate.Inc()
 		return nil, &Shed{Reason: "rate", RetryAfter: retry}, nil
 	}
-	a.queued.Set(int64(a.gate.Queued() + 1))
-	release, ok, err := a.gate.Enter(ctx)
-	a.queued.Set(int64(a.gate.Queued()))
+	a.queued.Set(int64(a.sched.Queued(a.class) + 1))
+	release, ok, err := a.sched.Enter(ctx, a.class)
+	a.queued.Set(int64(a.sched.Queued(a.class)))
 	if err != nil {
 		a.failed.Inc()
 		return nil, nil, err
@@ -124,11 +133,11 @@ func (a *admission) Admit(ctx context.Context) (done func(outcome string), shed 
 		return nil, &Shed{Reason: "queue", RetryAfter: queueRetryAfter}, nil
 	}
 	a.admitted.Inc()
-	a.inflight.Set(int64(a.gate.Inflight()))
+	a.inflight.Set(int64(a.sched.ClassInflight(a.class)))
 	start := a.now()
 	return func(outcome string) {
 		release()
-		a.inflight.Set(int64(a.gate.Inflight()))
+		a.inflight.Set(int64(a.sched.ClassInflight(a.class)))
 		a.latency.Observe(int64(a.now().Sub(start)))
 		switch outcome {
 		case "ok":

@@ -8,13 +8,28 @@ import (
 	"gdbm/internal/obs"
 )
 
-// TestAdmissionClassIsolation: exhausting one class's bucket and gate must
-// not shed the other class — each class owns its bucket, gate and metrics.
+// schedFor wires a shared scheduler for a pair of class configs, the same
+// way Server.New does: pooled slots sized by summed MaxInflight.
+func schedFor(inter, batch ClassConfig) *sched {
+	return newSched(inter.MaxInflight+batch.MaxInflight,
+		[]Class{Interactive, Batch},
+		map[Class]classSched{
+			Interactive: {Weight: inter.Weight, MaxQueue: inter.MaxQueue},
+			Batch:       {Weight: batch.Weight, MaxQueue: batch.MaxQueue},
+		})
+}
+
+// TestAdmissionClassIsolation: exhausting one class's rate bucket must not
+// shed the other class — each class owns its bucket and metrics, and the
+// shared slot pool is wide enough for both here.
 func TestAdmissionClassIsolation(t *testing.T) {
 	c := newClock()
 	m := obs.NewRegistry()
-	inter := newAdmission(Interactive, ClassConfig{Rate: 1, Burst: 1, MaxInflight: 1, MaxQueue: 0}, m, c.Now)
-	batch := newAdmission(Batch, ClassConfig{Rate: 100, Burst: 10, MaxInflight: 4, MaxQueue: 4}, m, c.Now)
+	interCfg := ClassConfig{Rate: 1, Burst: 1, MaxInflight: 1, MaxQueue: 0}
+	batchCfg := ClassConfig{Rate: 100, Burst: 10, MaxInflight: 4, MaxQueue: 4}
+	sc := schedFor(interCfg, batchCfg)
+	inter := newAdmission(Interactive, interCfg, sc, m, c.Now)
+	batch := newAdmission(Batch, batchCfg, sc, m, c.Now)
 
 	// Exhaust interactive: one admit (hold the slot), then rate-shed.
 	done1, shed, err := inter.Admit(context.Background())
@@ -48,12 +63,13 @@ func TestAdmissionClassIsolation(t *testing.T) {
 	}
 }
 
-// TestAdmissionQueueShed: with the bucket generous and the gate full, the
-// shed reason is "queue" and carries a positive Retry-After.
+// TestAdmissionQueueShed: with the bucket generous and the slot pool full,
+// the shed reason is "queue" and carries a positive Retry-After.
 func TestAdmissionQueueShed(t *testing.T) {
 	c := newClock()
 	m := obs.NewRegistry()
-	a := newAdmission(Interactive, ClassConfig{Rate: 1000, Burst: 1000, MaxInflight: 1, MaxQueue: 0}, m, c.Now)
+	cfg := ClassConfig{Rate: 1000, Burst: 1000, MaxInflight: 1, MaxQueue: 0}
+	a := newAdmission(Interactive, cfg, schedFor(cfg, ClassConfig{}), m, c.Now)
 
 	done, _, _ := a.Admit(context.Background())
 	if done == nil {
@@ -77,7 +93,8 @@ func TestAdmissionQueueShed(t *testing.T) {
 func TestAdmissionRefillUnderFakeClock(t *testing.T) {
 	c := newClock()
 	m := obs.NewRegistry()
-	a := newAdmission(Batch, ClassConfig{Rate: 10, Burst: 1, MaxInflight: 4, MaxQueue: 4}, m, c.Now)
+	cfg := ClassConfig{Rate: 10, Burst: 1, MaxInflight: 4, MaxQueue: 4}
+	a := newAdmission(Batch, cfg, schedFor(ClassConfig{}, cfg), m, c.Now)
 
 	done, _, _ := a.Admit(context.Background())
 	done("ok")

@@ -12,6 +12,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"gdbm/internal/report"
+	"gdbm/internal/server/wire"
 )
 
 // Config drives one load run.
@@ -52,9 +54,15 @@ type Config struct {
 	RetryBase time.Duration
 	// TimeoutMS is the per-request deadline sent to the server.
 	TimeoutMS int
+	// Proto selects the response encoding: "json" (default) or "binary"
+	// for the length-prefixed frame protocol (Accept: application/x-gdbw).
+	Proto string
 	// Client is the HTTP client; nil uses a dedicated one.
 	Client *http.Client
 }
+
+// binary reports whether the run asks for framed binary responses.
+func (c Config) binary() bool { return c.Proto == "binary" }
 
 // Result summarizes one run.
 type Result struct {
@@ -70,6 +78,13 @@ type Result struct {
 	ShedRate     float64 `json:"shed_rate"` // shed attempts / total attempts
 	P50MS        float64 `json:"p50_ms"`
 	P99MS        float64 `json:"p99_ms"`
+	// TTFB quantiles measure request start to first response-body byte of
+	// the final successful attempt — what streaming buys a slow consumer.
+	TTFBP50MS float64 `json:"ttfb_p50_ms"`
+	TTFBP99MS float64 `json:"ttfb_p99_ms"`
+	// BytesPerQuery is mean response-body bytes per completed request —
+	// the framing-efficiency axis of the JSON vs binary comparison.
+	BytesPerQuery float64 `json:"bytes_per_query"`
 }
 
 // SweepPoint is one capacity multiple of the serve benchmark.
@@ -84,6 +99,7 @@ type Sweep struct {
 	Engine      string       `json:"engine"`
 	Class       string       `json:"class"`
 	Arrival     string       `json:"arrival"`
+	Proto       string       `json:"proto"`
 	CapacityRPS float64      `json:"capacity_rps"`
 	Note        string       `json:"note"`
 	Points      []SweepPoint `json:"points"`
@@ -144,6 +160,8 @@ type attemptOutcome struct {
 	retryAfter time.Duration
 	ok         bool
 	err        error
+	ttfb       time.Duration // request start → first body byte (ok only)
+	bytes      int64         // response body size (ok only)
 }
 
 // Run executes one load run against cfg.Target and blocks until every
@@ -151,6 +169,11 @@ type attemptOutcome struct {
 func Run(cfg Config) (*Result, error) {
 	if cfg.Rate <= 0 || cfg.Duration <= 0 {
 		return nil, fmt.Errorf("loadgen: Rate and Duration must be positive")
+	}
+	switch cfg.Proto {
+	case "", "json", "binary":
+	default:
+		return nil, fmt.Errorf("loadgen: unknown proto %q", cfg.Proto)
 	}
 	stmt := cfg.Stmt
 	if stmt == nil {
@@ -170,9 +193,11 @@ func Run(cfg Config) (*Result, error) {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
+		ttfbs     []time.Duration
+		bodyBytes int64
 		wg        sync.WaitGroup
 	)
-	record := func(d time.Duration, outcome string, sheds, retries int) {
+	record := func(d, ttfb time.Duration, bytes int64, outcome string, sheds, retries int) {
 		mu.Lock()
 		defer mu.Unlock()
 		res.ShedAttempts += sheds
@@ -181,6 +206,8 @@ func Run(cfg Config) (*Result, error) {
 		case "ok":
 			res.Completed++
 			latencies = append(latencies, d)
+			ttfbs = append(ttfbs, ttfb)
+			bodyBytes += bytes
 		case "gaveup":
 			res.GaveUp++
 		default:
@@ -213,6 +240,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.P50MS = quantileMS(latencies, 0.50)
 	res.P99MS = quantileMS(latencies, 0.99)
+	res.TTFBP50MS = quantileMS(ttfbs, 0.50)
+	res.TTFBP99MS = quantileMS(ttfbs, 0.99)
+	if res.Completed > 0 {
+		res.BytesPerQuery = float64(bodyBytes) / float64(res.Completed)
+	}
 	return res, nil
 }
 
@@ -220,7 +252,7 @@ func Run(cfg Config) (*Result, error) {
 // with jittered exponential backoff on shed, give up after MaxRetries.
 // Latency is arrival→success, so queueing in retries is charged to the
 // request (no coordinated omission at the request level either).
-func runOne(cfg Config, client *http.Client, stmt string, seed int64, record func(time.Duration, string, int, int)) {
+func runOne(cfg Config, client *http.Client, stmt string, seed int64, record func(time.Duration, time.Duration, int64, string, int, int)) {
 	rng := rand.New(rand.NewSource(seed))
 	base := cfg.RetryBase
 	if base <= 0 {
@@ -231,16 +263,16 @@ func runOne(cfg Config, client *http.Client, stmt string, seed int64, record fun
 	for attempt := 0; ; attempt++ {
 		out := tryQuery(cfg, client, stmt)
 		if out.ok {
-			record(time.Since(arrived), "ok", sheds, retries)
+			record(time.Since(arrived), out.ttfb, out.bytes, "ok", sheds, retries)
 			return
 		}
 		if !out.shed {
-			record(0, "failed", sheds, retries)
+			record(0, 0, 0, "failed", sheds, retries)
 			return
 		}
 		sheds++
 		if attempt >= cfg.MaxRetries {
-			record(0, "gaveup", sheds, retries)
+			record(0, 0, 0, "gaveup", sheds, retries)
 			return
 		}
 		retries++
@@ -252,7 +284,27 @@ func runOne(cfg Config, client *http.Client, stmt string, seed int64, record fun
 	}
 }
 
-// tryQuery performs one HTTP attempt.
+// meteredReader counts body bytes and stamps the time of the first one.
+type meteredReader struct {
+	r     io.Reader
+	start time.Time
+	n     int64
+	ttfb  time.Duration
+}
+
+func (m *meteredReader) Read(p []byte) (int, error) {
+	n, err := m.r.Read(p)
+	if n > 0 && m.ttfb == 0 {
+		m.ttfb = time.Since(m.start)
+	}
+	m.n += int64(n)
+	return n, err
+}
+
+// tryQuery performs one HTTP attempt. Every path reads the response body to
+// EOF before closing it: an undrained body makes net/http discard the
+// connection, so a loadgen that skips draining measures connection setup,
+// not the server (and burns its ephemeral ports doing so).
 func tryQuery(cfg Config, client *http.Client, stmt string) attemptOutcome {
 	body, _ := json.Marshal(map[string]any{
 		"stmt":       stmt,
@@ -266,16 +318,35 @@ func tryQuery(cfg Config, client *http.Client, stmt string) attemptOutcome {
 		return attemptOutcome{err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if cfg.binary() {
+		req.Header.Set("Accept", wire.ContentType)
+	}
+	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
 		// Transport errors (conn refused during drain, accept-queue
 		// pushback) are retryable sheds from the client's standpoint.
 		return attemptOutcome{shed: true, retryAfter: 0, err: err}
 	}
-	defer resp.Body.Close()
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
 	switch resp.StatusCode {
 	case http.StatusOK:
-		return attemptOutcome{ok: true}
+		br := &meteredReader{r: resp.Body, start: start}
+		if cfg.binary() {
+			// Collect verifies the terminal End/Error frame: a truncated
+			// stream is an attempt failure, never a short success.
+			if _, err := wire.Collect(br); err != nil {
+				return attemptOutcome{err: err}
+			}
+		} else if _, err := io.Copy(io.Discard, br); err != nil {
+			// The streamed JSON path signals mid-stream failure by
+			// aborting the connection; surface that as a failed attempt.
+			return attemptOutcome{err: err}
+		}
+		return attemptOutcome{ok: true, ttfb: br.ttfb, bytes: br.n}
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		var e struct {
 			RetryAfterMS int64 `json:"retry_after_ms"`
@@ -306,6 +377,7 @@ func RunSweep(cfg Config, capacity float64, multipliers []float64) (*Sweep, erro
 		Engine:      cfg.Engine,
 		Class:       cfg.Class,
 		Arrival:     cfg.Arrival,
+		Proto:       cfg.Proto,
 		CapacityRPS: capacity,
 		Note: "open-loop arrivals; goodput counts completed requests only; " +
 			"shed_rate is shed attempts over all attempts including retries; " +
@@ -313,6 +385,9 @@ func RunSweep(cfg Config, capacity float64, multipliers []float64) (*Sweep, erro
 	}
 	if sw.Arrival == "" {
 		sw.Arrival = "poisson"
+	}
+	if sw.Proto == "" {
+		sw.Proto = "json"
 	}
 	for _, m := range multipliers {
 		c := cfg

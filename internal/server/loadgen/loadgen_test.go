@@ -2,11 +2,14 @@ package loadgen
 
 import (
 	"encoding/json"
+	"io"
 	"math"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -226,3 +229,87 @@ func TestRunValidation(t *testing.T) {
 		t.Error("unknown arrival must be rejected")
 	}
 }
+
+// TestBodyDrainReusesConnections is the regression test for the unread-
+// response-body leak: tryQuery must drain every response body (success,
+// shed, and error alike) so the transport can reuse connections. A flaky
+// server cycles all three response shapes; driven sequentially over one
+// client, the whole run must fit on a single TCP connection. Before the
+// fix, every undrained body killed its connection and this test counts one
+// dial per request.
+func TestBodyDrainReusesConnections(t *testing.T) {
+	var conns atomic.Int64
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		switch r.Header.Get("X-Case") {
+		case "shed":
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":"overloaded","retry_after_ms":5}` + "\n"))
+		case "fail":
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			_, _ = w.Write([]byte(`{"error":"bad statement"}` + "\n"))
+		default:
+			// A body big enough that an undrained read buffer cannot hide
+			// the leak behind the transport's peek-ahead.
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{"cols":["n"],"rows":[`))
+			for i := 0; i < 4096; i++ {
+				if i > 0 {
+					_, _ = w.Write([]byte{','})
+				}
+				_, _ = w.Write([]byte(`[123456789]`))
+			}
+			_, _ = w.Write([]byte(`],"elapsed_ms":1}` + "\n"))
+		}
+	}))
+	ts.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	cases := []string{"ok", "shed", "fail"}
+	const rounds = 30
+	for i := 0; i < rounds; i++ {
+		kase := cases[i%len(cases)]
+		cfg := Config{Target: ts.URL, Engine: "stub"}
+		// Route the case marker through a header the stub reads; tryQuery
+		// itself stays untouched.
+		withHeader := *client
+		withHeader.Transport = roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+			r.Header.Set("X-Case", kase)
+			return http.DefaultTransport.RoundTrip(r)
+		})
+		out := tryQuery(cfg, &withHeader, "SELECT ORDER")
+		switch kase {
+		case "ok":
+			if !out.ok {
+				t.Fatalf("round %d: ok case failed: %+v", i, out)
+			}
+			if out.bytes == 0 {
+				t.Fatalf("round %d: body bytes not measured", i)
+			}
+		case "shed":
+			if !out.shed || out.retryAfter != 5*time.Millisecond {
+				t.Fatalf("round %d: shed case: %+v", i, out)
+			}
+		case "fail":
+			if out.ok || out.shed || out.err == nil {
+				t.Fatalf("round %d: fail case: %+v", i, out)
+			}
+		}
+	}
+	// Sequential requests over one transport: a handful of connections at
+	// most (keep-alive races can open a second), never one per request.
+	if got := conns.Load(); got > 3 {
+		t.Fatalf("server saw %d connections for %d sequential requests; bodies are not being drained", got, rounds)
+	}
+}
+
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

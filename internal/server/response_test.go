@@ -1,0 +1,107 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gdbm/internal/obs"
+)
+
+// brokenWriter is a ResponseWriter whose body writes always fail, as when
+// the client hung up mid-response.
+type brokenWriter struct {
+	h      http.Header
+	status int
+}
+
+func (b *brokenWriter) Header() http.Header       { return b.h }
+func (b *brokenWriter) WriteHeader(code int)      { b.status = code }
+func (b *brokenWriter) Write([]byte) (int, error) { return 0, errors.New("broken pipe") }
+
+// TestWriteJSONAbortsOnEncodeFailure: a failed body write must not be
+// swallowed — it counts in server.write_errors and panics with
+// http.ErrAbortHandler so net/http tears the connection down instead of
+// leaving a truncated 200 on a reusable connection.
+func TestWriteJSONAbortsOnEncodeFailure(t *testing.T) {
+	m := obs.NewRegistry()
+	s := &Server{metrics: m}
+	w := &brokenWriter{h: http.Header{}}
+	defer func() {
+		r := recover()
+		if r != http.ErrAbortHandler {
+			t.Fatalf("recover: %v, want http.ErrAbortHandler", r)
+		}
+		if got := m.Counters()["server.write_errors"]; got != 1 {
+			t.Errorf("write_errors counter: %d, want 1", got)
+		}
+	}()
+	s.writeJSON(w, http.StatusOK, map[string]string{"k": "v"})
+	t.Fatal("writeJSON returned despite a failed write")
+}
+
+// TestWriteShedRoundsUp: sub-millisecond (and sub-second) retry hints must
+// round up, never truncate — a retry_after_ms of 0 tells a well-behaved
+// client to hammer the server at exactly the moment it is shedding load.
+func TestWriteShedRoundsUp(t *testing.T) {
+	s := &Server{metrics: obs.NewRegistry()}
+	cases := []struct {
+		retry    time.Duration
+		wantMS   int64
+		wantSecs string
+	}{
+		{300 * time.Microsecond, 1, "1"},
+		{time.Millisecond, 1, "1"},
+		{1500 * time.Microsecond, 2, "1"},
+		{250 * time.Millisecond, 250, "1"},
+		{1200 * time.Millisecond, 1200, "2"},
+		{0, 1, "1"},
+	}
+	for _, c := range cases {
+		w := httptest.NewRecorder()
+		s.writeShed(w, http.StatusTooManyRequests, "overloaded", c.retry)
+		if got := w.Header().Get("Retry-After"); got != c.wantSecs {
+			t.Errorf("retry %v: Retry-After header %q, want %q", c.retry, got, c.wantSecs)
+		}
+		var body errorResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+			t.Fatalf("retry %v: body: %v", c.retry, err)
+		}
+		if body.RetryAfterMS != c.wantMS {
+			t.Errorf("retry %v: retry_after_ms %d, want %d", c.retry, body.RetryAfterMS, c.wantMS)
+		}
+	}
+}
+
+// TestBucketNearEmptyRetryIsSubSecond pins the hazard the rounding fix
+// guards: a fast bucket's retry hint at near-empty fill is a real but
+// sub-millisecond wait, which truncating conversions turn into 0.
+func TestBucketNearEmptyRetryIsSubSecond(t *testing.T) {
+	c := newClock()
+	b := NewBucket(10000, 1) // refills a token every 100µs
+	if ok, _ := b.Take(c.Now()); !ok {
+		t.Fatal("first take")
+	}
+	ok, retry := b.Take(c.Now())
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry <= 0 || retry >= time.Millisecond {
+		t.Fatalf("near-empty retry %v, want sub-millisecond and positive", retry)
+	}
+	// End to end through writeShed, that hint must still say "wait", not
+	// "retry now".
+	s := &Server{metrics: obs.NewRegistry()}
+	w := httptest.NewRecorder()
+	s.writeShed(w, http.StatusTooManyRequests, "overloaded", retry)
+	var body errorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.RetryAfterMS < 1 {
+		t.Fatalf("retry_after_ms %d for %v wait: clients will hammer", body.RetryAfterMS, retry)
+	}
+}

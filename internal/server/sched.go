@@ -1,0 +1,240 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// sched is a deficit-weighted fair queue in front of a shared pool of
+// execution slots. It replaces the phase-1 design of one independent
+// bounded gate per SLO class: there, batch overload and interactive
+// overload shed independently, so a saturated batch class could hold its
+// full inflight allocation while interactive queued — and vice versa. Here
+// every class draws from one slot pool, and whenever requests are waiting,
+// freed slots are handed out by stride scheduling over the class weights:
+// each class carries a virtual-time pass that advances by 1/weight per
+// dispatch, and the next slot always goes to the backlogged class with the
+// smallest pass.
+//
+// Fairness invariant: over any interval in which a class stays backlogged,
+// it receives at least floor(weight/Σweights · dispatches) - 1 of the slots
+// dispatched, regardless of how much load the other classes offer. A class
+// that goes idle forfeits only the share it did not ask for — its pass is
+// clamped up to the global virtual time when it returns, so it cannot bank
+// idle credit and then monopolize the pool.
+//
+// Like the gate it replaces, sched never parks more than MaxQueue waiters
+// per class: beyond that, Enter rejects immediately, so goroutine count
+// stays bounded by inflight + Σ queue bounds under any offered load.
+type sched struct {
+	mu      sync.Mutex
+	free    int     // slots not executing and not handed to a waiter
+	slots   int     // total pool size
+	vtime   float64 // virtual time: pass of the most recent dispatch
+	classes map[Class]*schedClass
+	order   []Class // deterministic tie-break and iteration order
+}
+
+// schedClass is one SLO class's queue state.
+type schedClass struct {
+	class      Class
+	weight     float64
+	maxQueue   int
+	pass       float64 // stride virtual time; +1/weight per dispatch
+	queue      []*schedWaiter
+	inflight   int
+	dispatched uint64 // queue dispatches, for tests and statsz
+}
+
+// schedWaiter parks one queued request. The dispatch side sends the
+// release function; capacity 1 so a grant never blocks the scheduler.
+type schedWaiter struct {
+	ch chan func()
+}
+
+// classSched sizes one class inside newSched.
+type classSched struct {
+	Weight   float64
+	MaxQueue int
+}
+
+// newSched builds a scheduler over `slots` shared execution slots. Weights
+// are clamped to at least 1; order fixes the tie-break sequence.
+func newSched(slots int, order []Class, cfgs map[Class]classSched) *sched {
+	if slots < 1 {
+		slots = 1
+	}
+	s := &sched{
+		free:    slots,
+		slots:   slots,
+		classes: map[Class]*schedClass{},
+		order:   append([]Class(nil), order...),
+	}
+	for _, c := range order {
+		cfg := cfgs[c]
+		w := cfg.Weight
+		if w < 1 {
+			w = 1
+		}
+		q := cfg.MaxQueue
+		if q < 0 {
+			q = 0
+		}
+		s.classes[c] = &schedClass{class: c, weight: w, maxQueue: q}
+	}
+	return s
+}
+
+// pendingLocked reports whether any class has queued waiters.
+func (s *sched) pendingLocked() bool {
+	for _, c := range s.order {
+		if len(s.classes[c].queue) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchLocked hands one slot to the backlogged class with the smallest
+// pass, advancing that class's pass by its stride. The caller has already
+// accounted the slot (it does not come from free).
+func (s *sched) dispatchLocked() {
+	var best *schedClass
+	for _, c := range s.order {
+		cl := s.classes[c]
+		if len(cl.queue) == 0 {
+			continue
+		}
+		if best == nil || cl.pass < best.pass {
+			best = cl
+		}
+	}
+	w := best.queue[0]
+	best.queue = best.queue[1:]
+	s.vtime = best.pass
+	best.pass += 1 / best.weight
+	best.inflight++
+	best.dispatched++
+	w.ch <- s.releaseFunc(best)
+}
+
+// releaseFunc returns the exactly-once release for a granted slot: it
+// passes the slot straight to the next waiter when one exists, otherwise
+// back to the free pool.
+func (s *sched) releaseFunc(cl *schedClass) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			cl.inflight--
+			if s.pendingLocked() {
+				s.dispatchLocked()
+			} else {
+				s.free++
+			}
+			s.mu.Unlock()
+		})
+	}
+}
+
+// Enter claims an execution slot for class. The fast path takes a free
+// slot when nobody is queued anywhere. Otherwise the caller waits in its
+// class's bounded queue until the weighted dispatch reaches it or ctx is
+// done; a full class queue rejects immediately (ok=false). On ok=true the
+// caller must call release exactly once. err is non-nil only for a context
+// abort while queued.
+func (s *sched) Enter(ctx context.Context, class Class) (release func(), ok bool, err error) {
+	s.mu.Lock()
+	cl := s.classes[class]
+	if cl == nil {
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	if s.free > 0 && !s.pendingLocked() {
+		s.free--
+		cl.inflight++
+		s.mu.Unlock()
+		return s.releaseFunc(cl), true, nil
+	}
+	if len(cl.queue) >= cl.maxQueue {
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	w := &schedWaiter{ch: make(chan func(), 1)}
+	if len(cl.queue) == 0 && cl.pass < s.vtime {
+		cl.pass = s.vtime // returning class: no banked idle credit
+	}
+	cl.queue = append(cl.queue, w)
+	// A release may have raced this arrival and parked a slot in free while
+	// the queue looked empty; never let a slot idle while waiters exist.
+	for s.free > 0 && s.pendingLocked() {
+		s.free--
+		s.dispatchLocked()
+	}
+	s.mu.Unlock()
+
+	select {
+	case rel := <-w.ch:
+		return rel, true, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		removed := removeWaiter(cl, w)
+		s.mu.Unlock()
+		if !removed {
+			// The dispatch won the race; take the grant and give it back.
+			rel := <-w.ch
+			rel()
+		}
+		return nil, false, ctx.Err()
+	}
+}
+
+// removeWaiter unlinks w from cl's queue; false means w was already
+// granted a slot.
+func removeWaiter(cl *schedClass, w *schedWaiter) bool {
+	for i, q := range cl.queue {
+		if q == w {
+			cl.queue = append(cl.queue[:i], cl.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Inflight reports currently executing holders across all classes.
+func (s *sched) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slots - s.free
+}
+
+// ClassInflight reports currently executing holders of one class.
+func (s *sched) ClassInflight(class Class) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cl := s.classes[class]; cl != nil {
+		return cl.inflight
+	}
+	return 0
+}
+
+// Queued reports the number of class's requests waiting for a slot.
+func (s *sched) Queued(class Class) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cl := s.classes[class]; cl != nil {
+		return len(cl.queue)
+	}
+	return 0
+}
+
+// Dispatched reports how many queued requests of class have been granted
+// slots (fast-path admissions not included).
+func (s *sched) Dispatched(class Class) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cl := s.classes[class]; cl != nil {
+		return cl.dispatched
+	}
+	return 0
+}

@@ -1,0 +1,335 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testSched(slots int, interWeight, batchWeight float64, maxQueue int) *sched {
+	return newSched(slots, []Class{Interactive, Batch}, map[Class]classSched{
+		Interactive: {Weight: interWeight, MaxQueue: maxQueue},
+		Batch:       {Weight: batchWeight, MaxQueue: maxQueue},
+	})
+}
+
+// TestSchedFastPath: an uncontended Enter takes a slot without queueing and
+// release returns it.
+func TestSchedFastPath(t *testing.T) {
+	s := testSched(2, 4, 1, 8)
+	rel1, ok, err := s.Enter(context.Background(), Interactive)
+	if !ok || err != nil {
+		t.Fatalf("enter: ok=%v err=%v", ok, err)
+	}
+	rel2, ok, _ := s.Enter(context.Background(), Batch)
+	if !ok {
+		t.Fatal("second enter")
+	}
+	if got := s.Inflight(); got != 2 {
+		t.Fatalf("inflight: %d", got)
+	}
+	rel1()
+	rel2()
+	rel2() // release is exactly-once; a double call must not corrupt the pool
+	if got := s.Inflight(); got != 0 {
+		t.Fatalf("inflight after release: %d", got)
+	}
+	if got := s.Queued(Interactive) + s.Queued(Batch); got != 0 {
+		t.Fatalf("queued: %d", got)
+	}
+}
+
+// TestSchedQueueFullRejects: beyond MaxQueue the scheduler sheds immediately
+// rather than growing a waiter backlog.
+func TestSchedQueueFullRejects(t *testing.T) {
+	s := testSched(1, 1, 1, 0)
+	rel, ok, _ := s.Enter(context.Background(), Interactive)
+	if !ok {
+		t.Fatal("first enter")
+	}
+	if _, ok, err := s.Enter(context.Background(), Interactive); ok || err != nil {
+		t.Fatalf("full queue: ok=%v err=%v, want instant reject", ok, err)
+	}
+	rel()
+}
+
+// TestSchedFloodStaysBounded: offering far more load than slots + queue
+// must shed the excess instantly — never park more than MaxQueue waiters
+// per class — and drain completely with no leaked slots.
+func TestSchedFloodStaysBounded(t *testing.T) {
+	const maxQueue = 8
+	s := testSched(2, 3, 1, maxQueue)
+	var granted, shedded atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 500; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			class := Interactive
+			if i%2 == 0 {
+				class = Batch
+			}
+			if q := s.Queued(class); q > maxQueue {
+				t.Errorf("queue depth %d exceeds bound %d", q, maxQueue)
+			}
+			rel, ok, err := s.Enter(context.Background(), class)
+			if err != nil {
+				t.Errorf("enter: %v", err)
+				return
+			}
+			if !ok {
+				shedded.Add(1)
+				return
+			}
+			granted.Add(1)
+			runtime.Gosched()
+			rel()
+		}(i)
+	}
+	wg.Wait()
+	if granted.Load() == 0 || shedded.Load() == 0 {
+		t.Fatalf("granted=%d shedded=%d, want both under a 500-request flood",
+			granted.Load(), shedded.Load())
+	}
+	if got := s.Inflight(); got != 0 {
+		t.Fatalf("leaked slots: inflight %d after drain", got)
+	}
+	if got := s.Queued(Interactive) + s.Queued(Batch); got != 0 {
+		t.Fatalf("stranded waiters: %d", got)
+	}
+}
+
+// TestSchedWeightedInterleaving drives dispatches one at a time and pins the
+// exact stride order: weights 3:1 over one slot must hand interactive 3 of
+// every 4 contested slots.
+func TestSchedWeightedInterleaving(t *testing.T) {
+	s := testSched(1, 3, 1, 64)
+	seed, ok, _ := s.Enter(context.Background(), Interactive)
+	if !ok {
+		t.Fatal("seed")
+	}
+
+	type grant struct {
+		class Class
+		rel   func()
+	}
+	grants := make(chan grant, 64)
+	var wg sync.WaitGroup
+	enqueue := func(c Class, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rel, ok, err := s.Enter(context.Background(), c)
+				if !ok || err != nil {
+					t.Errorf("enter %s: ok=%v err=%v", c, ok, err)
+					return
+				}
+				grants <- grant{c, rel}
+			}()
+		}
+	}
+	enqueue(Interactive, 9)
+	enqueue(Batch, 3)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Queued(Interactive) != 9 || s.Queued(Batch) != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("parked %d/%d", s.Queued(Interactive), s.Queued(Batch))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	seed()
+	var order []Class
+	for i := 0; i < 12; i++ {
+		select {
+		case g := <-grants:
+			order = append(order, g.class)
+			g.rel()
+		case <-time.After(5 * time.Second):
+			t.Fatalf("grant %d never arrived; order so far %v", i, order)
+		}
+	}
+	wg.Wait()
+
+	// Stride with weights 3:1: passes run I:1/3,2/3,1,... B:1,2,3 — each
+	// 4-dispatch window contains exactly 3 interactive and 1 batch while
+	// both are backlogged.
+	for w := 0; w+4 <= 12; w += 4 {
+		inter := 0
+		for _, c := range order[w : w+4] {
+			if c == Interactive {
+				inter++
+			}
+		}
+		if inter != 3 {
+			t.Fatalf("window %d: %d interactive of 4 (order %v)", w/4, inter, order)
+		}
+	}
+}
+
+// TestSchedCancelWhileQueued: a context abort while queued unlinks the
+// waiter (or hands back a racing grant) without leaking the slot.
+func TestSchedCancelWhileQueued(t *testing.T) {
+	s := testSched(1, 1, 1, 8)
+	rel, ok, _ := s.Enter(context.Background(), Interactive)
+	if !ok {
+		t.Fatal("seed")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, ok, err := s.Enter(ctx, Interactive)
+		if ok {
+			err = context.Canceled // treat a grant as failure for this test
+		}
+		errc <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Queued(Interactive) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("queued cancel: %v", err)
+	}
+	rel()
+	// The slot must be reusable after the cancelled waiter is gone.
+	rel2, ok, err := s.Enter(context.Background(), Batch)
+	if !ok || err != nil {
+		t.Fatalf("enter after cancel: ok=%v err=%v", ok, err)
+	}
+	rel2()
+	if got := s.Inflight(); got != 0 {
+		t.Fatalf("inflight: %d", got)
+	}
+}
+
+// TestSchedCancelRace: hammer the cancel-vs-dispatch race; the granted-slot
+// handback path must never lose a slot.
+func TestSchedCancelRace(t *testing.T) {
+	s := testSched(1, 2, 1, 4)
+	var granted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%3)*time.Millisecond)
+			defer cancel()
+			class := Interactive
+			if i%2 == 0 {
+				class = Batch
+			}
+			rel, ok, _ := s.Enter(ctx, class)
+			if ok {
+				granted.Add(1)
+				runtime.Gosched()
+				rel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if granted.Load() == 0 {
+		t.Fatal("no grants at all")
+	}
+	if got := s.Inflight(); got != 0 {
+		t.Fatalf("leaked slots: inflight %d after all releases", got)
+	}
+	rel, ok, err := s.Enter(context.Background(), Interactive)
+	if !ok || err != nil {
+		t.Fatalf("pool unusable after race: ok=%v err=%v", ok, err)
+	}
+	rel()
+}
+
+// TestSchedIdleClassCannotBankCredit: a class that sat idle while the other
+// drained contested dispatches must not burst past its weight share when it
+// returns — its pass is clamped up to the global virtual time, so idle time
+// is forfeited, not banked.
+func TestSchedIdleClassCannotBankCredit(t *testing.T) {
+	s := testSched(1, 1, 1, 64)
+
+	// parkAndDrain enqueues n waiters of each listed class, waits until all
+	// are parked behind the held seed slot, releases the seed, and returns
+	// the grant order.
+	parkAndDrain := func(seedClass Class, want map[Class]int) []Class {
+		t.Helper()
+		seed, ok, _ := s.Enter(context.Background(), seedClass)
+		if !ok {
+			t.Fatal("seed enter")
+		}
+		total := 0
+		grants := make(chan Class, 256)
+		var wg sync.WaitGroup
+		for c, n := range want {
+			total += n
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(c Class) {
+					defer wg.Done()
+					rel, ok, err := s.Enter(context.Background(), c)
+					if !ok || err != nil {
+						t.Errorf("enter %s: ok=%v err=%v", c, ok, err)
+						return
+					}
+					grants <- c
+					rel()
+				}(c)
+			}
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			parked := 0
+			for c := range want {
+				parked += s.Queued(c)
+			}
+			if parked == total {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("parked %d of %d", parked, total)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		seed()
+		var order []Class
+		for i := 0; i < total; i++ {
+			select {
+			case c := <-grants:
+				order = append(order, c)
+			case <-time.After(5 * time.Second):
+				t.Fatalf("grant %d missing; order %v", i, order)
+			}
+		}
+		wg.Wait()
+		return order
+	}
+
+	// Phase 1: batch drains 50 contested dispatches alone — its pass and
+	// the global virtual time advance far while interactive sits at 0.
+	parkAndDrain(Batch, map[Class]int{Batch: 50})
+
+	// Phase 2: both contend under equal weights. Without the clamp,
+	// interactive's stale pass of 0 would win every dispatch until it
+	// caught up — four interactive grants in a row. With it, no prefix may
+	// favor either class by more than the one-dispatch stride slack.
+	order := parkAndDrain(Batch, map[Class]int{Interactive: 4, Batch: 4})
+	imbalance := 0
+	for _, c := range order {
+		if c == Interactive {
+			imbalance++
+		} else {
+			imbalance--
+		}
+		if imbalance < -2 || imbalance > 2 {
+			t.Fatalf("banked credit: prefix imbalance %d in order %v", imbalance, order)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -38,6 +39,9 @@ type Config struct {
 	MaxSessions int
 	// Metrics receives server.* counters; nil disables metrics.
 	Metrics *obs.Registry
+	// ChunkRows bounds rows per streamed response chunk; zero uses
+	// defaultChunkRows.
+	ChunkRows int
 	// Now is the clock; nil uses time.Now. Tests drive a fake clock.
 	Now func() time.Time
 }
@@ -48,11 +52,11 @@ type Config struct {
 var (
 	DefaultInteractive = ClassConfig{
 		Rate: 200, Burst: 50, MaxInflight: 16, MaxQueue: 32,
-		Deadline: 2 * time.Second,
+		Weight: 4, Deadline: 2 * time.Second,
 	}
 	DefaultBatch = ClassConfig{
 		Rate: 20, Burst: 10, MaxInflight: 4, MaxQueue: 64,
-		Deadline: 30 * time.Second,
+		Weight: 1, Deadline: 30 * time.Second,
 	}
 )
 
@@ -64,11 +68,12 @@ type Server struct {
 	classes  map[Class]*admission
 	tenants  map[string]*tenant
 	order    []string
-	sessions *sessionStore
-	metrics  *obs.Registry
-	now      func() time.Time
-	draining atomic.Bool
-	mux      *http.ServeMux
+	sessions  *sessionStore
+	metrics   *obs.Registry
+	chunkRows int
+	now       func() time.Time
+	draining  atomic.Bool
+	mux       *http.ServeMux
 
 	// openFn and seedSpec replay engine construction for new sessions.
 	openFn   func(string) (engine.Engine, error)
@@ -104,15 +109,27 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Batch == (ClassConfig{}) {
 		cfg.Batch = DefaultBatch
 	}
+	// One slot pool across both classes, sized by their summed MaxInflight
+	// and divided by weight while contested.
+	sc := newSched(cfg.Interactive.MaxInflight+cfg.Batch.MaxInflight,
+		[]Class{Interactive, Batch},
+		map[Class]classSched{
+			Interactive: {Weight: cfg.Interactive.Weight, MaxQueue: cfg.Interactive.MaxQueue},
+			Batch:       {Weight: cfg.Batch.Weight, MaxQueue: cfg.Batch.MaxQueue},
+		})
 	s := &Server{
 		classes: map[Class]*admission{
-			Interactive: newAdmission(Interactive, cfg.Interactive, cfg.Metrics, now),
-			Batch:       newAdmission(Batch, cfg.Batch, cfg.Metrics, now),
+			Interactive: newAdmission(Interactive, cfg.Interactive, sc, cfg.Metrics, now),
+			Batch:       newAdmission(Batch, cfg.Batch, sc, cfg.Metrics, now),
 		},
-		tenants:  map[string]*tenant{},
-		sessions: newSessionStore(cfg.SessionTTL, cfg.MaxSessions, now),
-		metrics:  cfg.Metrics,
-		now:      now,
+		tenants:   map[string]*tenant{},
+		sessions:  newSessionStore(cfg.SessionTTL, cfg.MaxSessions, now),
+		metrics:   cfg.Metrics,
+		chunkRows: cfg.ChunkRows,
+		now:       now,
+	}
+	if s.chunkRows <= 0 {
+		s.chunkRows = defaultChunkRows
 	}
 	for _, name := range names {
 		eng, err := open(name)
@@ -204,22 +221,43 @@ type errorResponse struct {
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes a one-shot JSON response. An encode failure means the
+// client saw a truncated body under an already-committed status; leaving
+// the connection open would hand the next pipelined request a corrupt
+// stream, so the failure is counted, logged and the connection aborted.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.abortResponse("response encode failed", err)
+	}
+}
+
+// abortResponse handles a failure after response bytes are committed:
+// count, log, and panic with http.ErrAbortHandler so net/http closes the
+// connection without logging a stack trace. Truncation must look like an
+// aborted connection to the client, never like a complete short response.
+func (s *Server) abortResponse(reason string, err error) {
+	s.metrics.Counter("server.write_errors").Inc()
+	log.Printf("server: %s, aborting connection: %v", reason, err)
+	panic(http.ErrAbortHandler)
 }
 
 // writeShed answers a shed or drain with the HTTP code, a Retry-After
 // header (whole seconds, rounded up, at least 1) and a machine-readable
-// retry_after_ms body.
-func writeShed(w http.ResponseWriter, code int, msg string, retryAfter time.Duration) {
+// retry_after_ms body, also rounded up and never 0 — a truncated-to-zero
+// hint reads as "retry immediately" and turns backoff into a hammer.
+func (s *Server) writeShed(w http.ResponseWriter, code int, msg string, retryAfter time.Duration) {
 	secs := int64((retryAfter + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
+	ms := int64((retryAfter + time.Millisecond - 1) / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
 	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-	writeJSON(w, code, errorResponse{Error: msg, RetryAfterMS: retryAfter.Milliseconds()})
+	s.writeJSON(w, code, errorResponse{Error: msg, RetryAfterMS: ms})
 }
 
 // drainRetryAfter is the Retry-After hint while draining: long enough for a
@@ -234,16 +272,16 @@ const maxRequestBody = 1 << 20
 // decodeBody decodes r's JSON body into v under the size cap, answering 413
 // on an oversized body and 400 on malformed JSON. It reports whether the
 // handler should proceed.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
+			s.writeJSON(w, http.StatusRequestEntityTooLarge,
 				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
 			return false
 		}
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return false
 	}
 	return true
@@ -251,24 +289,24 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeShed(w, http.StatusServiceUnavailable, "server is draining", drainRetryAfter)
+		s.writeShed(w, http.StatusServiceUnavailable, "server is draining", drainRetryAfter)
 		return
 	}
 	var req queryRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Stmt == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "stmt is required"})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "stmt is required"})
 		return
 	}
 	if (req.Engine == "") == (req.Session == "") {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "exactly one of engine or session is required"})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "exactly one of engine or session is required"})
 		return
 	}
 	class, ok := ParseClass(req.Class)
 	if !ok {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown class %q", req.Class)})
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown class %q", req.Class)})
 		return
 	}
 
@@ -277,13 +315,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Engine != "" {
 		t = s.tenants[req.Engine]
 		if t == nil {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown engine %q", req.Engine)})
+			s.writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown engine %q", req.Engine)})
 			return
 		}
 	} else {
 		sess, err := s.sessions.Get(req.Session)
 		if err != nil {
-			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			s.writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 			return
 		}
 		t = &sess.tenant
@@ -293,11 +331,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	done, shed, err := adm.Admit(r.Context())
 	if err != nil {
 		// Client went away while queued; nothing useful to write.
-		writeJSON(w, http.StatusRequestTimeout, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusRequestTimeout, errorResponse{Error: err.Error()})
 		return
 	}
 	if shed != nil {
-		writeShed(w, http.StatusTooManyRequests,
+		s.writeShed(w, http.StatusTooManyRequests,
 			"overloaded ("+shed.Reason+"), retry later", shed.RetryAfter)
 		return
 	}
@@ -316,32 +354,50 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Rows stream to the client as the plan produces them, framed per the
+	// negotiated encoding. Failures before the first byte still answer
+	// plain HTTP error statuses; failures after commit are in-band (binary
+	// Error frame) or abort the connection (JSON has no in-band channel).
+	st := s.newRespStream(w, r)
 	start := time.Now()
-	var res *plan.Result
 	execErr := t.exec(readonlyStmt(t.eng, req.Stmt), func(eng engine.Engine) error {
 		q, ok := eng.(engine.Querier)
 		if !ok {
 			return fmt.Errorf("engine %q has no query language", t.name)
 		}
-		var err error
-		res, err = engine.QueryContext(ctx, q, req.Stmt)
-		return err
+		return engine.QueryStream(ctx, q, req.Stmt, st)
 	})
 	elapsed := time.Since(start)
 
-	switch {
-	case execErr == nil:
+	if execErr == nil {
 		done("ok")
-		writeJSON(w, http.StatusOK, toWire(res, elapsed))
-	case errors.Is(execErr, context.DeadlineExceeded):
-		done("timeout")
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "query deadline exceeded"})
-	case errors.Is(execErr, context.Canceled):
-		done("failed")
-		writeJSON(w, http.StatusRequestTimeout, errorResponse{Error: "request cancelled"})
+		if err := st.finish(elapsed); err != nil {
+			s.abortResponse("response write failed", err)
+		}
+		return
+	}
+	status, outcome, msg := classifyExecErr(execErr)
+	done(outcome)
+	if !st.committed() {
+		s.writeJSON(w, status, errorResponse{Error: msg})
+		return
+	}
+	s.metrics.Counter("server.stream.aborts").Inc()
+	if err := st.abort(status, msg); err != nil {
+		s.abortResponse("mid-stream failure", execErr)
+	}
+}
+
+// classifyExecErr maps a query execution error to its HTTP status, its
+// admission outcome label and the client-facing message.
+func classifyExecErr(err error) (status int, outcome, msg string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout", "query deadline exceeded"
+	case errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout, "failed", "request cancelled"
 	default:
-		done("failed")
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: execErr.Error()})
+		return http.StatusUnprocessableEntity, "failed", err.Error()
 	}
 }
 
@@ -375,26 +431,26 @@ type sessionCreateResponse struct {
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeShed(w, http.StatusServiceUnavailable, "server is draining", drainRetryAfter)
+		s.writeShed(w, http.StatusServiceUnavailable, "server is draining", drainRetryAfter)
 		return
 	}
 	var req sessionCreateRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if _, ok := s.tenants[req.Engine]; !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown engine %q", req.Engine)})
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown engine %q", req.Engine)})
 		return
 	}
 	eng, err := s.openFn(req.Engine)
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
 		return
 	}
 	if s.seedSpec != nil {
 		if err := seed(eng, *s.seedSpec); err != nil {
 			_ = eng.Close()
-			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 			return
 		}
 	}
@@ -402,21 +458,21 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		_ = eng.Close()
 		if errors.Is(err, errSessionsFull) {
-			writeShed(w, http.StatusTooManyRequests, err.Error(), time.Second)
+			s.writeShed(w, http.StatusTooManyRequests, err.Error(), time.Second)
 			return
 		}
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, sessionCreateResponse{Session: id, Engine: req.Engine})
+	s.writeJSON(w, http.StatusOK, sessionCreateResponse{Session: id, Engine: req.Engine})
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.sessions.Delete(r.PathValue("id")) {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("session %q: %v", r.PathValue("id"), model.ErrNotFound)})
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("session %q: %v", r.PathValue("id"), model.ErrNotFound)})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -426,7 +482,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	s.writeJSON(w, code, map[string]any{
 		"status":   status,
 		"engines":  s.Engines(),
 		"sessions": s.sessions.Len(),
@@ -434,7 +490,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"counters": s.metrics.Counters(),
 		"draining": s.draining.Load(),
 	})

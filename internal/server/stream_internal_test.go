@@ -1,0 +1,75 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gdbm/internal/model"
+	"gdbm/internal/query/plan"
+)
+
+// TestJSONStreamMatchesEncoderBytes pins the streamed JSON encoding to the
+// buffered one byte for byte: concatenating per-element json.Marshal output
+// with literal punctuation must reproduce exactly what json.Encoder emits
+// for the whole queryResponse. Any drift (escaping, float formatting, field
+// order, trailing newline) breaks every client that parsed the old shape.
+func TestJSONStreamMatchesEncoderBytes(t *testing.T) {
+	const elapsed = 1500 * time.Microsecond
+	cases := []struct {
+		name string
+		cols []string
+		rows [][]model.Value
+	}{
+		{"empty", nil, nil},
+		{"cols-no-rows", []string{"a", "b"}, nil},
+		{"one-int", []string{"n"}, [][]model.Value{{model.Int(1)}}},
+		{"mixed-types", []string{"i", "f", "s", "b", "z"}, [][]model.Value{
+			{model.Int(-42), model.Float(3.25), model.Str("plain"), model.Bool(true), model.Null()},
+			{model.Int(1 << 40), model.Float(1e21), model.Str(""), model.Bool(false), model.Null()},
+		}},
+		{"escaping", []string{"s"}, [][]model.Value{
+			{model.Str(`<script>&"quotes"\backslash`)},
+			{model.Str("tab\tnewline\nunicodeé")},
+		}},
+		{"many-rows-cross-chunk", []string{"i"}, func() [][]model.Value {
+			rows := make([][]model.Value, 7)
+			for i := range rows {
+				rows[i] = []model.Value{model.Int(int64(i))}
+			}
+			return rows
+		}()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			// chunk=2 so the cross-chunk case flushes mid-stream: flush
+			// boundaries must never alter bytes.
+			js := &jsonStream{w: rec, chunk: 2}
+			if c.cols != nil || len(c.rows) > 0 {
+				if err := js.Cols(c.cols); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, row := range c.rows {
+				if err := js.Row(row); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := js.finish(elapsed); err != nil {
+				t.Fatal(err)
+			}
+
+			var want bytes.Buffer
+			res := &plan.Result{Cols: c.cols, Rows: c.rows}
+			if err := json.NewEncoder(&want).Encode(toWire(res, elapsed)); err != nil {
+				t.Fatal(err)
+			}
+			if got := rec.Body.String(); got != want.String() {
+				t.Fatalf("streamed bytes diverge from buffered encoder\n  streamed: %q\n  buffered: %q", got, want.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,201 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"gdbm/internal/model"
+)
+
+func sampleRows() [][]model.Value {
+	return [][]model.Value{
+		{model.Int(1), model.Str("a"), model.Bool(true)},
+		{model.Int(-42), model.Str(""), model.Null()},
+		{model.Float(3.5), model.Str("päröt\x00bytes"), model.Bool(false)},
+	}
+}
+
+// TestRoundTrip frames a full response and reassembles it byte-exactly.
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	cols := []string{"id", "name", "ok"}
+	if err := w.Header(cols); err != nil {
+		t.Fatal(err)
+	}
+	rows := sampleRows()
+	if err := w.Chunk(rows[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Chunk(rows[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(len(rows), 1500*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Collect(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Cols, cols) {
+		t.Errorf("cols: %v, want %v", res.Cols, cols)
+	}
+	if len(res.Rows) != len(rows) {
+		t.Fatalf("rows: %d, want %d", len(res.Rows), len(rows))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if !res.Rows[i][j].Equal(rows[i][j]) || res.Rows[i][j].Kind() != rows[i][j].Kind() {
+				t.Errorf("row %d col %d: %v (%v), want %v (%v)",
+					i, j, res.Rows[i][j], res.Rows[i][j].Kind(), rows[i][j], rows[i][j].Kind())
+			}
+		}
+	}
+	if res.End.Rows != 3 || res.End.Elapsed != 1500*time.Microsecond {
+		t.Errorf("end: %+v", res.End)
+	}
+}
+
+// TestEmptyResult: zero rows still need header and end.
+func TestEmptyResult(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Header(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Collect(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 0 || len(res.Rows) != 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+// TestErrorFrame: a mid-stream Error frame surfaces as StatusError with the
+// partial rows discarded.
+func TestErrorFrame(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Header([]string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Chunk([][]model.Value{{model.Int(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Error(504, "query deadline exceeded"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Collect(&buf)
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want StatusError", err)
+	}
+	if se.Status != 504 || se.Msg != "query deadline exceeded" {
+		t.Fatalf("%+v", se)
+	}
+}
+
+// TestTruncationIsNeverAShortResult: cutting the stream at every byte
+// boundary must yield an error, never a silently short result.
+func TestTruncationIsNeverAShortResult(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Header([]string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Chunk([][]model.Value{{model.Int(7)}, {model.Str("s")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(2, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 0; cut < len(whole); cut++ {
+		if _, err := Collect(bytes.NewReader(whole[:cut])); err == nil {
+			t.Fatalf("truncation at byte %d/%d was accepted as a valid result", cut, len(whole))
+		}
+	}
+	if _, err := Collect(bytes.NewReader(whole)); err != nil {
+		t.Fatalf("whole stream: %v", err)
+	}
+}
+
+// TestBadMagicAndVersion rejects foreign streams before any allocation.
+func TestBadMagicAndVersion(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("HTTP/1.1 200 OK")).Next(); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad := append([]byte(Magic), 99)
+	if _, err := NewReader(bytes.NewReader(bad)).Next(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: %v", err)
+	}
+}
+
+// TestOversizedFrameRejected: a hostile length prefix must not allocate.
+func TestOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.WriteByte(Version)
+	buf.WriteByte(byte(FrameChunk))
+	buf.Write(binary.AppendUvarint(nil, MaxFrame+1))
+	if _, err := NewReader(&buf).Next(); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame: %v", err)
+	}
+}
+
+// TestRequestFrame round-trips a framed request body.
+func TestRequestFrame(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte(`{"stmt":"SELECT ORDER","engine":"gstore"}`)
+	if err := NewWriter(&buf).Request(body); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewReader(&buf).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameRequest || !bytes.Equal(f.Payload, body) {
+		t.Fatalf("frame %v payload %q", f.Type, f.Payload)
+	}
+}
+
+// TestCollectRejectsProtocolViolations: chunks before the header, duplicate
+// headers and unknown frame types are hard errors.
+func TestCollectRejectsProtocolViolations(t *testing.T) {
+	frame := func(parts ...func(w *Writer) error) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, p := range parts {
+			if err := p(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	cases := map[string][]byte{
+		"chunk before header": frame(func(w *Writer) error {
+			return w.Chunk([][]model.Value{{model.Int(1)}})
+		}),
+		"duplicate header": frame(
+			func(w *Writer) error { return w.Header([]string{"a"}) },
+			func(w *Writer) error { return w.Header([]string{"b"}) },
+		),
+		"request in response": frame(func(w *Writer) error { return w.Request([]byte("x")) }),
+	}
+	for name, stream := range cases {
+		if _, err := Collect(bytes.NewReader(stream)); err == nil || errors.Is(err, io.EOF) {
+			t.Errorf("%s: err = %v, want protocol violation", name, err)
+		}
+	}
+}
